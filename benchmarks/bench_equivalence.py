@@ -1,0 +1,71 @@
+"""E12/E13 — Sec. VII-B/C: S-mod-k and D-mod-k route the same number of
+patterns at every contention level.
+
+The exact statement (a bijection through pattern inversion) is asserted
+per-sample; the statistical corollary — identical marginal spectra over
+uniformly random permutations — is demonstrated over a few hundred
+samples the way the paper argues it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contention import pattern_contention_level
+from repro.core import DModK, SModK
+from repro.experiments import equivalence, format_equivalence
+from repro.patterns import uniform_random_pairs
+from repro.topology import slimmed_two_level
+
+from .conftest import bench_seeds
+
+
+def test_permutation_spectra(benchmark, record_result):
+    """E12: contention spectra over random permutations."""
+    result = benchmark.pedantic(
+        equivalence,
+        kwargs={"num_permutations": 60 * bench_seeds()},
+        rounds=1,
+        iterations=1,
+    )
+    record_result("equivalence_spectra", format_equivalence(result))
+    # the exact bijection
+    assert result.spectra_match
+    # the statistical statement: marginals close in L1 (equal in law)
+    levels = set(result.smodk_spectrum) | set(result.dmodk_spectrum)
+    l1 = sum(
+        abs(result.smodk_spectrum.get(c, 0) - result.dmodk_spectrum.get(c, 0))
+        for c in levels
+    )
+    assert l1 <= 0.5 * result.num_permutations
+
+
+def test_general_patterns(benchmark, record_result):
+    """E13: the same equality for general (non-permutation) patterns."""
+    topo = slimmed_two_level(16, 16, 8)
+    smodk, dmodk = SModK(topo), DModK(topo)
+    num_patterns = 20 * bench_seeds()
+
+    def run():
+        mismatches = 0
+        rows = []
+        for seed in range(num_patterns):
+            pairs = uniform_random_pairs(256, 300, rng=seed)
+            inverse = [(d, s) for s, d in pairs]
+            c_s = pattern_contention_level(smodk, pairs)
+            c_d_inv = pattern_contention_level(dmodk, inverse)
+            rows.append((seed, c_s, c_d_inv))
+            mismatches += c_s != c_d_inv
+        return mismatches, rows
+
+    mismatches, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join(
+        f"pattern {seed:>3}: C(s-mod-k, G) = {a}  C(d-mod-k, G^-1) = {b}"
+        for seed, a, b in rows[:20]
+    )
+    record_result(
+        "equivalence_general_patterns",
+        text + f"\n... {num_patterns} patterns, {mismatches} mismatches (expect 0)",
+    )
+    assert mismatches == 0

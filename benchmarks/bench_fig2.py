@@ -1,0 +1,72 @@
+"""E4/E5 — Fig. 2: slowdown of the classic oblivious schemes vs w2.
+
+Regenerates both panels over the full progressive-slimming sweep
+(w2 = 16..1) and asserts the paper's qualitative conclusions:
+
+* (a) WRF-256: Random is worse than S-mod-k/D-mod-k, which match the
+  pattern-aware Colored; slowdown grows to ~15-16x at w2 = 1.
+* (b) CG.D-128: S-mod-k/D-mod-k sit on a pathological plateau; Random
+  beats them for most w2; Colored ~1 on the full tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import BoxStats, fig2, format_sweep
+
+from .conftest import bench_seeds
+
+
+def _median(v):
+    return v.median if isinstance(v, BoxStats) else v
+
+
+def test_fig2a_wrf(benchmark, record_result):
+    sweep = benchmark.pedantic(
+        fig2, args=("wrf",), kwargs={"seeds": bench_seeds()}, rounds=1, iterations=1
+    )
+    record_result("fig2a_wrf", format_sweep(sweep, "Fig. 2(a) WRF-256"))
+
+    smodk = sweep.series_by_name("s-mod-k").values
+    dmodk = sweep.series_by_name("d-mod-k").values
+    random = sweep.series_by_name("random").values
+    colored = sweep.series_by_name("colored").values
+    # full tree: mod-k achieves crossbar performance
+    assert _median(smodk[16]) == pytest.approx(1.0, rel=1e-6)
+    # w2=1: the k-ary tree bottleneck, paper reports ~15
+    assert 14.0 <= _median(smodk[1]) <= 16.5
+    for w2 in range(16, 1, -1):
+        # Random strictly worse than the mod-k schemes (Fig. 2a)
+        assert _median(random[w2]) > _median(smodk[w2])
+        # mod-k stays close to the pattern-aware bound on WRF ("achieve
+        # the same performance as a pattern-aware routing scheme")
+        assert _median(colored[w2]) <= _median(smodk[w2]) + 1e-9
+        assert _median(smodk[w2]) <= 1.5 * _median(colored[w2])
+        # S-mod-k == D-mod-k on the symmetric pattern
+        assert _median(smodk[w2]) == pytest.approx(_median(dmodk[w2]), rel=1e-9)
+
+
+def test_fig2b_cg(benchmark, record_result):
+    sweep = benchmark.pedantic(
+        fig2, args=("cg",), kwargs={"seeds": bench_seeds()}, rounds=1, iterations=1
+    )
+    record_result("fig2b_cg", format_sweep(sweep, "Fig. 2(b) CG.D-128"))
+
+    dmodk = sweep.series_by_name("d-mod-k").values
+    random = sweep.series_by_name("random").values
+    colored = sweep.series_by_name("colored").values
+    # the pathological plateau: constant over a wide range of w2
+    assert _median(dmodk[16]) == pytest.approx(_median(dmodk[4]), rel=1e-6)
+    assert _median(dmodk[16]) > 2.0  # paper: >2x on the full tree
+    # Colored reaches the crossbar on the full tree
+    assert _median(colored[16]) == pytest.approx(1.0, rel=1e-6)
+    # Random beats mod-k for most of the sweep (paper: "almost all cases")
+    wins = sum(
+        1 for w2 in range(16, 1, -1) if _median(random[w2]) < _median(dmodk[w2])
+    )
+    assert wins >= 10
+    # Colored is the lower envelope everywhere
+    for w2 in range(16, 0, -1):
+        assert _median(colored[w2]) <= _median(dmodk[w2]) + 1e-9
+        assert _median(colored[w2]) <= _median(random[w2]) + 1e-9

@@ -1,0 +1,49 @@
+"""E6/E7 — Fig. 3 + Eq. (2): the CG.D traffic pattern and the D-mod-k
+uplink degeneracy (the factor-~8 phase-5 slowdown)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DModK
+from repro.experiments import fig3, format_fig3
+from repro.patterns import cg_pattern
+from repro.sim import crossbar_phase_time, simulate_phase_fluid
+from repro.topology import slimmed_two_level
+
+
+def test_fig3_cg_pattern(benchmark, record_result):
+    result = benchmark(fig3)
+    record_result("fig3_cg_pattern", format_fig3(result))
+    # five equal phases, four switch-local
+    assert result.phase_locality[:4] == (1.0, 1.0, 1.0, 1.0)
+    assert result.phase_locality[4] == 0.0
+    assert set(result.phase_sizes) == {750_000}
+    # the connectivity matrix is symmetric (Sec. VII observation)
+    assert (result.connectivity == result.connectivity.T).all()
+
+
+def test_eq2_dmodk_degeneracy(benchmark, record_result):
+    """Eq. (2): r1 = d mod 16 uses only two uplinks per switch; the phase
+    runs ~7-8x slower than on the crossbar (paper: 'eight times longer')."""
+    topo = slimmed_two_level(16, 16, 16)
+    pattern = cg_pattern(128)
+    transpose = pattern.phases[-1]
+    pairs = [f.pair for f in transpose.flows]
+    sizes = [f.size for f in transpose.flows]
+
+    def run():
+        table = DModK(topo).build_table(pairs)
+        return simulate_phase_fluid(table, sizes).duration
+
+    t_phase = benchmark(run)
+    t_ref = crossbar_phase_time(transpose, 256)
+    factor = t_phase / t_ref
+    record_result(
+        "eq2_dmodk_degeneracy",
+        f"CG transpose phase, XGFT(2;16,16;1,16), D-mod-k\n"
+        f"  phase time      = {t_phase * 1e3:.3f} ms\n"
+        f"  crossbar time   = {t_ref * 1e3:.3f} ms\n"
+        f"  slowdown factor = {factor:.2f}  (paper: ~8x)",
+    )
+    assert factor == pytest.approx(7.0, rel=1e-6)

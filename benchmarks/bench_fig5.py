@@ -1,0 +1,76 @@
+"""E10/E11 — Fig. 5: the proposed r-NCA-u / r-NCA-d vs the field.
+
+The paper's headline evaluation: over the progressive-slimming sweep,
+the proposed schemes (boxplots over seeds)
+
+* perform statistically better than static Random on both applications,
+* avoid the S-mod-k/D-mod-k pathology on CG.D-128,
+* stay close to mod-k/Colored on WRF-256 (paper: "most of the times it
+  is close"), and
+* leave a gap to the pattern-aware Colored bound.
+
+The paper uses 40-60 seeds per box; set REPRO_BENCH_SEEDS to match
+(default 5 keeps the bench run short).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import BoxStats, fig5, format_sweep
+
+from .conftest import bench_seeds
+
+
+def _median(v):
+    return v.median if isinstance(v, BoxStats) else v
+
+
+def test_fig5a_wrf(benchmark, record_result):
+    sweep = benchmark.pedantic(
+        fig5, args=("wrf",), kwargs={"seeds": bench_seeds()}, rounds=1, iterations=1
+    )
+    record_result("fig5a_wrf", format_sweep(sweep, "Fig. 5(a) WRF-256"))
+    for w2 in range(16, 1, -1):
+        rnd = sweep.series_by_name("random").values[w2].median
+        smk = _median(sweep.series_by_name("s-mod-k").values[w2])
+        for name in ("r-nca-u", "r-nca-d"):
+            box = sweep.series_by_name(name).values[w2]
+            # better than Random ... (paper: "always better than Random")
+            assert box.median <= rnd + 1e-9
+            # ... though not below the self-routing mod-k schemes
+            assert box.median >= smk - 1e-9
+
+
+def test_fig5b_cg(benchmark, record_result):
+    sweep = benchmark.pedantic(
+        fig5, args=("cg",), kwargs={"seeds": bench_seeds()}, rounds=1, iterations=1
+    )
+    record_result("fig5b_cg", format_sweep(sweep, "Fig. 5(b) CG.D-128"))
+    rnca_mean = {name: 0.0 for name in ("r-nca-u", "r-nca-d")}
+    rnd_mean = 0.0
+    points = list(range(16, 1, -1))
+    for w2 in points:
+        dmk = _median(sweep.series_by_name("d-mod-k").values[w2])
+        col = _median(sweep.series_by_name("colored").values[w2])
+        rnd = sweep.series_by_name("random").values[w2].median
+        rnd_mean += rnd / len(points)
+        for name in ("r-nca-u", "r-nca-d"):
+            box = sweep.series_by_name(name).values[w2]
+            rnca_mean[name] += box.median / len(points)
+            # avoids the mod-k pathology wherever capacity allows (the
+            # plateau region; at very small w2 every scheme converges)
+            if w2 >= 8:
+                assert box.median < dmk - 0.2
+            # never behind Random by more than sampling noise per point
+            assert box.median <= rnd + 0.25
+            # the gap to the pattern-aware bound remains
+            assert box.median >= col - 1e-9
+    # statistically better than Random over the sweep (the paper's claim,
+    # asserted on sweep means rather than per-point medians)
+    for name in ("r-nca-u", "r-nca-d"):
+        assert rnca_mean[name] <= rnd_mean + 1e-9
+    # at w2=16 the pathology avoidance is strict and substantial
+    assert sweep.series_by_name("r-nca-d").values[16].median < 0.9 * _median(
+        sweep.series_by_name("d-mod-k").values[16]
+    )

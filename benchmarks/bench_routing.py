@@ -1,0 +1,56 @@
+"""Throughput benchmarks of the routing-table hot paths.
+
+Not a paper artifact — an engineering benchmark guarding the vectorized
+construction paths (the per-guide "no optimization without measurement"
+numbers live here).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_algorithm
+from repro.topology import slimmed_two_level
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return slimmed_two_level(16, 16, 10)
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    n = 256
+    return [(s, d) for s in range(n) for d in range(n) if s != d]
+
+
+@pytest.mark.parametrize("name", ["s-mod-k", "d-mod-k", "random", "r-nca-u", "r-nca-d"])
+def test_all_pairs_table_build(benchmark, topo, pairs, name):
+    """65 280-pair table construction for each vectorized algorithm."""
+    alg = make_algorithm(name, topo, seed=1)
+
+    table = benchmark(alg.build_table, pairs)
+    assert len(table) == len(pairs)
+
+
+def test_flow_links_expansion(benchmark, topo, pairs):
+    """COO link expansion of the all-pairs table (the census hot path)."""
+    table = make_algorithm("d-mod-k", topo).build_table(pairs)
+
+    flows, links = benchmark(table.flow_links)
+    assert len(flows) == len(links)
+    # every top-level pair contributes 4 link traversals, level-1 pairs 2
+    assert len(flows) == 4 * 61440 + 2 * 3840
+
+
+def test_colored_optimizer(benchmark, topo):
+    """The pattern-aware optimizer on the CG transpose permutation."""
+    from repro.patterns import cg_transpose_exchange
+
+    pairs = cg_transpose_exchange(128)
+
+    def build():
+        return make_algorithm("colored", topo).build_table(pairs)
+
+    table = benchmark(build)
+    assert len(table) == 112

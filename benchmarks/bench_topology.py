@@ -1,0 +1,81 @@
+"""E1/E2/E3: topology structure artifacts (Fig. 1, Table I, Eq. (1)).
+
+Also benchmarks the structural hot paths (construction, adjacency,
+vectorized NCA levels) since every experiment sits on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table1, table1
+from repro.topology import (
+    XGFT,
+    ascii_art,
+    eq1_switch_count,
+    fig1_examples,
+    kary_ntree,
+    slimmed_two_level,
+)
+
+
+def test_fig1_examples(benchmark, record_result):
+    """E1: build the Fig.-1 example family and render it."""
+
+    def build():
+        return fig1_examples()
+
+    examples = benchmark(build)
+    lines = []
+    for name, topo in examples.items():
+        lines.append(f"{name}: {topo.spec()}")
+        lines.append(ascii_art(topo))
+        lines.append("")
+    record_result("fig1_examples", "\n".join(lines))
+    assert len(examples) >= 4
+
+
+def test_table1_labels(benchmark, record_result):
+    """E2: Table I for the paper's slimmed topology."""
+    topo = slimmed_two_level(16, 16, 10)
+
+    rows = benchmark(table1, topo)
+    record_result("table1", format_table1(rows, topo.spec()))
+    assert [r["num_nodes"] for r in rows] == [256, 16, 10]
+    # Table-I invariant: links up from level i == links down from i+1
+    for lower, upper in zip(rows, rows[1:]):
+        assert lower["links_up"] == upper["links_down"]
+
+
+def test_eq1_switch_count(benchmark, record_result):
+    """E3: Eq. (1) over the progressive-slimming sweep + k-ary n-trees."""
+
+    def compute():
+        rows = []
+        for w2 in range(16, 0, -1):
+            topo = slimmed_two_level(16, 16, w2)
+            rows.append((topo.spec(), eq1_switch_count(topo)))
+        for k, n in [(2, 3), (4, 2), (4, 3), (8, 2)]:
+            topo = kary_ntree(k, n)
+            rows.append((topo.spec(), eq1_switch_count(topo)))
+        return rows
+
+    rows = benchmark(compute)
+    text = "\n".join(f"{spec:<28} I = {count}" for spec, count in rows)
+    record_result("eq1_switch_count", text)
+    counts = dict(rows)
+    assert counts["XGFT(2;16,16;1,16)"] == 32
+    assert counts["XGFT(2;16,16;1,1)"] == 17
+    assert counts["XGFT(3;4,4,4;1,4,4)"] == 3 * 16
+
+
+def test_structure_hot_path(benchmark):
+    """Throughput: vectorized all-pairs NCA levels on the 256-leaf tree."""
+    topo = slimmed_two_level(16, 16, 16)
+    n = topo.num_leaves
+    src, dst = np.divmod(np.arange(n * n, dtype=np.int64), n)
+
+    levels = benchmark(topo.nca_level_array, src, dst)
+    assert levels.shape == (65536,)
+    assert (levels == 0).sum() == 256  # the diagonal

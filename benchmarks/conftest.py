@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artifact: it runs the experiment
+under ``pytest-benchmark`` timing, asserts the paper's qualitative shape,
+writes the rendered rows to ``benchmarks/results/<name>.txt`` and prints
+them (run with ``-s`` to see them inline).
+
+Environment knobs:
+
+* ``REPRO_BENCH_SEEDS`` — seeds per randomized algorithm (default 5;
+  the paper uses 40-60 for Fig. 5, which takes correspondingly longer).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_seeds(default: int = 5) -> int:
+    return int(os.environ.get("REPRO_BENCH_SEEDS", default))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write (and echo) a rendered experiment artifact."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n(written to {path})")
+
+    return _record

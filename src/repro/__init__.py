@@ -1,0 +1,62 @@
+"""repro — reproduction of *Oblivious Routing Schemes in Extended
+Generalized Fat Tree Networks* (Rodriguez et al., IEEE CLUSTER 2009).
+
+The package provides, as importable building blocks:
+
+* :mod:`repro.topology` — the XGFT family (Table I labels, Eq. (1), ...);
+* :mod:`repro.core` — the routing schemes (S-mod-k, D-mod-k, Random,
+  r-NCA-u/-d, the pattern-aware Colored baseline);
+* :mod:`repro.patterns` — permutation algebra and the WRF / NAS-CG
+  application workloads;
+* :mod:`repro.contention` — endpoint-aware contention analytics;
+* :mod:`repro.sim` — network simulators (flit-level "Venus" substitute,
+  max-min fluid model, ideal Full-Crossbar);
+* :mod:`repro.dimemas` — trace-driven MPI replay;
+* :mod:`repro.experiments` — the figure/table regeneration harness.
+
+Quickstart::
+
+    from repro import XGFT, make_algorithm
+    topo = XGFT((16, 16), (1, 8))           # XGFT(2;16,16;1,8)
+    routing = make_algorithm("r-nca-d", topo, seed=7)
+    route = routing.route(3, 200)
+    print(route, route.node_path(topo))
+"""
+
+from .core import (
+    Colored,
+    DModK,
+    RandomNCA,
+    RNCADown,
+    RNCAUp,
+    Route,
+    RouteTable,
+    RoutingAlgorithm,
+    SModK,
+    available_algorithms,
+    make_algorithm,
+    register_algorithm,
+)
+from .topology import XGFT, kary_ntree, parse_xgft, slimmed_two_level
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "XGFT",
+    "parse_xgft",
+    "kary_ntree",
+    "slimmed_two_level",
+    "Route",
+    "RouteTable",
+    "RoutingAlgorithm",
+    "SModK",
+    "DModK",
+    "RandomNCA",
+    "RNCAUp",
+    "RNCADown",
+    "Colored",
+    "make_algorithm",
+    "available_algorithms",
+    "register_algorithm",
+    "__version__",
+]

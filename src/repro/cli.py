@@ -1,0 +1,94 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+::
+
+    repro-xgft fig2 --app wrf
+    repro-xgft fig2 --app cg --w2 16 8 4 1
+    repro-xgft fig3
+    repro-xgft fig4 --w2 10 --seeds 10
+    repro-xgft fig5 --app cg --seeds 40
+    repro-xgft table1 --topology "XGFT(2;16,16;1,10)"
+    repro-xgft equivalence --permutations 500
+    repro-xgft info --topology "XGFT(3;4,4,4;1,4,2)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import experiments
+from .topology import ascii_art, cost_summary, parse_xgft, slimmed_two_level
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xgft",
+        description="Regenerate the figures/tables of 'Oblivious Routing "
+        "Schemes in Extended Generalized Fat Tree Networks' (CLUSTER 2009).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sweep_args(p: argparse.ArgumentParser, default_seeds: int) -> None:
+        p.add_argument("--app", choices=("wrf", "cg"), required=True)
+        p.add_argument("--w2", type=int, nargs="+", default=None,
+                       help="w2 values to sweep (default 16..1)")
+        p.add_argument("--seeds", type=int, default=default_seeds,
+                       help="seeds per randomized algorithm")
+        p.add_argument("--engine", choices=("fluid", "replay"), default="fluid")
+
+    add_sweep_args(sub.add_parser("fig2", help="Fig. 2: classic oblivious schemes"), 5)
+    add_sweep_args(sub.add_parser("fig5", help="Fig. 5: + r-NCA-u / r-NCA-d"), 40)
+
+    sub.add_parser("fig3", help="Fig. 3: the CG.D traffic pattern + Eq. (2)")
+
+    p4 = sub.add_parser("fig4", help="Fig. 4: routes per NCA")
+    p4.add_argument("--w2", type=int, default=16, help="16 for Fig. 4(a), 10 for 4(b)")
+    p4.add_argument("--seeds", type=int, default=10)
+
+    pt = sub.add_parser("table1", help="Table I for a topology")
+    pt.add_argument("--topology", default="XGFT(2;16,16;1,16)")
+
+    pe = sub.add_parser("equivalence", help="Sec. VII-B spectra")
+    pe.add_argument("--permutations", type=int, default=200)
+    pe.add_argument("--seed", type=int, default=0)
+
+    pi = sub.add_parser("info", help="structural summary of a topology")
+    pi.add_argument("--topology", default="XGFT(2;16,16;1,16)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in ("fig2", "fig5"):
+        fn = experiments.fig2 if args.command == "fig2" else experiments.fig5
+        sweep = fn(args.app, w2_values=args.w2, seeds=args.seeds, engine=args.engine)
+        print(experiments.format_sweep(sweep, title=f"{args.command} — {args.app}"))
+    elif args.command == "fig3":
+        print(experiments.format_fig3(experiments.fig3()))
+    elif args.command == "fig4":
+        result = experiments.fig4(args.w2, seeds=args.seeds)
+        print(experiments.format_fig4(result))
+    elif args.command == "table1":
+        topo = parse_xgft(args.topology)
+        print(experiments.format_table1(experiments.table1(topo), topo.spec()))
+    elif args.command == "equivalence":
+        result = experiments.equivalence(
+            num_permutations=args.permutations, seed=args.seed
+        )
+        print(experiments.format_equivalence(result))
+    elif args.command == "info":
+        topo = parse_xgft(args.topology)
+        print(ascii_art(topo))
+        for key, value in cost_summary(topo).items():
+            print(f"  {key:>22}: {value}")
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Contention analytics: endpoint vs. network contention separation,
+per-link loads, NCA-level contention spectra, routes-per-NCA censuses
+(paper Sec. IV, VII)."""
+
+from .distribution import (
+    NCADistribution,
+    all_pairs_nca_census,
+    nca_distribution_stats,
+    routes_per_nca,
+)
+from .link_load import busiest_links, link_flow_counts, load_histogram
+from .metrics import (
+    ContentionReport,
+    contention_report,
+    endpoint_contention,
+    link_network_contention,
+    max_network_contention,
+)
+from .nca import (
+    contention_spectrum,
+    general_pattern_contention,
+    pattern_contention_level,
+    permutation_contention_level,
+)
+
+__all__ = [
+    "link_flow_counts",
+    "busiest_links",
+    "load_histogram",
+    "link_network_contention",
+    "max_network_contention",
+    "endpoint_contention",
+    "ContentionReport",
+    "contention_report",
+    "pattern_contention_level",
+    "permutation_contention_level",
+    "contention_spectrum",
+    "general_pattern_contention",
+    "routes_per_nca",
+    "nca_distribution_stats",
+    "all_pairs_nca_census",
+    "NCADistribution",
+]

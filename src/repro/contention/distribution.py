@@ -1,0 +1,69 @@
+"""Routes-per-NCA distributions (paper Sec. VII-D, Fig. 4).
+
+Figure 4 plots, for every root (top-level NCA), the number of all-pairs
+routes an algorithm assigns through it.  The striking cases:
+
+* full tree, plain mod-k: perfectly flat (61440/16 = 3840 routes/root);
+* slimmed ``w2 = 10`` tree, plain mod-k: bimodal — digits 10..15 wrap
+  onto roots 0..5, so those roots carry 7680 routes and roots 6..9 only
+  3840;
+* the balanced-random relabeling restores a near-even spread, and Random
+  is even by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.base import RouteTable, RoutingAlgorithm
+
+__all__ = ["routes_per_nca", "nca_distribution_stats", "NCADistribution"]
+
+
+def routes_per_nca(table: RouteTable, level: int | None = None) -> np.ndarray:
+    """Routes through each level-``level`` NCA (default: the roots).
+
+    Only flows whose NCA is exactly at ``level`` are counted (pairs that
+    stay lower never reach those NCAs).  Returns an array indexed by node
+    id at that level.
+    """
+    topo = table.topo
+    level = topo.h if level is None else level
+    mask = table.nca_level == level
+    nodes = table.nca_nodes()[mask]
+    return np.bincount(nodes, minlength=topo.num_nodes(level))
+
+
+@dataclass(frozen=True)
+class NCADistribution:
+    """Summary statistics of a routes-per-NCA census (one Fig.-4 box)."""
+
+    counts: tuple[int, ...]
+    mean: float
+    minimum: int
+    maximum: int
+    spread: int  # max - min
+    stddev: float
+
+
+def nca_distribution_stats(counts: np.ndarray) -> NCADistribution:
+    """Summarize a per-NCA route census."""
+    counts = np.asarray(counts)
+    return NCADistribution(
+        counts=tuple(int(c) for c in counts),
+        mean=float(counts.mean()),
+        minimum=int(counts.min()),
+        maximum=int(counts.max()),
+        spread=int(counts.max() - counts.min()),
+        stddev=float(counts.std()),
+    )
+
+
+def all_pairs_nca_census(
+    algorithm: RoutingAlgorithm, level: int | None = None
+) -> np.ndarray:
+    """Fig. 4's census: all ordered pairs, counted per NCA at ``level``."""
+    table = algorithm.all_pairs_table()
+    return routes_per_nca(table, level=level)

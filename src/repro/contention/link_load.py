@@ -1,0 +1,43 @@
+"""Per-link flow counting (the raw, endpoint-blind load census)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import RouteTable
+
+__all__ = ["link_flow_counts", "busiest_links", "load_histogram"]
+
+
+def link_flow_counts(table: RouteTable, weights: np.ndarray | None = None) -> np.ndarray:
+    """Number of flows (or total weight) traversing each directed link.
+
+    Returns an array of length ``topo.num_directed_links``; index meaning
+    per :meth:`repro.topology.XGFT.describe_link`.
+    """
+    flows, links = table.flow_links()
+    n_links = table.topo.num_directed_links
+    if weights is None:
+        return np.bincount(links, minlength=n_links)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (len(table),):
+        raise ValueError(f"weights must have shape ({len(table)},)")
+    return np.bincount(links, weights=weights[flows], minlength=n_links)
+
+
+def busiest_links(table: RouteTable, top: int = 5) -> list[tuple[int, int, tuple]]:
+    """The ``top`` most loaded links as ``(count, link_idx, description)``."""
+    counts = link_flow_counts(table)
+    order = np.argsort(counts)[::-1][:top]
+    return [
+        (int(counts[i]), int(i), table.topo.describe_link(int(i)))
+        for i in order
+        if counts[i] > 0
+    ]
+
+
+def load_histogram(table: RouteTable) -> dict[int, int]:
+    """Histogram {flows-per-link: number-of-links}, idle links included."""
+    counts = link_flow_counts(table)
+    values, freq = np.unique(counts, return_counts=True)
+    return {int(v): int(f) for v, f in zip(values, freq)}

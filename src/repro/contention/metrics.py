@@ -1,0 +1,126 @@
+"""Endpoint-aware contention metrics (paper Sec. IV and ref. [4]).
+
+The paper distinguishes *endpoint* contention (flows sharing a network
+adapter, unavoidable, routing-independent) from *routing/network*
+contention (flows from different sources to different destinations
+competing for a switch port).  Its metric of interest is the performance
+loss caused by the latter only: "flows experiencing endpoint contention
+can share (part of) their routes without reducing their effective
+end-to-end bandwidth further".
+
+We operationalize this as, per directed link carrying flow set ``F``:
+
+``C(link) = min(#distinct sources in F, #distinct destinations in F)``
+
+Rationale: each distinct source injects at most one link's worth of
+bandwidth, each distinct destination drains at most one; hence the
+aggregate demand on the link — after endpoint serialization is accounted
+for — is bounded by both counts, and the bound is tight for the
+bulk-synchronous equal-size phases the paper evaluates.  Sanity anchors:
+
+* flows from one source to many destinations: ``C = 1`` (free sharing);
+* flows from many sources to one destination: ``C = 1`` (free sharing);
+* a permutation squeezing 16 flows over 2 uplinks: ``C = 8`` — exactly
+  the paper's CG factor-of-eight pathology (Sec. VII-A).
+
+The *contention level of a routed pattern* is the maximum over links
+(paper Sec. VII-B), reported by :func:`max_network_contention`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.base import RouteTable
+
+__all__ = [
+    "link_network_contention",
+    "max_network_contention",
+    "endpoint_contention",
+    "ContentionReport",
+    "contention_report",
+]
+
+
+def _distinct_count_per_link(
+    links: np.ndarray, endpoints: np.ndarray, n_links: int
+) -> np.ndarray:
+    """Number of distinct ``endpoints`` values per link (vectorized)."""
+    if len(links) == 0:
+        return np.zeros(n_links, dtype=np.int64)
+    span = int(endpoints.max()) + 1
+    combos = np.unique(links * span + endpoints)
+    return np.bincount(combos // span, minlength=n_links)
+
+
+def link_network_contention(table: RouteTable) -> np.ndarray:
+    """Per-link endpoint-aware contention ``C`` (module docstring).
+
+    Array of length ``num_directed_links``; zero on idle links.
+    """
+    flows, links = table.flow_links()
+    n_links = table.topo.num_directed_links
+    if len(flows) == 0:
+        return np.zeros(n_links, dtype=np.int64)
+    src = table.src[flows]
+    dst = table.dst[flows]
+    distinct_src = _distinct_count_per_link(links, src, n_links)
+    distinct_dst = _distinct_count_per_link(links, dst, n_links)
+    return np.minimum(distinct_src, distinct_dst)
+
+
+def max_network_contention(table: RouteTable) -> int:
+    """The contention level ``C`` of the routed pattern (Sec. VII-B)."""
+    contention = link_network_contention(table)
+    return int(contention.max()) if len(contention) else 0
+
+
+def endpoint_contention(
+    pairs: list[tuple[int, int]], num_ranks: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-node (sends, receives) counts — the routing-independent floor.
+
+    The completion time of an equal-size bulk phase on an ideal network is
+    proportional to ``max(max sends, max receives)``.
+    """
+    sends = np.zeros(num_ranks, dtype=np.int64)
+    recvs = np.zeros(num_ranks, dtype=np.int64)
+    for s, d in pairs:
+        sends[s] += 1
+        recvs[d] += 1
+    return sends, recvs
+
+
+@dataclass(frozen=True)
+class ContentionReport:
+    """Digest of a routed pattern's contention structure."""
+
+    num_flows: int
+    max_network_contention: int
+    mean_link_contention: float
+    num_contended_links: int
+    max_endpoint_contention: int
+    #: heuristic slowdown floor: network contention relative to the
+    #: serialization the endpoints already impose
+    slowdown_bound: float
+
+
+def contention_report(table: RouteTable) -> ContentionReport:
+    """Compute a :class:`ContentionReport` for a routed pattern."""
+    contention = link_network_contention(table)
+    used = contention[contention > 0]
+    pairs = list(zip(table.src.tolist(), table.dst.tolist()))
+    n = table.topo.num_leaves
+    sends, recvs = endpoint_contention(pairs, n)
+    ep = int(max(sends.max(initial=0), recvs.max(initial=0)))
+    cmax = int(contention.max()) if len(contention) else 0
+    return ContentionReport(
+        num_flows=len(table),
+        max_network_contention=cmax,
+        mean_link_contention=float(used.mean()) if len(used) else 0.0,
+        num_contended_links=int((contention > 1).sum()),
+        max_endpoint_contention=ep,
+        slowdown_bound=(cmax / ep) if ep else 0.0,
+    )

@@ -1,0 +1,63 @@
+"""The paper's primary contribution: oblivious routing schemes for XGFTs.
+
+Contents (paper Sec. V and VIII):
+
+* :class:`~repro.core.route.Route` — up*/down* route representation;
+* :class:`~repro.core.base.RoutingAlgorithm` / :class:`~repro.core.base.RouteTable`
+  — the algorithm interface and the vectorized batch table;
+* classic schemes: :class:`~repro.core.smodk.SModK`,
+  :class:`~repro.core.dmodk.DModK`, :class:`~repro.core.random_nca.RandomNCA`;
+* the proposed family: :class:`~repro.core.rnca.RNCAUp`,
+  :class:`~repro.core.rnca.RNCADown` over
+  :class:`~repro.core.relabel.RelabelMaps`;
+* the pattern-aware baseline: :class:`~repro.core.colored.Colored`;
+* LFT export: :mod:`repro.core.forwarding`;
+* the name registry: :mod:`repro.core.factory`.
+"""
+
+from .base import RouteTable, RoutingAlgorithm
+from .colored import Colored, bipartite_edge_coloring
+from .dmodk import DModK
+from .factory import (
+    DETERMINISTIC_ALGORITHMS,
+    RANDOMIZED_ALGORITHMS,
+    available_algorithms,
+    make_algorithm,
+    register_algorithm,
+)
+from .forwarding import ForwardingTables, InconsistentRouteError, build_forwarding_tables
+from .heuristics import AutoModK, BestOfKRNCA
+from .random_nca import RandomNCA, splitmix64
+from .relabel import RelabelMaps, balanced_random_map, mod_map
+from .rnca import RNCADown, RNCAUp
+from .route import Route, RouteError
+from .smodk import SModK, source_digit_port
+
+__all__ = [
+    "Route",
+    "RouteError",
+    "RoutingAlgorithm",
+    "RouteTable",
+    "SModK",
+    "DModK",
+    "RandomNCA",
+    "RNCAUp",
+    "RNCADown",
+    "RelabelMaps",
+    "balanced_random_map",
+    "mod_map",
+    "Colored",
+    "bipartite_edge_coloring",
+    "AutoModK",
+    "BestOfKRNCA",
+    "ForwardingTables",
+    "build_forwarding_tables",
+    "InconsistentRouteError",
+    "make_algorithm",
+    "available_algorithms",
+    "register_algorithm",
+    "DETERMINISTIC_ALGORITHMS",
+    "RANDOMIZED_ALGORITHMS",
+    "source_digit_port",
+    "splitmix64",
+]

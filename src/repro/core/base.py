@@ -1,0 +1,238 @@
+"""Routing-algorithm interface and the vectorized route table.
+
+Two tiers of API:
+
+* :class:`RoutingAlgorithm` — produces one :class:`~repro.core.route.Route`
+  per ``(src, dst)`` query.  *Oblivious* algorithms answer from the pair
+  alone (plus internal, pattern-independent state such as seeds); the
+  pattern-aware ``Colored`` baseline instead derives its answers from a
+  whole pattern handed to :meth:`RoutingAlgorithm.prepare`.
+* :class:`RouteTable` — a struct-of-arrays batch of routes for a set of
+  pairs, with NumPy-vectorized expansion into directed-link indices (the
+  hot path of every contention census and of the fluid simulator).
+
+Algorithms whose per-level port choice is a pure function of endpoint
+label digits (S-mod-k, D-mod-k, the r-NCA family, Random) implement
+:meth:`RoutingAlgorithm.port_array` and get fully vectorized table
+construction for free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..topology import XGFT
+from .route import Route
+
+__all__ = ["RoutingAlgorithm", "RouteTable"]
+
+
+class RouteTable:
+    """Routes for a batch of ``(src, dst)`` pairs, stored as arrays.
+
+    Attributes
+    ----------
+    topo:
+        The topology the routes live in.
+    src, dst:
+        ``(F,)`` int64 arrays of leaf ids.
+    nca_level:
+        ``(F,)`` int64 array; entry ``f`` is the NCA level of pair ``f``.
+    ports:
+        ``(F, h)`` int64 array; ``ports[f, i]`` is the up-port taken at
+        level ``i`` for flow ``f`` (entries at ``i >= nca_level[f]`` are 0
+        and unused).
+    """
+
+    def __init__(
+        self,
+        topo: XGFT,
+        src: np.ndarray,
+        dst: np.ndarray,
+        nca_level: np.ndarray,
+        ports: np.ndarray,
+    ):
+        self.topo = topo
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.nca_level = np.asarray(nca_level, dtype=np.int64)
+        self.ports = np.asarray(ports, dtype=np.int64)
+        if self.ports.shape != (len(self.src), topo.h):
+            raise ValueError(
+                f"ports must have shape (F, h)={(len(self.src), topo.h)}, got {self.ports.shape}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def route(self, f: int) -> Route:
+        """Materialize flow ``f`` as a :class:`Route`."""
+        lvl = int(self.nca_level[f])
+        return Route(int(self.src[f]), int(self.dst[f]), tuple(int(p) for p in self.ports[f, :lvl]))
+
+    def routes(self) -> Iterator[Route]:
+        """Iterate all routes (slow path; use the arrays for analysis)."""
+        for f in range(len(self)):
+            yield self.route(f)
+
+    def validate(self) -> None:
+        """Validate every route (test/diagnostic helper)."""
+        for r in self.routes():
+            r.validate(self.topo)
+
+    # ------------------------------------------------------------------
+    # Vectorized link expansion
+    # ------------------------------------------------------------------
+    def flow_links(self) -> tuple[np.ndarray, np.ndarray]:
+        """COO expansion ``(flow_idx, link_idx)`` of all traversed links.
+
+        For every flow ``f`` with NCA level ``l`` the expansion contains
+        ``2*l`` entries: the up links at levels ``0..l-1`` and the down
+        links at the same levels (see :class:`~repro.core.route.Route`).
+        """
+        topo = self.topo
+        flows: list[np.ndarray] = []
+        links: list[np.ndarray] = []
+        # r_prefix[f] accumulates the mixed-radix value of ports[:, :i]
+        # (the W_1..W_i digits shared by the up and down path nodes).
+        r_prefix = np.zeros(len(self), dtype=np.int64)
+        up_base = 0
+        for i in range(topo.h):
+            active = np.nonzero(self.nca_level > i)[0]
+            if len(active) == 0:
+                break
+            p_i = topo.mprod(i)
+            wp_i = topo.wprod(i)
+            w_next = topo.w[i]
+            port = self.ports[active, i]
+            up_node = (self.src[active] // p_i) * wp_i + r_prefix[active]
+            down_node = (self.dst[active] // p_i) * wp_i + r_prefix[active]
+            up_idx = up_base + up_node * w_next + port
+            down_idx = topo.num_links_per_direction + up_base + down_node * w_next + port
+            flows.append(active)
+            links.append(up_idx)
+            flows.append(active)
+            links.append(down_idx)
+            r_prefix[active] += port * wp_i
+            up_base += topo.num_up_links(i)
+        if not flows:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(flows), np.concatenate(links)
+
+    def nca_nodes(self) -> np.ndarray:
+        """``(F,)`` array: the chosen NCA node id of every flow.
+
+        Note the id is only meaningful together with ``nca_level``; flows
+        with ``nca_level == 0`` (self-pairs) report their own leaf id.
+        """
+        topo = self.topo
+        out = np.empty(len(self), dtype=np.int64)
+        r_prefix = np.zeros(len(self), dtype=np.int64)
+        done = self.nca_level == 0
+        out[done] = self.src[done]
+        for i in range(topo.h):
+            active = self.nca_level > i
+            if not active.any():
+                break
+            r_prefix[active] += self.ports[active, i] * topo.wprod(i)
+            arrived = self.nca_level == i + 1
+            out[arrived] = (
+                self.src[arrived] // topo.mprod(i + 1)
+            ) * topo.wprod(i + 1) + r_prefix[arrived]
+        return out
+
+    def concat(self, other: "RouteTable") -> "RouteTable":
+        """Concatenate two tables over the same topology."""
+        if other.topo != self.topo:
+            raise ValueError("cannot concatenate tables over different topologies")
+        return RouteTable(
+            self.topo,
+            np.concatenate([self.src, other.src]),
+            np.concatenate([self.dst, other.dst]),
+            np.concatenate([self.nca_level, other.nca_level]),
+            np.vstack([self.ports, other.ports]),
+        )
+
+
+class RoutingAlgorithm(ABC):
+    """Common interface of all routing schemes in this package.
+
+    Subclasses must provide :attr:`name` and either :meth:`up_ports`
+    (scalar) or :meth:`port_array` (vectorized digit-wise choice); the
+    default implementations derive one from the other.
+    """
+
+    #: short identifier used by the factory, reports and plots
+    name: str = "abstract"
+
+    def __init__(self, topo: XGFT):
+        self.topo = topo
+
+    # -- pattern hook ---------------------------------------------------
+    def prepare(self, pairs: Sequence[tuple[int, int]]) -> None:
+        """Observe the communication pattern before routing it.
+
+        Oblivious algorithms ignore this (that is what *oblivious* means);
+        the pattern-aware Colored baseline overrides it.  Called by
+        :meth:`build_table` with the exact pair list being routed.
+        """
+
+    # -- scalar interface -------------------------------------------------
+    def up_ports(self, src: int, dst: int) -> tuple[int, ...]:
+        """Up-port sequence ``<r_0..r_{l-1}>`` for the pair (default: via port_array)."""
+        lvl = self.topo.nca_level(src, dst)
+        s = np.asarray([src], dtype=np.int64)
+        d = np.asarray([dst], dtype=np.int64)
+        return tuple(int(self.port_array(i, s, d)[0]) for i in range(lvl))
+
+    def route(self, src: int, dst: int) -> Route:
+        """The route for a single pair."""
+        return Route(src, dst, self.up_ports(src, dst))
+
+    # -- vectorized interface ----------------------------------------------
+    def port_array(self, level: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Vectorized up-port choice at ``level`` for pair arrays.
+
+        Only called for pairs whose NCA is *above* ``level``.  The default
+        falls back to scalar :meth:`up_ports`; digit-wise algorithms
+        override this with pure NumPy.
+        """
+        out = np.empty(len(src), dtype=np.int64)
+        for i, (s, d) in enumerate(zip(src.tolist(), dst.tolist())):
+            out[i] = self.up_ports(s, d)[level]
+        return out
+
+    def build_table(self, pairs: Iterable[tuple[int, int]]) -> RouteTable:
+        """Route a batch of pairs into a :class:`RouteTable`."""
+        pair_list = [(int(s), int(d)) for s, d in pairs]
+        self.prepare(pair_list)
+        if pair_list:
+            src = np.asarray([p[0] for p in pair_list], dtype=np.int64)
+            dst = np.asarray([p[1] for p in pair_list], dtype=np.int64)
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+        nca = self.topo.nca_level_array(src, dst)
+        ports = np.zeros((len(src), self.topo.h), dtype=np.int64)
+        for level in range(self.topo.h):
+            active = np.nonzero(nca > level)[0]
+            if len(active) == 0:
+                break
+            ports[active, level] = self.port_array(level, src[active], dst[active])
+        return RouteTable(self.topo, src, dst, nca, ports)
+
+    def all_pairs_table(self, include_self: bool = False) -> RouteTable:
+        """Route every ordered leaf pair (used by the Fig.-4 route census)."""
+        n = self.topo.num_leaves
+        src, dst = np.divmod(np.arange(n * n, dtype=np.int64), n)
+        if not include_self:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        return self.build_table(zip(src.tolist(), dst.tolist()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(topo={self.topo.spec()})"

@@ -1,0 +1,71 @@
+"""Name-based construction of routing algorithms.
+
+The experiment harness, CLI and benchmarks refer to algorithms by the
+names used in the paper's plots (``s-mod-k``, ``d-mod-k``, ``random``,
+``r-nca-u``, ``r-nca-d``, ``colored``); this registry turns those names
+into configured instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..topology import XGFT
+from .base import RoutingAlgorithm
+from .colored import Colored
+from .dmodk import DModK
+from .heuristics import AutoModK, BestOfKRNCA
+from .random_nca import RandomNCA
+from .rnca import RNCADown, RNCAUp
+from .smodk import SModK
+
+__all__ = [
+    "make_algorithm",
+    "available_algorithms",
+    "register_algorithm",
+    "DETERMINISTIC_ALGORITHMS",
+    "RANDOMIZED_ALGORITHMS",
+]
+
+_BUILDERS: Dict[str, Callable[..., RoutingAlgorithm]] = {
+    SModK.name: lambda topo, seed=0, **kw: SModK(topo),
+    DModK.name: lambda topo, seed=0, **kw: DModK(topo),
+    RandomNCA.name: lambda topo, seed=0, **kw: RandomNCA(topo, seed=seed),
+    RNCAUp.name: lambda topo, seed=0, **kw: RNCAUp(topo, seed=seed, **kw),
+    RNCADown.name: lambda topo, seed=0, **kw: RNCADown(topo, seed=seed, **kw),
+    Colored.name: lambda topo, seed=0, **kw: Colored(topo, seed=seed, **kw),
+    AutoModK.name: lambda topo, seed=0, **kw: AutoModK(topo),
+    BestOfKRNCA.name: lambda topo, seed=0, **kw: BestOfKRNCA(topo, seed=seed, **kw),
+}
+
+#: algorithms whose routes do not depend on a seed
+DETERMINISTIC_ALGORITHMS = (SModK.name, DModK.name)
+#: algorithms evaluated over many seeds in the paper's boxplots
+RANDOMIZED_ALGORITHMS = (RandomNCA.name, RNCAUp.name, RNCADown.name)
+
+
+def register_algorithm(name: str, builder: Callable[..., RoutingAlgorithm]) -> None:
+    """Register a custom algorithm (see ``examples/custom_routing_algorithm.py``).
+
+    ``builder(topo, seed=..., **kwargs)`` must return a
+    :class:`~repro.core.base.RoutingAlgorithm`.
+    """
+    if name in _BUILDERS:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _BUILDERS[name] = builder
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Registered algorithm names."""
+    return tuple(sorted(_BUILDERS))
+
+
+def make_algorithm(name: str, topo: XGFT, seed: int = 0, **kwargs) -> RoutingAlgorithm:
+    """Instantiate an algorithm by its paper name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        ) from None
+    return builder(topo, seed=seed, **kwargs)

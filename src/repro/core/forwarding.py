@@ -1,0 +1,124 @@
+"""Per-switch destination-based forwarding tables (LFT export).
+
+Destination-deterministic schemes (D-mod-k, r-NCA-d and — trivially —
+any scheme restricted to a fixed pattern) can be realized on real
+hardware as per-switch *linear forwarding tables*: each switch maps a
+destination leaf id to one output port, as OpenSM does for InfiniBand
+fat trees.  This module materializes those tables from any
+:class:`~repro.core.base.RoutingAlgorithm` and verifies consistency
+(source-dependent schemes like S-mod-k cannot be expressed this way and
+are rejected with a diagnostic).
+
+Port numbering convention for a switch at level ``l``: down-ports
+``0..m_l-1`` first, then up-ports ``m_l..m_l+w_{l+1}-1`` (matching the
+paper's "local output ports ... numbered from 0 to w_{l+1}-1" for the
+ascending part, shifted past the descending ports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..topology import XGFT
+from .base import RoutingAlgorithm
+
+__all__ = ["ForwardingTables", "build_forwarding_tables", "InconsistentRouteError"]
+
+
+class InconsistentRouteError(ValueError):
+    """A routing scheme required two different ports for one (switch, destination)."""
+
+
+@dataclass
+class ForwardingTables:
+    """Destination-indexed output-port tables for every switch.
+
+    ``tables[(level, node)][dst] = port`` with the port numbering of the
+    module docstring.  Missing entries mean the switch never forwards to
+    that destination under the routes the tables were built from.
+    """
+
+    topo: XGFT
+    tables: Dict[tuple[int, int], Dict[int, int]] = field(default_factory=dict)
+
+    def port_for(self, level: int, node: int, dst: int) -> int:
+        """Output port of switch ``(level, node)`` towards leaf ``dst``."""
+        return self.tables[(level, node)][dst]
+
+    def walk(self, src: int, dst: int, max_hops: int | None = None) -> list[tuple[int, int]]:
+        """Follow the tables from ``src`` to ``dst``; returns the node path.
+
+        Raises ``KeyError`` if a switch has no entry for ``dst`` and
+        ``RuntimeError`` on a forwarding loop (longer than ``max_hops``).
+        """
+        topo = self.topo
+        if max_hops is None:
+            max_hops = 2 * topo.h + 2
+        path = [(0, src)]
+        level, node = 0, src
+        # first hop: a leaf has only up-ports; take the one recorded for it
+        while (level, node) != (0, dst):
+            if len(path) > max_hops:
+                raise RuntimeError(f"forwarding loop routing {src}->{dst}: {path}")
+            if level == 0:
+                port = self.tables[(0, node)][dst]
+                level, node = 1, topo.up_neighbor(0, node, port)
+            else:
+                port = self.tables[(level, node)][dst]
+                m_l = topo.m[level - 1]
+                if port < m_l:
+                    level, node = level - 1, topo.down_neighbor(level, node, port)
+                else:
+                    level, node = level + 1, topo.up_neighbor(level, node, port - m_l)
+            path.append((level, node))
+        return path
+
+
+def build_forwarding_tables(
+    algorithm: RoutingAlgorithm, destinations: list[int] | None = None
+) -> ForwardingTables:
+    """Build per-switch LFTs by tracing every (src, dst) route.
+
+    Raises :class:`InconsistentRouteError` if the algorithm's routes are
+    not destination-deterministic (two sources would need different ports
+    at the same switch for the same destination).
+    """
+    topo = algorithm.topo
+    if destinations is None:
+        destinations = list(topo.leaves())
+    out = ForwardingTables(topo)
+
+    def record(level: int, node: int, dst: int, port: int) -> None:
+        table = out.tables.setdefault((level, node), {})
+        prev = table.get(dst)
+        if prev is None:
+            table[dst] = port
+        elif prev != port:
+            raise InconsistentRouteError(
+                f"switch (level={level}, node={node}) would need both port "
+                f"{prev} and port {port} for destination {dst}; the scheme "
+                f"({algorithm.name}) is not destination-deterministic"
+            )
+
+    for dst in destinations:
+        for src in topo.leaves():
+            if src == dst:
+                continue
+            route = algorithm.route(src, dst)
+            lvl = route.nca_level
+            # ascending part: at the leaf and at levels 1..lvl-1 record up-ports
+            node = src
+            record(0, src, dst, route.up_ports[0])
+            node = topo.up_neighbor(0, src, route.up_ports[0])
+            for i in range(1, lvl):
+                m_l = topo.m[i - 1]
+                record(i, node, dst, m_l + route.up_ports[i])
+                node = topo.up_neighbor(i, node, route.up_ports[i])
+            # descending part: record down-ports along the unique path to dst
+            for i in range(lvl, 0, -1):
+                down_port = (dst // topo.mprod(i - 1)) % topo.m[i - 1]
+                record(i, node, dst, down_port)
+                node = topo.down_neighbor(i, node, down_port)
+            assert node == dst, "descending walk must terminate at the destination"
+    return out

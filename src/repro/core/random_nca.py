@@ -1,0 +1,70 @@
+"""Static random oblivious routing (paper Sec. V, refs [16], [17]).
+
+For every ``(src, dst)`` pair an NCA is chosen uniformly at random among
+the candidates, i.e. every up-port at every level is drawn uniformly.
+The choice is *static*: the same pair always receives the same route
+(this is the default mechanism of Myrinet and InfiniBand mentioned in
+the paper, where routes are installed once and reused).
+
+Determinism without storing a table: ports are derived from a splitmix64
+hash of ``(seed, src, dst, level)``, which behaves as a random oracle and
+vectorizes cleanly.  The modulo bias for realistic ``w`` (< 2^16) against
+a 64-bit hash is far below anything observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology import XGFT
+from .base import RoutingAlgorithm
+
+__all__ = ["RandomNCA", "splitmix64"]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer over a uint64 array (a strong bit mixer)."""
+    x = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        x = (x + _GOLDEN) * np.uint64(1)
+        x ^= x >> np.uint64(30)
+        x *= _MIX1
+        x ^= x >> np.uint64(27)
+        x *= _MIX2
+        x ^= x >> np.uint64(31)
+    return x
+
+
+class RandomNCA(RoutingAlgorithm):
+    """Uniform random NCA assignment per pair, statically fixed.
+
+    Parameters
+    ----------
+    topo:
+        Topology to route.
+    seed:
+        Any integer; two instances with the same seed produce identical
+        routes (reproducible experiments), different seeds independent ones.
+    """
+
+    name = "random"
+
+    def __init__(self, topo: XGFT, seed: int = 0):
+        super().__init__(topo)
+        self.seed = int(seed)
+
+    def port_array(self, level: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        w = self.topo.w[level]
+        if w == 1:
+            return np.zeros(len(src), dtype=np.int64)
+        with np.errstate(over="ignore"):
+            base = splitmix64(
+                np.uint64((self.seed & 0xFFFFFFFF) * 0x1_0000_0001 + level)
+            )
+            h = splitmix64(np.asarray(src, dtype=np.uint64) ^ base)
+            h = splitmix64(h ^ (np.asarray(dst, dtype=np.uint64) + _GOLDEN))
+        return (h % np.uint64(w)).astype(np.int64)

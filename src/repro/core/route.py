@@ -1,0 +1,115 @@
+"""Route representation for NCA (up*/down*) routing in XGFTs.
+
+Section V of the paper: a minimal deadlock-free path between leaves ``s``
+and ``d`` ascends to one of their Nearest Common Ancestors and descends
+along the (unique) path to ``d``.  A route is therefore fully described
+by the sequence of local up-ports ``<r_0, ..., r_{l(s,d)-1}>``; the
+descending half is reconstructed from the destination's ``M`` digits.
+
+A handy structural fact (used throughout the package): the node of the
+*down* path at level ``i`` carries the same low-order ``W`` digits
+``r_0..r_{i-1}`` as the up path, so both the ascending and the descending
+link of a route at level ``i`` are addressed by the same port ``r_i`` —
+only the lower endpoint differs (it hangs below the source on the way up
+and below the destination on the way down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..topology import XGFT
+
+__all__ = ["Route", "RouteError"]
+
+
+class RouteError(ValueError):
+    """Raised when a route is structurally invalid for its topology."""
+
+
+@dataclass(frozen=True)
+class Route:
+    """A single up*/down* route from ``src`` to ``dst``.
+
+    Attributes
+    ----------
+    src, dst:
+        Leaf ids.
+    up_ports:
+        ``(r_0, ..., r_{l-1})`` where ``l`` is the NCA level of the pair.
+        Empty iff ``src == dst``.
+    """
+
+    src: int
+    dst: int
+    up_ports: tuple[int, ...]
+
+    @property
+    def nca_level(self) -> int:
+        """Level of the nearest common ancestor this route climbs to."""
+        return len(self.up_ports)
+
+    def validate(self, topo: XGFT) -> None:
+        """Raise :class:`RouteError` unless the route is valid in ``topo``.
+
+        Checks: endpoints in range, NCA level matches the pair, every
+        up-port within its level's parent count, and -- by construction of
+        the up*/down* expansion -- deadlock freedom (no up link follows a
+        down link).
+        """
+        if not 0 <= self.src < topo.num_leaves:
+            raise RouteError(f"source {self.src} out of range")
+        if not 0 <= self.dst < topo.num_leaves:
+            raise RouteError(f"destination {self.dst} out of range")
+        expected = topo.nca_level(self.src, self.dst)
+        if len(self.up_ports) != expected:
+            raise RouteError(
+                f"route {self.up_ports} has {len(self.up_ports)} hops but the "
+                f"NCA level of ({self.src}, {self.dst}) is {expected}"
+            )
+        for level, port in enumerate(self.up_ports):
+            if not 0 <= port < topo.w[level]:
+                raise RouteError(
+                    f"up-port {port} at level {level} out of range [0, {topo.w[level]})"
+                )
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def nca(self, topo: XGFT) -> tuple[int, int]:
+        """The ``(level, node)`` of the chosen nearest common ancestor."""
+        level = self.nca_level
+        return level, topo.subtree_node(self.src, self.up_ports, level)
+
+    def node_path(self, topo: XGFT) -> list[tuple[int, int]]:
+        """Full node sequence ``[(level, node), ...]`` from src up and down to dst."""
+        lvl = self.nca_level
+        up = [(i, topo.subtree_node(self.src, self.up_ports, i)) for i in range(lvl + 1)]
+        down = [
+            (i, topo.subtree_node(self.dst, self.up_ports, i))
+            for i in range(lvl - 1, -1, -1)
+        ]
+        return up + down
+
+    def links(self, topo: XGFT) -> Iterator[int]:
+        """Dense directed-link indices traversed, ascending links first.
+
+        Uses the symmetry noted in the module docstring: at level ``i`` the
+        route occupies up link ``(i, node_i(src), r_i)`` and down link
+        ``(i, node_i(dst), r_i)``.
+        """
+        for i, port in enumerate(self.up_ports):
+            yield topo.up_link_index(i, topo.subtree_node(self.src, self.up_ports, i), port)
+        for i in range(self.nca_level - 1, -1, -1):
+            yield topo.down_link_index(
+                i, topo.subtree_node(self.dst, self.up_ports, i), self.up_ports[i]
+            )
+
+    def hop_count(self) -> int:
+        """Number of switch-to-switch / host-to-switch hops (2 * NCA level)."""
+        return 2 * self.nca_level
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ports = ",".join(str(p) for p in self.up_ports)
+        return f"{self.src}-><{ports}>->{self.dst}"

@@ -1,0 +1,56 @@
+"""Trace-driven MPI replay (the Dimemas substitute, paper Sec. VI-B).
+
+* :mod:`repro.dimemas.trace` — trace records and text (de)serialization;
+* :mod:`repro.dimemas.tracegen` — synthetic WRF / NAS-CG trace builders;
+* :mod:`repro.dimemas.replay` — the replay engine and its network
+  couplings (fluid XGFT, crossbar);
+* :mod:`repro.dimemas.busmodel` — the classic Dimemas bus model.
+"""
+
+from .busmodel import BusTransferNetwork
+from .replay import (
+    CrossbarTransferNetwork,
+    FluidTransferNetwork,
+    ReplayEngine,
+    ReplayResult,
+    TransferNetwork,
+    replay_on_crossbar,
+    replay_on_xgft,
+)
+from .trace import (
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    Record,
+    Recv,
+    Send,
+    SendRecv,
+    Trace,
+    WaitAll,
+)
+from .tracegen import cg_trace, pattern_trace, wrf_trace
+
+__all__ = [
+    "Trace",
+    "Record",
+    "Compute",
+    "Send",
+    "Recv",
+    "Isend",
+    "Irecv",
+    "WaitAll",
+    "SendRecv",
+    "Barrier",
+    "ReplayEngine",
+    "ReplayResult",
+    "TransferNetwork",
+    "FluidTransferNetwork",
+    "CrossbarTransferNetwork",
+    "BusTransferNetwork",
+    "replay_on_xgft",
+    "replay_on_crossbar",
+    "wrf_trace",
+    "cg_trace",
+    "pattern_trace",
+]

@@ -1,0 +1,368 @@
+"""Trace-driven MPI replay coupled to a network model (Dimemas + Venus).
+
+The paper co-simulates: Dimemas replays the MPI call sequence and asks
+the network simulator for transfer times, which in turn depend on the
+routes and on which transfers overlap.  This module is that coupling:
+
+* each rank executes its :class:`~repro.dimemas.trace.Trace` program,
+  blocking on MPI semantics (rendezvous sends, matching receives,
+  waitall, barriers);
+* point-to-point transfers are handed to a *transfer network* — any
+  object implementing :class:`TransferNetwork` — which simulates them
+  with whatever fidelity it provides (max-min fluid over an XGFT, the
+  ideal crossbar, or the classic Dimemas bus model in
+  :mod:`repro.dimemas.busmodel`);
+* the replay clock and the network clock advance in lockstep.
+
+Message matching uses (src, dst, tag) FIFO order — the MPI
+non-overtaking rule — and a transfer begins when *both* sides have
+posted (rendezvous; appropriate for the paper's multi-hundred-KB
+messages, which are far above any eager threshold).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from abc import ABC, abstractmethod
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.base import RoutingAlgorithm
+from ..sim.config import NetworkConfig, PAPER_CONFIG
+from ..sim.fluid import FluidSimulator
+from ..sim.network import crossbar_link_space, xgft_link_space
+from ..topology import XGFT
+from .trace import (
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    Recv,
+    Record,
+    Send,
+    SendRecv,
+    Trace,
+    WaitAll,
+)
+
+__all__ = [
+    "TransferNetwork",
+    "FluidTransferNetwork",
+    "CrossbarTransferNetwork",
+    "ReplayResult",
+    "ReplayEngine",
+    "replay_on_xgft",
+    "replay_on_crossbar",
+]
+
+_EPS = 1e-12
+
+
+class TransferNetwork(ABC):
+    """Minimal interface the replay engine needs from a network model."""
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Current simulated time of the network model."""
+
+    @abstractmethod
+    def start_transfer(self, transfer_id: int, src: int, dst: int, size: int) -> None:
+        """Begin a transfer at the current time."""
+
+    @abstractmethod
+    def next_completion_time(self) -> float | None:
+        """Absolute time of the next completion, or None when idle."""
+
+    @abstractmethod
+    def advance_to(self, t: float) -> list[int]:
+        """Advance the clock to ``t`` (never past the next completion);
+        return ids of transfers that completed exactly at ``t``."""
+
+
+class FluidTransferNetwork(TransferNetwork):
+    """Max-min fluid XGFT network for the replay engine.
+
+    Routes come from a :class:`~repro.core.base.RoutingAlgorithm`;
+    ``mapping[rank]`` places ranks on leaves (sequential default).
+    """
+
+    def __init__(
+        self,
+        topo: XGFT,
+        algorithm: RoutingAlgorithm,
+        config: NetworkConfig = PAPER_CONFIG,
+        mapping: Sequence[int] | None = None,
+    ):
+        self.topo = topo
+        self.algorithm = algorithm
+        self.space = xgft_link_space(topo)
+        self.sim = FluidSimulator(self.space.num_links, config.link_bandwidth)
+        self.mapping = list(mapping) if mapping is not None else list(range(topo.num_leaves))
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def start_transfer(self, transfer_id: int, src: int, dst: int, size: int) -> None:
+        s, d = self.mapping[src], self.mapping[dst]
+        route = self.algorithm.route(s, d)
+        links = list(route.links(self.topo))
+        links.append(self.space.injection(s))
+        links.append(self.space.ejection(d))
+        self.sim.add_flow(transfer_id, links, float(size))
+
+    def next_completion_time(self) -> float | None:
+        return self.sim.next_completion_time()
+
+    def advance_to(self, t: float) -> list[int]:
+        return [r.flow_id for r in self.sim.advance_to(t)]
+
+
+class CrossbarTransferNetwork(TransferNetwork):
+    """The ideal single-stage crossbar as a replay network."""
+
+    def __init__(
+        self,
+        num_leaves: int,
+        config: NetworkConfig = PAPER_CONFIG,
+        mapping: Sequence[int] | None = None,
+    ):
+        self.space = crossbar_link_space(num_leaves)
+        self.sim = FluidSimulator(self.space.num_links, config.link_bandwidth)
+        self.mapping = list(mapping) if mapping is not None else list(range(num_leaves))
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def start_transfer(self, transfer_id: int, src: int, dst: int, size: int) -> None:
+        s, d = self.mapping[src], self.mapping[dst]
+        self.sim.add_flow(
+            transfer_id, [self.space.injection(s), self.space.ejection(d)], float(size)
+        )
+
+    def next_completion_time(self) -> float | None:
+        return self.sim.next_completion_time()
+
+    def advance_to(self, t: float) -> list[int]:
+        return [r.flow_id for r in self.sim.advance_to(t)]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of a trace replay."""
+
+    total_time: float
+    rank_finish: tuple[float, ...]
+    num_transfers: int
+
+    @property
+    def makespan(self) -> float:
+        return self.total_time
+
+
+class _RankState:
+    __slots__ = ("pc", "time", "blocked", "outstanding", "expanded")
+
+    def __init__(self) -> None:
+        self.pc = 0  # program counter into the trace program
+        self.time = 0.0  # local clock
+        self.blocked: str | None = None  # None / "waitall" / "barrier"
+        self.outstanding: set[int] = set()  # pending op ids
+        # Send/Recv/SendRecv are expanded into primitive ops lazily
+        self.expanded: deque[Record] = deque()
+
+
+class ReplayEngine:
+    """Replays a trace over a transfer network (deterministic)."""
+
+    def __init__(self, trace: Trace, network: TransferNetwork):
+        self.trace = trace
+        self.network = network
+        self._ranks = [_RankState() for _ in range(trace.num_ranks)]
+        # rendezvous matching queues keyed by (src, dst, tag), FIFO
+        self._pending_sends: defaultdict[tuple[int, int, int], deque] = defaultdict(deque)
+        self._pending_recvs: defaultdict[tuple[int, int, int], deque] = defaultdict(deque)
+        self._next_op = 0
+        self._next_transfer = 0
+        #: transfer id -> (send op, recv op, sender rank, receiver rank)
+        self._transfers: dict[int, tuple[int, int, int, int]] = {}
+        self._barrier_waiting: set[int] = set()
+        self._ready: list[tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    def run(self, max_iterations: int | None = None) -> ReplayResult:
+        ready = self._ready
+        for r in range(self.trace.num_ranks):
+            heapq.heappush(ready, (0.0, r))
+        iterations = 0
+        while ready or self.network.next_completion_time() is not None:
+            iterations += 1
+            if max_iterations is not None and iterations > max_iterations:
+                raise RuntimeError("replay exceeded its iteration budget")
+            t_rank = ready[0][0] if ready else math.inf
+            t_net = self.network.next_completion_time()
+            t_net = math.inf if t_net is None else t_net
+            if t_net < t_rank - _EPS:
+                for tid in self.network.advance_to(t_net):
+                    self._complete_transfer(tid, t_net)
+                continue
+            if not ready:  # pragma: no cover - defensive
+                break
+            t, rank = heapq.heappop(ready)
+            # catch the network up to the rank event, absorbing any
+            # completions that land exactly on the way
+            target = min(t, t_net)
+            for tid in self.network.advance_to(target):
+                self._complete_transfer(tid, self.network.now)
+            if self.network.now < t - _EPS:
+                heapq.heappush(ready, (t, rank))
+                continue
+            self._step_rank(rank, t)
+
+        times = tuple(st.time for st in self._ranks)
+        unfinished = [
+            r
+            for r, st in enumerate(self._ranks)
+            if st.pc < len(self.trace.programs[r]) or st.expanded or st.blocked
+        ]
+        if unfinished:
+            raise RuntimeError(
+                f"replay deadlock: ranks {unfinished[:8]} did not finish "
+                "(unmatched sends/recvs or a barrier mismatch in the trace?)"
+            )
+        return ReplayResult(max(times, default=0.0), times, self._next_transfer)
+
+    def _wake(self, rank: int, t: float) -> None:
+        heapq.heappush(self._ready, (t, rank))
+
+    # ------------------------------------------------------------------
+    def _step_rank(self, rank: int, t: float) -> None:
+        """Run ``rank`` from time ``t`` until it blocks or finishes."""
+        st = self._ranks[rank]
+        st.time = max(st.time, t)
+        prog = self.trace.programs[rank]
+        while True:
+            if st.expanded:
+                rec = st.expanded.popleft()
+            elif st.pc < len(prog):
+                rec = prog[st.pc]
+                st.pc += 1
+            else:
+                return  # program finished
+            if isinstance(rec, Compute):
+                st.time += rec.duration
+                self._wake(rank, st.time)
+                return
+            if isinstance(rec, SendRecv):
+                st.expanded.extend(
+                    [Irecv(rec.peer, rec.tag), Isend(rec.peer, rec.size, rec.tag), WaitAll()]
+                )
+                continue
+            if isinstance(rec, Send):
+                st.expanded.extend([Isend(rec.dst, rec.size, rec.tag), WaitAll()])
+                continue
+            if isinstance(rec, Recv):
+                st.expanded.extend([Irecv(rec.src, rec.tag), WaitAll()])
+                continue
+            if isinstance(rec, Isend):
+                self._post_send(rank, rec)
+                continue
+            if isinstance(rec, Irecv):
+                self._post_recv(rank, rec)
+                continue
+            if isinstance(rec, WaitAll):
+                if st.outstanding:
+                    st.blocked = "waitall"
+                    return
+                continue
+            if isinstance(rec, Barrier):
+                self._barrier_waiting.add(rank)
+                if len(self._barrier_waiting) == self.trace.num_ranks:
+                    release = max(
+                        self._ranks[r].time for r in self._barrier_waiting
+                    )
+                    for r in sorted(self._barrier_waiting):
+                        other = self._ranks[r]
+                        other.blocked = None
+                        other.time = max(other.time, release)
+                        if r != rank:
+                            self._wake(r, other.time)
+                    self._barrier_waiting.clear()
+                    st.time = max(st.time, release)
+                    continue
+                st.blocked = "barrier"
+                return
+            raise TypeError(f"unknown record {rec!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Posting and matching
+    # ------------------------------------------------------------------
+    def _new_op(self, rank: int) -> int:
+        op = self._next_op
+        self._next_op += 1
+        self._ranks[rank].outstanding.add(op)
+        return op
+
+    def _post_send(self, rank: int, rec: Isend) -> None:
+        op = self._new_op(rank)
+        key = (rank, rec.dst, rec.tag)
+        recvs = self._pending_recvs[key]
+        if recvs:
+            recv_op, recv_rank = recvs.popleft()
+            self._launch(op, recv_op, rank, recv_rank, rec.size)
+        else:
+            self._pending_sends[key].append((op, rank, rec.size))
+
+    def _post_recv(self, rank: int, rec: Irecv) -> None:
+        op = self._new_op(rank)
+        key = (rec.src, rank, rec.tag)
+        sends = self._pending_sends[key]
+        if sends:
+            send_op, send_rank, size = sends.popleft()
+            self._launch(send_op, op, send_rank, rank, size)
+        else:
+            self._pending_recvs[key].append((op, rank))
+
+    def _launch(self, send_op: int, recv_op: int, src: int, dst: int, size: int) -> None:
+        tid = self._next_transfer
+        self._next_transfer += 1
+        self._transfers[tid] = (send_op, recv_op, src, dst)
+        self.network.start_transfer(tid, src, dst, size)
+
+    def _complete_transfer(self, tid: int, t: float) -> None:
+        send_op, recv_op, src, dst = self._transfers.pop(tid)
+        for rank, op in ((src, send_op), (dst, recv_op)):
+            st = self._ranks[rank]
+            st.outstanding.discard(op)
+            if st.blocked == "waitall" and not st.outstanding:
+                st.blocked = None
+                st.time = max(st.time, t)
+                self._wake(rank, st.time)
+
+
+# ----------------------------------------------------------------------
+# Convenience drivers
+# ----------------------------------------------------------------------
+def replay_on_xgft(
+    trace: Trace,
+    topo: XGFT,
+    algorithm: RoutingAlgorithm,
+    config: NetworkConfig = PAPER_CONFIG,
+    mapping: Sequence[int] | None = None,
+) -> ReplayResult:
+    """Replay a trace on an XGFT with a given routing scheme."""
+    return ReplayEngine(trace, FluidTransferNetwork(topo, algorithm, config, mapping)).run()
+
+
+def replay_on_crossbar(
+    trace: Trace,
+    num_leaves: int,
+    config: NetworkConfig = PAPER_CONFIG,
+    mapping: Sequence[int] | None = None,
+) -> ReplayResult:
+    """Replay a trace on the ideal Full-Crossbar reference."""
+    return ReplayEngine(trace, CrossbarTransferNetwork(num_leaves, config, mapping)).run()

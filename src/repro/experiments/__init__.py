@@ -1,0 +1,60 @@
+"""The figure/table regeneration harness (paper Secs. VI, VII, IX).
+
+One function per paper artifact (:mod:`repro.experiments.figures`),
+slowdown measurement vs the Full-Crossbar
+(:mod:`repro.experiments.slowdown`), boxplot statistics
+(:mod:`repro.experiments.stats`) and plain-text rendering
+(:mod:`repro.experiments.report`).
+"""
+
+from .figures import (
+    DETERMINISTIC,
+    RANDOMIZED,
+    EquivalenceResult,
+    Fig3Result,
+    Fig4Result,
+    FigureSweep,
+    SweepSeries,
+    application_pattern,
+    equivalence,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    table1,
+)
+from .report import (
+    format_equivalence,
+    format_fig3,
+    format_fig4,
+    format_sweep,
+    format_table1,
+)
+from .slowdown import crossbar_time, slowdown
+from .stats import BoxStats, box_stats
+
+__all__ = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "table1",
+    "equivalence",
+    "FigureSweep",
+    "SweepSeries",
+    "Fig3Result",
+    "Fig4Result",
+    "EquivalenceResult",
+    "application_pattern",
+    "slowdown",
+    "crossbar_time",
+    "BoxStats",
+    "box_stats",
+    "format_sweep",
+    "format_fig3",
+    "format_fig4",
+    "format_table1",
+    "format_equivalence",
+    "DETERMINISTIC",
+    "RANDOMIZED",
+]

@@ -1,0 +1,56 @@
+"""Boxplot statistics for the multi-seed experiments (paper Sec. IX).
+
+"We use boxplots in the graphs that show the median (as a thick line
+within the box), and the 25 and 75 percentiles (bottom and top lines of
+the box), along with the minimum and maximum as whiskerbars.  Every box
+plot is computed from 40 to 60 samples of each algorithm using a
+different seed."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["BoxStats", "box_stats"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary of a sample set (one box of Fig. 4/5)."""
+
+    n: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def as_row(self, precision: int = 3) -> str:
+        fmt = f"{{:.{precision}f}}"
+        return " ".join(
+            fmt.format(x)
+            for x in (self.minimum, self.q1, self.median, self.q3, self.maximum)
+        )
+
+
+def box_stats(samples: Sequence[float]) -> BoxStats:
+    """Five-number summary (min, Q1, median, Q3, max) of ``samples``."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    return BoxStats(
+        n=int(arr.size),
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+    )

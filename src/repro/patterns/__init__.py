@@ -1,0 +1,53 @@
+"""Traffic patterns: the data model, permutation algebra, synthetic
+generators and the paper's application workloads (Sec. III and VI-A)."""
+
+from .applications import (
+    CG_PHASE_MESSAGE,
+    WRF_DEFAULT_MESSAGE,
+    cg_grid,
+    cg_pattern,
+    cg_reduce_exchange,
+    cg_transpose_exchange,
+    wrf_exchange,
+    wrf_pattern,
+)
+from .base import Flow, Pattern, Phase
+from .decomposition import decompose_into_permutations, max_endpoint_multiplicity
+from .generators import (
+    bit_complement,
+    bit_reversal,
+    butterfly,
+    hotspot,
+    neighbor_exchange,
+    shift,
+    tornado_groups,
+    transpose,
+    uniform_random_pairs,
+)
+from .permutations import Permutation
+
+__all__ = [
+    "Flow",
+    "Phase",
+    "Pattern",
+    "Permutation",
+    "shift",
+    "transpose",
+    "bit_reversal",
+    "bit_complement",
+    "butterfly",
+    "tornado_groups",
+    "neighbor_exchange",
+    "uniform_random_pairs",
+    "hotspot",
+    "wrf_exchange",
+    "wrf_pattern",
+    "cg_grid",
+    "cg_pattern",
+    "cg_reduce_exchange",
+    "cg_transpose_exchange",
+    "decompose_into_permutations",
+    "max_endpoint_multiplicity",
+    "WRF_DEFAULT_MESSAGE",
+    "CG_PHASE_MESSAGE",
+]

@@ -1,0 +1,66 @@
+"""Decomposition of general patterns into permutations (paper Sec. VII-C).
+
+"Any general pattern G can be decomposed into a certain set of
+permutations, G = U_i P_i."  We realize the decomposition through a
+König edge coloring of the bipartite flow multigraph (sources on the
+left, destinations on the right, one edge per flow): each color class
+touches every source and every destination at most once — a partial
+permutation — and König's theorem guarantees exactly Δ classes, where Δ
+is the maximum endpoint multiplicity.  That optimality matters for the
+Sec. VII-C argument: the contention of a general pattern under S-mod-k /
+D-mod-k is governed by the worst of its permutation rounds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from ..core.colored import bipartite_edge_coloring
+
+__all__ = ["decompose_into_permutations", "max_endpoint_multiplicity"]
+
+
+def max_endpoint_multiplicity(pairs: Iterable[tuple[int, int]]) -> int:
+    """The maximum number of flows sharing one source or one destination.
+
+    This is the degree Δ of the bipartite flow multigraph and therefore
+    the exact number of permutation rounds of an optimal decomposition.
+    """
+    out: defaultdict[int, int] = defaultdict(int)
+    inc: defaultdict[int, int] = defaultdict(int)
+    count = 0
+    for s, d in pairs:
+        out[s] += 1
+        inc[d] += 1
+        count += 1
+    if count == 0:
+        return 0
+    return max(max(out.values()), max(inc.values()))
+
+
+def decompose_into_permutations(
+    pairs: Sequence[tuple[int, int]],
+) -> list[list[tuple[int, int]]]:
+    """Split ``pairs`` into partial permutations covering every flow once.
+
+    Each returned round is a list of pairs with all-distinct sources and
+    all-distinct destinations; the number of rounds equals
+    :func:`max_endpoint_multiplicity` (optimal, by König's edge-coloring
+    theorem).  Duplicate pairs are preserved — each occurrence lands in a
+    different round.
+    """
+    pair_list = [(int(s), int(d)) for s, d in pairs]
+    if not pair_list:
+        return []
+    # compact endpoint ids for the coloring routine
+    sources = sorted({s for s, _ in pair_list})
+    dests = sorted({d for _, d in pair_list})
+    sidx = {s: i for i, s in enumerate(sources)}
+    didx = {d: i for i, d in enumerate(dests)}
+    edges = [(sidx[s], didx[d]) for s, d in pair_list]
+    colors = bipartite_edge_coloring(edges, len(sources), len(dests))
+    rounds: defaultdict[int, list[tuple[int, int]]] = defaultdict(list)
+    for pair, color in zip(pair_list, colors):
+        rounds[color].append(pair)
+    return [sorted(rounds[c]) for c in sorted(rounds)]

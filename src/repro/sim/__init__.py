@@ -1,0 +1,43 @@
+"""Network simulation engines (paper Sec. VI-B).
+
+* :mod:`repro.sim.fluid` — max-min fair fluid model (fast path for the
+  figure sweeps);
+* :mod:`repro.sim.venus` — flit-level event-driven engine (the Venus
+  substitute; used for validation and latency-sensitive studies);
+* :mod:`repro.sim.network` — the link-space glue and the Full-Crossbar
+  reference, shared phase/pattern drivers;
+* :mod:`repro.sim.config` — the paper's network parameters.
+"""
+
+from .config import PAPER_CONFIG, NetworkConfig
+from .events import EventQueue
+from .fluid import FlowResult, FluidSimulator
+from .network import (
+    LinkSpace,
+    PhaseResult,
+    crossbar_link_space,
+    crossbar_pattern_time,
+    crossbar_phase_time,
+    simulate_pattern_fluid,
+    simulate_phase_fluid,
+    xgft_link_space,
+)
+from .venus import VenusPhaseResult, VenusSimulator
+
+__all__ = [
+    "NetworkConfig",
+    "PAPER_CONFIG",
+    "EventQueue",
+    "FluidSimulator",
+    "FlowResult",
+    "LinkSpace",
+    "xgft_link_space",
+    "crossbar_link_space",
+    "PhaseResult",
+    "simulate_phase_fluid",
+    "simulate_pattern_fluid",
+    "crossbar_phase_time",
+    "crossbar_pattern_time",
+    "VenusSimulator",
+    "VenusPhaseResult",
+]

@@ -1,0 +1,76 @@
+"""A minimal deterministic discrete-event kernel.
+
+Shared by the flit-level engine and the replay engine.  Events at equal
+timestamps are ordered by insertion sequence number, which makes every
+simulation run bit-reproducible regardless of dict/heap iteration order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """A time-ordered callback queue.
+
+    ``schedule(t, fn, *args)`` enqueues ``fn(*args)`` at simulated time
+    ``t``; :meth:`run` pops events in (time, insertion) order until the
+    queue drains or ``until`` is reached.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        #: current simulated time (updated as events fire)
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, t: float, fn: Callable, *args: Any) -> None:
+        """Enqueue ``fn(*args)`` at time ``t`` (must not precede ``now``)."""
+        if t < self.now - 1e-12:
+            raise ValueError(f"cannot schedule into the past: {t} < {self.now}")
+        heapq.heappush(self._heap, (t, self._seq, fn, args))
+        self._seq += 1
+
+    def schedule_in(self, dt: float, fn: Callable, *args: Any) -> None:
+        """Enqueue relative to the current time."""
+        self.schedule(self.now + dt, fn, *args)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far (diagnostics)."""
+        return self._processed
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        t, _, fn, args = heapq.heappop(self._heap)
+        self.now = t
+        self._processed += 1
+        fn(*args)
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Drain the queue; returns the final simulated time.
+
+        ``until`` stops the clock at a horizon; ``max_events`` guards
+        against runaway simulations (raises ``RuntimeError``).
+        """
+        fired = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            if max_events is not None and fired >= max_events:
+                raise RuntimeError(f"event budget exceeded ({max_events} events)")
+            self.step()
+            fired += 1
+        return self.now

@@ -1,0 +1,194 @@
+"""Glue between topologies, routing tables, patterns and the engines.
+
+Defines the common *link index space* used by every network model:
+
+* indices ``[0, topo.num_directed_links)`` — the XGFT's inter-level links
+  (per :meth:`repro.topology.XGFT.up_link_index` and friends);
+* then one *injection* link per leaf (host adapter, host -> first switch
+  queue) and one *ejection* link per leaf.
+
+The injection/ejection links are where endpoint contention materializes:
+they exist in every model, including the ideal Full-Crossbar, so
+slowdown ratios measure added *network* contention only — exactly the
+paper's methodology (Sec. VI-B).
+
+Note the modelled adapter links are distinct from the level-0 tree links:
+the level-0 up/down links represent the host-switch cable (shared by the
+same flows as the adapter, so for ``w1 == 1`` they are redundant but
+harmless), while the adapter links exist in all models uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.base import RouteTable
+from ..patterns.base import Pattern, Phase
+from ..topology import XGFT
+from .config import NetworkConfig, PAPER_CONFIG
+from .fluid import FluidSimulator
+
+__all__ = [
+    "LinkSpace",
+    "xgft_link_space",
+    "crossbar_link_space",
+    "PhaseResult",
+    "simulate_phase_fluid",
+    "simulate_pattern_fluid",
+    "crossbar_phase_time",
+    "crossbar_pattern_time",
+]
+
+
+@dataclass(frozen=True)
+class LinkSpace:
+    """A directed-link index space plus helpers to place flows into it."""
+
+    num_links: int
+    num_leaves: int
+    #: first index of the injection links
+    injection_base: int
+    #: first index of the ejection links
+    ejection_base: int
+
+    def injection(self, leaf: int) -> int:
+        return self.injection_base + leaf
+
+    def ejection(self, leaf: int) -> int:
+        return self.ejection_base + leaf
+
+
+def xgft_link_space(topo: XGFT) -> LinkSpace:
+    """Link space of an XGFT: tree links then injection/ejection links."""
+    base = topo.num_directed_links
+    return LinkSpace(
+        num_links=base + 2 * topo.num_leaves,
+        num_leaves=topo.num_leaves,
+        injection_base=base,
+        ejection_base=base + topo.num_leaves,
+    )
+
+
+def crossbar_link_space(num_leaves: int) -> LinkSpace:
+    """Link space of the ideal single-stage crossbar: adapters only."""
+    return LinkSpace(
+        num_links=2 * num_leaves,
+        num_leaves=num_leaves,
+        injection_base=0,
+        ejection_base=num_leaves,
+    )
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Timing of one simulated phase."""
+
+    duration: float
+    flow_finish: dict[int, float]  # flow index within the phase -> finish time
+
+
+def _flow_link_lists(
+    table: RouteTable, space: LinkSpace
+) -> list[list[int]]:
+    """Per-flow directed-link lists: tree links + adapter links."""
+    flows, links = table.flow_links()
+    per_flow: list[list[int]] = [[] for _ in range(len(table))]
+    for f, l in zip(flows.tolist(), links.tolist()):
+        per_flow[f].append(l)
+    for f in range(len(table)):
+        per_flow[f].append(space.injection(int(table.src[f])))
+        per_flow[f].append(space.ejection(int(table.dst[f])))
+    return per_flow
+
+
+def simulate_phase_fluid(
+    table: RouteTable,
+    sizes: Sequence[float],
+    config: NetworkConfig = PAPER_CONFIG,
+) -> PhaseResult:
+    """Simulate one bulk-synchronous phase on an XGFT with the fluid engine.
+
+    ``table`` routes the phase's flows; ``sizes`` gives per-flow bytes.
+    All flows start at t=0; the phase ends when the last one drains.
+    """
+    if len(sizes) != len(table):
+        raise ValueError("need one size per routed flow")
+    space = xgft_link_space(table.topo)
+    sim = FluidSimulator(space.num_links, config.link_bandwidth)
+    for f, links in enumerate(_flow_link_lists(table, space)):
+        sim.add_flow(f, links, float(sizes[f]))
+    duration = sim.run_until_idle()
+    return PhaseResult(duration, {r.flow_id: r.finish for r in sim.results})
+
+
+def simulate_pattern_fluid(
+    topo: XGFT,
+    algorithm,
+    pattern: Pattern,
+    config: NetworkConfig = PAPER_CONFIG,
+    mapping: Sequence[int] | None = None,
+) -> float:
+    """Total time of a multi-phase pattern (barrier between phases).
+
+    ``mapping[rank]`` is the leaf a rank runs on (sequential by default,
+    the paper's placement).  Routing tables are built per phase from the
+    pattern's pairs — for the pattern-aware Colored baseline this is
+    exactly the information it is entitled to.
+    """
+    if mapping is None:
+        mapping = range(pattern.num_ranks)
+    mapping = list(mapping)
+    total = 0.0
+    for phase in pattern.phases:
+        pairs = [(mapping[f.src], mapping[f.dst]) for f in phase.flows]
+        sizes = [f.size for f in phase.flows]
+        keep = [(p, s) for p, s in zip(pairs, sizes) if p[0] != p[1]]
+        if not keep:
+            continue
+        table = algorithm.build_table([p for p, _ in keep])
+        total += simulate_phase_fluid(table, [s for _, s in keep], config).duration
+    return total
+
+
+def crossbar_phase_time(
+    phase: Phase,
+    num_leaves: int,
+    config: NetworkConfig = PAPER_CONFIG,
+    mapping: Sequence[int] | None = None,
+) -> float:
+    """Completion time of a phase on the ideal Full-Crossbar.
+
+    Only injection/ejection serialization applies: "the best performance
+    that can be obtained in the absence of network contention".
+    """
+    if mapping is None:
+        mapping = range(num_leaves)
+    mapping = list(mapping)
+    space = crossbar_link_space(num_leaves)
+    sim = FluidSimulator(space.num_links, config.link_bandwidth)
+    fid = 0
+    for f in phase.flows:
+        src, dst = mapping[f.src], mapping[f.dst]
+        if src == dst:
+            continue
+        sim.add_flow(fid, [space.injection(src), space.ejection(dst)], float(f.size))
+        fid += 1
+    if fid == 0:
+        return 0.0
+    return sim.run_until_idle()
+
+
+def crossbar_pattern_time(
+    pattern: Pattern,
+    num_leaves: int,
+    config: NetworkConfig = PAPER_CONFIG,
+    mapping: Sequence[int] | None = None,
+) -> float:
+    """Total Full-Crossbar time of a multi-phase pattern."""
+    return sum(
+        crossbar_phase_time(phase, num_leaves, config, mapping)
+        for phase in pattern.phases
+    )

@@ -1,0 +1,8 @@
+"""Flit-level event-driven network simulator (the paper's Venus
+substitute): IO-buffered switches, credit flow control, round-robin
+arbitration and adapter interleaving (Sec. VI-B)."""
+
+from .engine import VenusPhaseResult, VenusSimulator
+from .messages import Message, Segment
+
+__all__ = ["VenusSimulator", "VenusPhaseResult", "Message", "Segment"]

@@ -1,0 +1,63 @@
+"""Message and segment data model of the flit-level engine.
+
+Messages are segmented into fixed-size segments (paper: 1 KB = 128 flits)
+at the source adapter; segments are the unit of buffering, arbitration
+and virtual-cut-through forwarding.  Flit granularity enters through the
+serialization time of a segment (``segments * flit_time * flits``), which
+is what "flit level" buys at the paper's operating point — the paper's
+own results are phase completion times of multi-hundred-segment
+messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Message", "Segment"]
+
+
+@dataclass
+class Message:
+    """One application-level transfer, segmented at the adapter."""
+
+    msg_id: int
+    src: int
+    dst: int
+    size: int
+    #: directed-channel index sequence from source host to destination host
+    channels: tuple[int, ...]
+    num_segments: int
+    start_time: float
+    #: segments not yet handed to the injection channel
+    to_inject: int = field(init=False)
+    #: segments fully received at the destination host
+    delivered: int = field(init=False, default=0)
+    finish_time: float | None = field(init=False, default=None)
+
+    def __post_init__(self):
+        if self.num_segments <= 0:
+            raise ValueError("a message needs at least one segment")
+        if not self.channels:
+            raise ValueError("a message needs a route of at least one channel")
+        self.to_inject = self.num_segments
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+
+@dataclass
+class Segment:
+    """One in-flight segment of a message."""
+
+    message: Message
+    index: int
+    #: hop position: ``message.channels[hop]`` is the channel it will use next
+    hop: int = 0
+
+    @property
+    def next_channel(self) -> int | None:
+        """The channel this segment wants next, None once ejected."""
+        if self.hop >= len(self.message.channels):
+            return None
+        return self.message.channels[self.hop]

@@ -1,0 +1,57 @@
+"""XGFT topology substrate (paper Sec. II, Table I, Eq. (1), Fig. 1).
+
+Public entry points:
+
+* :class:`~repro.topology.xgft.XGFT` — the topology model itself;
+* :func:`~repro.topology.xgft.parse_xgft` — ``"XGFT(2;16,16;1,8)"`` parser;
+* family constructors in :mod:`repro.topology.families`;
+* structural metrics in :mod:`repro.topology.properties`;
+* graph export in :mod:`repro.topology.graph`.
+"""
+
+from .families import (
+    fig1_examples,
+    kary_ntree,
+    mary_complete_tree,
+    progressive_slimming,
+    slimmed_kary_ntree,
+    slimmed_two_level,
+)
+from .graph import ascii_art, degree_histogram, to_networkx
+from .labels import MixedRadix, digits_to_int, int_to_digits
+from .properties import (
+    LevelInfo,
+    bisection_links,
+    cost_summary,
+    eq1_switch_count,
+    full_bisection_ratio,
+    is_full_bisection,
+    level_summary,
+    total_ports,
+)
+from .xgft import XGFT, parse_xgft
+
+__all__ = [
+    "XGFT",
+    "parse_xgft",
+    "MixedRadix",
+    "digits_to_int",
+    "int_to_digits",
+    "kary_ntree",
+    "slimmed_kary_ntree",
+    "mary_complete_tree",
+    "slimmed_two_level",
+    "progressive_slimming",
+    "fig1_examples",
+    "eq1_switch_count",
+    "level_summary",
+    "LevelInfo",
+    "bisection_links",
+    "full_bisection_ratio",
+    "is_full_bisection",
+    "total_ports",
+    "cost_summary",
+    "to_networkx",
+    "ascii_art",
+    "degree_histogram",
+]

@@ -1,0 +1,102 @@
+"""Constructors for the named XGFT sub-families used in the paper.
+
+Section II of the paper singles out three members of the XGFT family:
+
+* **k-ary n-trees** (Petrini & Vanneschi): ``XGFT(n; k,..,k; 1,k,..,k)``,
+  the full-bisection workhorse of many supercomputers;
+* **slimmed k-ary n-trees**: the same with some ``w_i < k`` (``i >= 2``),
+  which lose the full-bisection / rearrangeability properties;
+* **m-ary complete trees**: ``XGFT(h; m,..,m; 1,..,1)`` -- a plain tree.
+
+The paper's evaluation sweeps ``XGFT(2; 16,16; 1, w2)`` for
+``w2 = 16..1`` ("progressive tree-slimming"); :func:`slimmed_two_level`
+builds those instances and :func:`progressive_slimming` yields the whole
+sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from .xgft import XGFT
+
+__all__ = [
+    "kary_ntree",
+    "slimmed_kary_ntree",
+    "mary_complete_tree",
+    "slimmed_two_level",
+    "progressive_slimming",
+    "fig1_examples",
+]
+
+
+def kary_ntree(k: int, n: int) -> XGFT:
+    """The k-ary n-tree ``XGFT(n; k,..,k; 1,k,..,k)``.
+
+    ``N = k**n`` leaves and ``n * k**(n-1)`` switches, each with ``2k``
+    ports (except the roots, which only use their ``k`` down-ports).
+    """
+    if k < 1 or n < 1:
+        raise ValueError(f"need k >= 1 and n >= 1, got k={k}, n={n}")
+    return XGFT((k,) * n, (1,) + (k,) * (n - 1))
+
+
+def slimmed_kary_ntree(k: int, n: int, w: Sequence[int]) -> XGFT:
+    """A slimmed k-ary n-tree: ``XGFT(n; k,..,k; 1, w_2,..,w_n)``.
+
+    ``w`` gives the upper-level parent counts ``(w_2, ..., w_n)``; each
+    must satisfy ``1 <= w_i <= k`` (values above ``k`` would *fatten*, not
+    slim, the tree and are rejected here).
+    """
+    w = tuple(int(x) for x in w)
+    if len(w) != n - 1:
+        raise ValueError(f"need n-1={n - 1} slimming factors, got {len(w)}")
+    if any(not 1 <= x <= k for x in w):
+        raise ValueError(f"slimming factors must be in [1, {k}], got {w}")
+    return XGFT((k,) * n, (1,) + w)
+
+
+def mary_complete_tree(m: int, h: int) -> XGFT:
+    """The m-ary complete tree ``XGFT(h; m,..,m; 1,..,1)``."""
+    if m < 1 or h < 1:
+        raise ValueError(f"need m >= 1 and h >= 1, got m={m}, h={h}")
+    return XGFT((m,) * h, (1,) * h)
+
+
+def slimmed_two_level(m1: int = 16, m2: int = 16, w2: int = 16) -> XGFT:
+    """The paper's evaluation topology ``XGFT(2; m1, m2; 1, w2)``.
+
+    With the defaults this is the full 16-ary 2-tree built from 32-port
+    switches; lowering ``w2`` progressively slims it (Fig. 2 / Fig. 5).
+    """
+    return XGFT((m1, m2), (1, w2))
+
+
+def progressive_slimming(
+    m1: int = 16, m2: int = 16, w2_values: Sequence[int] | None = None
+) -> Iterator[XGFT]:
+    """Yield the progressive-slimming sweep of Figs. 2 and 5.
+
+    By default ``w2`` runs from ``m1`` down to 1, exactly as on the x-axis
+    of the paper's plots.
+    """
+    if w2_values is None:
+        w2_values = range(m1, 0, -1)
+    for w2 in w2_values:
+        yield slimmed_two_level(m1, m2, w2)
+
+
+def fig1_examples() -> dict[str, XGFT]:
+    """Small example topologies in the spirit of the paper's Fig. 1.
+
+    Fig. 1 sketches several XGFTs ("Several XGFTs"); the printed figure is
+    not parameter-labelled, so we provide a representative set covering
+    the three sub-families plus a slimmed instance.
+    """
+    return {
+        "binary complete tree of height 2": mary_complete_tree(2, 2),
+        "4-ary 2-tree": kary_ntree(4, 2),
+        "slimmed 4-ary 2-tree (w2=2)": slimmed_kary_ntree(4, 2, (2,)),
+        "4-ary 3-tree": kary_ntree(4, 3),
+        "mixed-radix XGFT(3;4,2,2;1,2,2)": XGFT((4, 2, 2), (1, 2, 2)),
+    }

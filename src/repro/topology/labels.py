@@ -1,0 +1,158 @@
+"""Variable-radix (mixed-radix) label arithmetic for XGFT nodes.
+
+The paper's Table I assigns every node of an
+``XGFT(h; m1..mh; w1..wh)`` a tuple label.  A node at level ``i`` is
+labelled ``<M_h, ..., M_{i+1}, W_i, ..., W_1>`` where ``M_j`` ranges over
+``[0, m_j)`` and ``W_j`` over ``[0, w_j)``.  We store labels
+*least-significant-digit first*, i.e. digit ``j`` (1-based) of a level-i
+node is ``W_j`` for ``j <= i`` and ``M_j`` for ``j > i``.  Under this
+convention the integer id of a node is the usual mixed-radix value and the
+processing-node (level 0) ids coincide with the natural ``0..N-1``
+numbering used throughout the paper (``M_1`` is the least significant
+digit, so for a k-ary n-tree the label is simply the base-k expansion of
+the node number, matching the ``floor(s / k^(l-1)) mod k`` formulas).
+
+This module is deliberately free of any XGFT semantics: it only knows how
+to convert between integer ids and digit tuples for a given base vector,
+both for scalars and, vectorized, for NumPy arrays.  The hot paths of the
+routing-table builders call the vectorized forms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "MixedRadix",
+    "digits_to_int",
+    "int_to_digits",
+]
+
+
+def digits_to_int(digits: Sequence[int], bases: Sequence[int]) -> int:
+    """Return the integer value of mixed-radix ``digits`` (LSB first).
+
+    ``digits[j]`` must lie in ``[0, bases[j])``.
+
+    >>> digits_to_int([1, 2], [10, 10])
+    21
+    """
+    if len(digits) != len(bases):
+        raise ValueError(
+            f"digit/base length mismatch: {len(digits)} != {len(bases)}"
+        )
+    value = 0
+    weight = 1
+    for d, b in zip(digits, bases):
+        if not 0 <= d < b:
+            raise ValueError(f"digit {d} out of range for base {b}")
+        value += d * weight
+        weight *= b
+    return value
+
+
+def int_to_digits(value: int, bases: Sequence[int]) -> tuple[int, ...]:
+    """Return the mixed-radix digits of ``value`` (LSB first).
+
+    >>> int_to_digits(21, [10, 10])
+    (1, 2)
+    """
+    if value < 0:
+        raise ValueError(f"negative value {value}")
+    digits = []
+    for b in bases:
+        digits.append(value % b)
+        value //= b
+    if value:
+        raise ValueError("value out of range for bases")
+    return tuple(digits)
+
+
+class MixedRadix:
+    """A fixed mixed-radix numbering system.
+
+    Parameters
+    ----------
+    bases:
+        Digit bases, least significant first.  All bases must be >= 1.
+
+    The class pre-computes digit *weights* (cumulative products) so that
+    digit extraction over NumPy arrays is a couple of vector ops.
+    """
+
+    __slots__ = ("bases", "weights", "size")
+
+    def __init__(self, bases: Iterable[int]):
+        bases = tuple(int(b) for b in bases)
+        if not bases:
+            raise ValueError("at least one base is required")
+        if any(b < 1 for b in bases):
+            raise ValueError(f"bases must be >= 1, got {bases}")
+        self.bases = bases
+        weights = [1]
+        for b in bases:
+            weights.append(weights[-1] * b)
+        #: weights[j] = product of bases[0..j); weights[-1] == size
+        self.weights = tuple(weights)
+        #: total number of representable values
+        self.size = weights[-1]
+
+    # -- scalar interface -------------------------------------------------
+    def encode(self, digits: Sequence[int]) -> int:
+        """Integer id of a digit tuple (LSB first)."""
+        return digits_to_int(digits, self.bases)
+
+    def decode(self, value: int) -> tuple[int, ...]:
+        """Digit tuple (LSB first) of an integer id."""
+        if not 0 <= value < self.size:
+            raise ValueError(f"value {value} out of range [0, {self.size})")
+        return int_to_digits(value, self.bases)
+
+    def digit(self, value: int, j: int) -> int:
+        """Digit ``j`` (0-based position, LSB first) of ``value``."""
+        return (value // self.weights[j]) % self.bases[j]
+
+    def replace_digit(self, value: int, j: int, digit: int) -> int:
+        """Return ``value`` with digit ``j`` replaced by ``digit``."""
+        if not 0 <= digit < self.bases[j]:
+            raise ValueError(f"digit {digit} out of range for base {self.bases[j]}")
+        old = self.digit(value, j)
+        return value + (digit - old) * self.weights[j]
+
+    # -- vectorized interface ---------------------------------------------
+    def digit_array(self, values: np.ndarray, j: int) -> np.ndarray:
+        """Vectorized :meth:`digit` over an integer array."""
+        return (values // self.weights[j]) % self.bases[j]
+
+    def decode_array(self, values: np.ndarray) -> np.ndarray:
+        """Digit matrix of shape ``(len(values), ndigits)`` (LSB first)."""
+        values = np.asarray(values)
+        out = np.empty(values.shape + (len(self.bases),), dtype=np.int64)
+        for j in range(len(self.bases)):
+            out[..., j] = self.digit_array(values, j)
+        return out
+
+    def encode_array(self, digits: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`encode`; ``digits`` has shape ``(..., ndigits)``."""
+        digits = np.asarray(digits)
+        if digits.shape[-1] != len(self.bases):
+            raise ValueError("last axis must equal the number of digits")
+        values = np.zeros(digits.shape[:-1], dtype=np.int64)
+        for j in range(len(self.bases)):
+            values += digits[..., j] * self.weights[j]
+        return values
+
+    # -- misc ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.bases)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MixedRadix) and self.bases == other.bases
+
+    def __hash__(self) -> int:
+        return hash(self.bases)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MixedRadix(bases={self.bases})"

@@ -1,0 +1,134 @@
+"""Structural properties and cost metrics of XGFT topologies.
+
+Implements the quantities Section II of the paper derives from the
+parameter vectors: the inner-switch count of Eq. (1), per-level node and
+link counts (Table I's right column), bisection bandwidth, and the
+full-bisection / rearrangeability classification that separates k-ary
+n-trees from their slimmed versions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .xgft import XGFT
+
+__all__ = [
+    "eq1_switch_count",
+    "level_summary",
+    "LevelInfo",
+    "bisection_links",
+    "full_bisection_ratio",
+    "is_full_bisection",
+    "total_ports",
+    "cost_summary",
+]
+
+
+@dataclass(frozen=True)
+class LevelInfo:
+    """One row of Table I: population of a single XGFT level."""
+
+    level: int
+    num_nodes: int
+    #: links from this level down to ``level - 1`` (0 for the leaves)
+    links_down: int
+    #: links from this level up to ``level + 1`` (0 for the roots)
+    links_up: int
+
+
+def eq1_switch_count(topo: XGFT) -> int:
+    """Inner-switch count per the paper's Eq. (1).
+
+    .. math::
+        I = \\sum_{i=1}^{h} \\Bigl( \\prod_{j=i+1}^{h} m_j
+            \\cdot \\prod_{j=1}^{i} w_j \\Bigr)
+
+    Computed here straight from the formula; ``XGFT.num_switches`` computes
+    the same number from the per-level populations, and the test suite
+    asserts they always agree.
+    """
+    total = 0
+    for i in range(1, topo.h + 1):
+        prod_m = math.prod(topo.m[i:])  # m_{i+1} .. m_h
+        prod_w = math.prod(topo.w[:i])  # w_1 .. w_i
+        total += prod_m * prod_w
+    return total
+
+
+def level_summary(topo: XGFT) -> list[LevelInfo]:
+    """Per-level node and link counts (Table I's ``# Nodes`` / ``# Links``)."""
+    rows = []
+    for level in range(topo.h + 1):
+        n = topo.num_nodes(level)
+        links_down = n * topo.m[level - 1] if level > 0 else 0
+        links_up = n * topo.w[level] if level < topo.h else 0
+        rows.append(LevelInfo(level, n, links_down, links_up))
+    return rows
+
+
+def bisection_links(topo: XGFT) -> int:
+    """Number of links crossing the narrowest upper cut of the tree.
+
+    For a tree network the bisection is governed by the links entering the
+    top level(s); we report the minimum over levels of the up-link count
+    normalized to the traffic that must cross it, i.e. the bottleneck
+    capacity between the two leaf halves split at the topmost ``m_h``
+    boundary: links from level ``h-1`` up to the roots.
+    """
+    return topo.num_up_links(topo.h - 1)
+
+
+def full_bisection_ratio(topo: XGFT) -> float:
+    """Ratio of available to required cross-tree bandwidth, per cut level.
+
+    Consider the cut between levels ``i`` and ``i+1``.  A height-``i``
+    subtree holds ``P_i = mprod(i)`` leaves and ``wprod(i)`` level-``i``
+    nodes, each with ``w_{i+1}`` up-ports, so ``wprod(i+1)`` links leave
+    the subtree upward.  A worst-case permutation needs every one of the
+    ``P_i`` leaves to send across the cut, hence
+
+    ``ratio_i = wprod(i+1) / mprod(i)``
+
+    and the network sustains full bisection iff ``min_i ratio_i >= 1``.
+    """
+    ratios = []
+    for i in range(topo.h):
+        up_links_per_subtree = topo.wprod(i + 1)
+        leaves_per_subtree = topo.mprod(i)
+        ratios.append(up_links_per_subtree / leaves_per_subtree)
+    return min(ratios)
+
+
+def is_full_bisection(topo: XGFT) -> bool:
+    """True iff every upper cut can carry a full permutation (ratio >= 1).
+
+    k-ary n-trees satisfy this; slimmed trees (some ``w_i < m_i``) do not
+    and are *blocking* networks (Sec. II of the paper).
+    """
+    return full_bisection_ratio(topo) >= 1.0
+
+
+def total_ports(topo: XGFT) -> int:
+    """Total switch ports (up + down over all inner switches): a cost proxy."""
+    total = 0
+    for level in range(1, topo.h + 1):
+        n = topo.num_nodes(level)
+        total += n * topo.num_down_ports(level)
+        total += n * topo.num_up_ports(level)
+    return total
+
+
+def cost_summary(topo: XGFT) -> dict[str, float]:
+    """A cost/capability digest used by the examples and reports."""
+    return {
+        "leaves": topo.num_leaves,
+        "switches": topo.num_switches,
+        "links_per_direction": topo.num_links_per_direction,
+        "total_ports": total_ports(topo),
+        "bisection_links": bisection_links(topo),
+        "full_bisection_ratio": full_bisection_ratio(topo),
+        "is_full_bisection": is_full_bisection(topo),
+        "is_slimmed": topo.is_slimmed,
+    }

@@ -1,0 +1,89 @@
+"""Tests for the routes-per-NCA census (Fig. 4 semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contention import (
+    all_pairs_nca_census,
+    nca_distribution_stats,
+    routes_per_nca,
+)
+from repro.core import DModK, RandomNCA, RNCADown, RNCAUp, SModK
+from repro.topology import XGFT
+
+
+@pytest.fixture
+def full_tree():
+    return XGFT((16, 16), (1, 16))
+
+
+@pytest.fixture
+def slim_tree():
+    return XGFT((16, 16), (1, 10))
+
+
+class TestModKCensus:
+    def test_fig4a_flat_3840(self, full_tree):
+        """Fig. 4(a): mod-k distributes 61440 top routes evenly: 3840/root."""
+        for cls in (SModK, DModK):
+            counts = all_pairs_nca_census(cls(full_tree))
+            assert counts.tolist() == [3840] * 16
+
+    def test_fig4b_bimodal(self, slim_tree):
+        """Fig. 4(b): mod-10 wraps digits 10-15 onto roots 0-5: 7680 vs 3840."""
+        counts = all_pairs_nca_census(SModK(slim_tree))
+        assert counts.tolist() == [7680] * 6 + [3840] * 4
+
+    def test_total_preserved(self, slim_tree):
+        counts = all_pairs_nca_census(DModK(slim_tree))
+        assert counts.sum() == 256 * 240  # pairs crossing switches
+
+
+class TestRandomizedCensus:
+    def test_random_near_uniform(self, slim_tree):
+        counts = all_pairs_nca_census(RandomNCA(slim_tree, seed=3))
+        mean = 61440 / 10
+        assert counts.min() > 0.93 * mean
+        assert counts.max() < 1.07 * mean
+
+    def test_rnca_tighter_than_modk(self, slim_tree):
+        """The balanced relabeling must narrow the 7680-3840 spread."""
+        modk_spread = np.ptp(all_pairs_nca_census(SModK(slim_tree)))
+        for cls in (RNCAUp, RNCADown):
+            spreads = [
+                np.ptp(all_pairs_nca_census(cls(slim_tree, seed=s))) for s in range(5)
+            ]
+            assert max(spreads) < modk_spread
+
+    def test_rnca_exact_balance_on_full_tree(self, full_tree):
+        """With m == w the relabeling is a permutation per subtree: the
+        census is exactly flat, like mod-k's."""
+        counts = all_pairs_nca_census(RNCAUp(full_tree, seed=1))
+        assert counts.tolist() == [3840] * 16
+
+
+class TestLevelSelection:
+    def test_level1_census(self, full_tree):
+        """Intra-switch pairs have their NCA at level 1."""
+        table = SModK(full_tree).build_table(
+            [(s, d) for s in range(16) for d in range(16) if s != d]
+        )
+        counts = routes_per_nca(table, level=1)
+        assert counts[0] == 16 * 15
+        assert counts[1:].sum() == 0
+
+    def test_self_pairs_counted_at_level0(self, full_tree):
+        table = SModK(full_tree).build_table([(3, 3)])
+        assert routes_per_nca(table, level=0)[3] == 1
+
+
+class TestStats:
+    def test_summary_values(self):
+        stats = nca_distribution_stats(np.asarray([4, 6, 8, 6]))
+        assert stats.mean == 6.0
+        assert stats.minimum == 4 and stats.maximum == 8
+        assert stats.spread == 4
+        assert stats.counts == (4, 6, 8, 6)
+        assert stats.stddev > 0

@@ -1,0 +1,116 @@
+"""Tests for the Sec. VII-B/C equivalence machinery — including the
+paper's central theorem, asserted exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contention import (
+    contention_spectrum,
+    general_pattern_contention,
+    pattern_contention_level,
+    permutation_contention_level,
+)
+from repro.core import DModK, SModK
+from repro.patterns import Permutation, uniform_random_pairs
+from repro.topology import XGFT, kary_ntree
+
+
+@pytest.fixture
+def topo():
+    return XGFT((8, 8), (1, 4))
+
+
+class TestContentionLevel:
+    def test_empty_pattern(self, topo):
+        assert pattern_contention_level(SModK(topo), []) == 0
+        assert pattern_contention_level(SModK(topo), [(3, 3)]) == 0
+
+    def test_known_value(self):
+        """8 sources of one switch all sending to the same remote switch
+        with the same d-mod-k digit spread: contention = ceil(8/4)... use
+        a fully determined case: all to destinations with equal digit."""
+        topo = XGFT((8, 8), (1, 4))
+        # all 8 sources of switch 0 -> dests 8..15 (switch 1), d mod 4 spread
+        pairs = [(s, 8 + s) for s in range(8)]
+        # d-mod-k: r1 = (8+s) mod 4 = s mod 4 -> 2 flows per uplink
+        assert pattern_contention_level(DModK(topo), pairs) == 2
+
+
+class TestInverseBijection:
+    """The paper's theorem: C(P, S-mod-k) == C(P^-1, D-mod-k), exactly."""
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_permutation_bijection(self, seed):
+        topo = XGFT((8, 8), (1, 4))
+        perm = Permutation.random(64, seed)
+        smodk = permutation_contention_level(SModK(topo), perm)
+        dmodk_inv = permutation_contention_level(DModK(topo), perm.inverse())
+        assert smodk == dmodk_inv
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_bijection_on_kary_3tree(self, seed):
+        topo = kary_ntree(4, 3)
+        perm = Permutation.random(64, seed)
+        assert permutation_contention_level(
+            SModK(topo), perm
+        ) == permutation_contention_level(DModK(topo), perm.inverse())
+
+    @given(seed=st.integers(0, 10_000), flows=st.integers(1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_general_pattern_bijection(self, seed, flows):
+        """Sec. VII-C: same equality for arbitrary patterns (the whole
+        routed pattern, not only its rounds)."""
+        topo = XGFT((8, 8), (1, 4))
+        pairs = uniform_random_pairs(64, flows, rng=seed)
+        inverse = [(d, s) for s, d in pairs]
+        assert pattern_contention_level(SModK(topo), pairs) == pattern_contention_level(
+            DModK(topo), inverse
+        )
+
+    def test_symmetric_pattern_same_under_both(self, topo):
+        """For symmetric patterns the inverse is itself, so S-mod-k and
+        D-mod-k see identical contention (the paper's WRF/CG observation)."""
+        from repro.patterns import cg_transpose_exchange
+
+        pairs = [(s, d) for s, d in cg_transpose_exchange(64)]
+        assert pattern_contention_level(SModK(topo), pairs) == pattern_contention_level(
+            DModK(topo), pairs
+        )
+
+
+class TestSpectrum:
+    def test_spectra_identical_over_inverse_set(self, topo):
+        rng = np.random.default_rng(5)
+        perms = [Permutation.random(64, rng) for _ in range(25)]
+        inv = [p.inverse() for p in perms]
+        assert contention_spectrum(SModK(topo), perms) == contention_spectrum(
+            DModK(topo), inv
+        )
+
+    def test_spectrum_counts_total(self, topo):
+        rng = np.random.default_rng(6)
+        perms = [Permutation.random(64, rng) for _ in range(10)]
+        spec = contention_spectrum(SModK(topo), perms)
+        assert sum(spec.values()) == 10
+
+
+class TestGeneralPatternDecomposition:
+    def test_rounds_bound_pattern_contention(self, topo):
+        """c_max over permutation rounds >= ... the paper argues the
+        pattern's effective contention equals max round contention; at
+        minimum each round's contention is <= the whole-pattern level."""
+        pairs = uniform_random_pairs(64, 80, rng=3)
+        whole = pattern_contention_level(SModK(topo), pairs)
+        c_max, levels = general_pattern_contention(SModK(topo), pairs)
+        assert c_max <= whole  # rounds can only be lighter than the union
+        assert len(levels) >= 1
+        assert all(l >= 1 for l in levels)
+
+    def test_empty(self, topo):
+        assert general_pattern_contention(SModK(topo), []) == (0, [])

@@ -1,0 +1,87 @@
+"""Tests for the destination-based forwarding-table (LFT) export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DModK,
+    InconsistentRouteError,
+    RNCADown,
+    RNCAUp,
+    SModK,
+    build_forwarding_tables,
+)
+from repro.topology import XGFT
+
+
+@pytest.fixture
+def topo():
+    return XGFT((4, 4), (1, 4))
+
+
+class TestDModKExport:
+    def test_walk_matches_route(self, topo):
+        alg = DModK(topo)
+        tables = build_forwarding_tables(alg)
+        for s in range(16):
+            for d in range(16):
+                if s == d:
+                    continue
+                walked = tables.walk(s, d)
+                expected = alg.route(s, d).node_path(topo)
+                assert walked == expected
+
+    def test_port_for(self, topo):
+        tables = build_forwarding_tables(DModK(topo))
+        # leaf 0's only uplink is port 0
+        assert tables.port_for(0, 0, 5) == 0
+        # edge switch 0 forwarding up to dest 5 (d mod 4 = 1): up-port 1,
+        # numbered after the 4 down-ports
+        assert tables.port_for(1, 0, 5) == 4 + 1
+
+    def test_subset_of_destinations(self, topo):
+        tables = build_forwarding_tables(DModK(topo), destinations=[3])
+        assert tables.walk(12, 3)[-1] == (0, 3)
+        with pytest.raises(KeyError):
+            tables.walk(0, 5)
+
+
+class TestDestinationDeterminism:
+    def test_smodk_rejected(self, topo):
+        """S-mod-k is source-routed: it cannot be expressed as LFTs."""
+        with pytest.raises(InconsistentRouteError):
+            build_forwarding_tables(SModK(topo))
+
+    def test_rnca_down_accepted(self, topo):
+        """r-NCA-d keeps D-mod-k's destination determinism (paper Sec. VIII:
+        deployable on destination-routed fabrics)."""
+        alg = RNCADown(topo, seed=3)
+        tables = build_forwarding_tables(alg)
+        for s in range(0, 16, 3):
+            for d in range(0, 16, 5):
+                if s != d:
+                    assert tables.walk(s, d) == alg.route(s, d).node_path(topo)
+
+    def test_rnca_up_rejected(self, topo):
+        with pytest.raises(InconsistentRouteError):
+            build_forwarding_tables(RNCAUp(topo, seed=3))
+
+
+class TestWalkRobustness:
+    def test_loop_detection(self, topo):
+        tables = build_forwarding_tables(DModK(topo))
+        # corrupt one entry to create a bounce
+        tables.tables[(1, 0)][5] = 4 + 0  # send up instead of down
+        tables.tables[(2, 0)][5] = 0      # back down to switch 0
+        with pytest.raises(RuntimeError, match="loop"):
+            tables.walk(0, 5, max_hops=8)
+
+    def test_larger_slimmed_topology(self):
+        topo = XGFT((4, 4, 2), (1, 2, 2))
+        alg = DModK(topo)
+        tables = build_forwarding_tables(alg)
+        for s in range(0, 32, 5):
+            for d in range(0, 32, 7):
+                if s != d:
+                    assert tables.walk(s, d) == alg.route(s, d).node_path(topo)

@@ -1,0 +1,133 @@
+"""Tests for the paper-proposed extensions (Sec. VII-C heuristic and the
+future-work seed selection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contention import max_network_contention, pattern_contention_level
+from repro.core import AutoModK, BestOfKRNCA, DModK, RNCADown, SModK, make_algorithm
+from repro.patterns import Permutation, cg_pattern, hotspot, wrf_pattern
+from repro.topology import XGFT
+
+
+@pytest.fixture
+def topo():
+    return XGFT((8, 8), (1, 4))
+
+
+class TestAutoModK:
+    def test_many_destinations_chooses_smodk(self, topo):
+        """One source fanning out: many-destinations dominated -> S-mod-k."""
+        alg = AutoModK(topo)
+        pairs = [(0, d) for d in range(8, 14)]
+        table = alg.build_table(pairs)
+        assert alg.chosen == "s-mod-k"
+        np.testing.assert_array_equal(table.ports, SModK(topo).build_table(pairs).ports)
+
+    def test_many_sources_chooses_dmodk(self, topo):
+        alg = AutoModK(topo)
+        pairs = hotspot(32, 0)
+        alg.build_table(pairs)
+        assert alg.chosen == "d-mod-k"
+
+    def test_symmetric_tie_prefers_dmodk(self, topo):
+        """Symmetric patterns tie; D-mod-k wins (LFT-deployable)."""
+        alg = AutoModK(topo)
+        alg.build_table([(0, 8), (8, 0)])
+        assert alg.chosen == "d-mod-k"
+
+    def test_self_flows_ignored_in_histogram(self, topo):
+        alg = AutoModK(topo)
+        alg.build_table([(0, 0), (0, 8), (0, 16)])
+        assert alg.chosen == "s-mod-k"
+
+    def test_never_worse_than_the_wrong_choice(self, topo):
+        """On a fan-out-heavy pattern the heuristic's pick concentrates
+        contention at least as well as the opposite digit rule."""
+        rng = np.random.default_rng(3)
+        for trial in range(5):
+            sources = rng.choice(64, size=4, replace=False)
+            pairs = [
+                (int(s), int(d))
+                for s in sources
+                for d in rng.choice(64, size=8, replace=False)
+                if s != d
+            ]
+            alg = AutoModK(topo)
+            chosen_c = pattern_contention_level(alg, pairs)
+            other = DModK(topo) if alg.chosen == "s-mod-k" else SModK(topo)
+            other_c = pattern_contention_level(other, pairs)
+            assert chosen_c <= other_c
+
+    def test_factory(self, topo):
+        assert make_algorithm("auto-mod-k", topo).name == "auto-mod-k"
+
+
+class TestBestOfKRNCA:
+    def test_validation(self, topo):
+        with pytest.raises(ValueError):
+            BestOfKRNCA(topo, k=0)
+        with pytest.raises(ValueError):
+            BestOfKRNCA(topo, probes=0)
+        with pytest.raises(ValueError):
+            BestOfKRNCA(topo, direction="sideways")
+
+    def test_is_an_rnca_instance(self, topo):
+        """The installed scheme is one of the k candidate relabelings."""
+        best = BestOfKRNCA(topo, seed=2, k=4, probes=4)
+        candidates = [RNCADown(topo, seed=2 * 4 + i) for i in range(4)]
+        pairs = [(s, (s + 8) % 64) for s in range(64)]
+        best_ports = best.build_table(pairs).ports
+        assert any(
+            np.array_equal(best_ports, c.build_table(pairs).ports)
+            for c in candidates
+        )
+
+    def test_deterministic(self, topo):
+        a = BestOfKRNCA(topo, seed=5, k=3, probes=3)
+        b = BestOfKRNCA(topo, seed=5, k=3, probes=3)
+        pairs = [(s, (s * 3 + 1) % 64) for s in range(64)]
+        np.testing.assert_array_equal(
+            a.build_table(pairs).ports, b.build_table(pairs).ports
+        )
+
+    def test_selection_improves_probe_worst_case(self, topo):
+        """The selected candidate's probe score is the minimum over k —
+        never worse than candidate 0's."""
+        seed, k, probes = 1, 6, 8
+        best = BestOfKRNCA(topo, seed=seed, k=k, probes=probes)
+        # recompute candidate 0's score on the same probes
+        rng = np.random.default_rng(np.random.SeedSequence([0xBE5707, seed]))
+        probe_sets = [
+            [(int(s), int(d)) for s, d in enumerate(rng.permutation(64)) if s != d]
+            for _ in range(probes)
+        ]
+        cand0 = RNCADown(topo, seed=seed * k)
+        worst0 = max(
+            max_network_contention(cand0.build_table(p)) for p in probe_sets
+        )
+        assert best.selected_score[0] <= worst0
+
+    def test_up_direction(self, topo):
+        best = BestOfKRNCA(topo, seed=0, k=2, probes=2, direction="up")
+        # r-NCA-u concentrates per source: one ascending path per source
+        ports = {best.up_ports(5, d) for d in range(8, 64)}
+        assert len(ports) == 1
+
+    def test_still_avoids_cg_pathology(self):
+        """The selected scheme keeps the r-NCA benefit on CG."""
+        from repro.experiments import crossbar_time, slowdown
+
+        topo16 = XGFT((16, 16), (1, 16))
+        pattern = cg_pattern(128)
+        t_ref = crossbar_time(pattern, 256)
+        best = slowdown(topo16, "r-nca-best", pattern, seed=0, k=4, probes=4,
+                        reference_time=t_ref)
+        dmodk = slowdown(topo16, "d-mod-k", pattern, reference_time=t_ref)
+        assert best < dmodk
+
+    def test_factory_kwargs(self, topo):
+        alg = make_algorithm("r-nca-best", topo, seed=3, k=2, probes=2)
+        assert alg.k == 2

@@ -1,0 +1,80 @@
+"""Tests for static Random routing and the splitmix64 mixer."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RandomNCA, splitmix64
+
+from ..conftest import xgft_examples
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        np.testing.assert_array_equal(splitmix64(x), splitmix64(x))
+
+    def test_bijective_on_sample(self):
+        """splitmix64's finalizer is a bijection; no collisions on a range."""
+        x = np.arange(100_000, dtype=np.uint64)
+        assert len(np.unique(splitmix64(x))) == len(x)
+
+    def test_bits_look_uniform(self):
+        h = splitmix64(np.arange(50_000, dtype=np.uint64))
+        # each of the low 16 bits should be ~50% set
+        for bit in range(16):
+            frac = float(((h >> np.uint64(bit)) & np.uint64(1)).mean())
+            assert 0.47 < frac < 0.53
+
+
+class TestRandomNCA:
+    def test_static_routes(self, paper_full_tree):
+        """The same pair always gets the same route (static oblivious)."""
+        alg = RandomNCA(paper_full_tree, seed=3)
+        assert alg.up_ports(5, 200) == alg.up_ports(5, 200)
+        table1 = alg.build_table([(5, 200), (6, 100)])
+        table2 = alg.build_table([(6, 100), (5, 200)])
+        assert table1.route(0).up_ports == table2.route(1).up_ports
+
+    def test_seed_reproducibility(self, paper_full_tree):
+        a = RandomNCA(paper_full_tree, seed=7)
+        b = RandomNCA(paper_full_tree, seed=7)
+        c = RandomNCA(paper_full_tree, seed=8)
+        pairs = [(s, (s + 16) % 256) for s in range(64)]
+        ta, tb, tc = (x.build_table(pairs) for x in (a, b, c))
+        np.testing.assert_array_equal(ta.ports, tb.ports)
+        assert (ta.ports != tc.ports).any()
+
+    def test_ports_in_range(self, slimmed_deep_tree):
+        alg = RandomNCA(slimmed_deep_tree, seed=0)
+        pairs = [(s, d) for s in range(0, 64, 3) for d in range(0, 64, 7) if s != d]
+        table = alg.build_table(pairs)
+        table.validate()
+
+    def test_roughly_uniform_over_roots(self, paper_full_tree):
+        """All-pairs route census should be near-uniform over the 16 roots."""
+        alg = RandomNCA(paper_full_tree, seed=11)
+        table = alg.all_pairs_table()
+        top = table.nca_level == 2
+        ncas = table.nca_nodes()[top]
+        counts = np.bincount(ncas, minlength=16)
+        expected = top.sum() / 16
+        assert counts.min() > 0.9 * expected
+        assert counts.max() < 1.1 * expected
+
+    def test_distinct_pairs_get_distinct_routes_sometimes(self, paper_full_tree):
+        """Unlike S/D-mod-k, Random does not concentrate per endpoint."""
+        alg = RandomNCA(paper_full_tree, seed=5)
+        s = 3
+        ports = {alg.up_ports(s, d) for d in range(16, 64)}
+        assert len(ports) > 1
+
+    @given(topo=xgft_examples(), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid_routes(self, topo, seed):
+        alg = RandomNCA(topo, seed=seed)
+        n = topo.num_leaves
+        pairs = [(s, (s * 7 + 3) % n) for s in range(min(n, 32))]
+        alg.build_table(pairs).validate()

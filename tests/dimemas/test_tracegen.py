@@ -1,0 +1,99 @@
+"""Tests for the synthetic WRF / CG trace generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dimemas import (
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    SendRecv,
+    WaitAll,
+    cg_trace,
+    pattern_trace,
+    wrf_trace,
+)
+from repro.patterns import Pattern, Phase, cg_pattern, wrf_pattern
+
+
+class TestWRFTrace:
+    def test_outstanding_structure(self):
+        tr = wrf_trace(256, iterations=1)
+        prog = tr.programs[100]  # interior task
+        kinds = [type(r).__name__ for r in prog]
+        assert kinds == ["Irecv", "Irecv", "Isend", "Isend", "WaitAll"]
+
+    def test_boundary_tasks_single_neighbour(self):
+        tr = wrf_trace(256)
+        assert sum(isinstance(r, Isend) for r in tr.programs[0]) == 1
+        assert sum(isinstance(r, Isend) for r in tr.programs[255]) == 1
+
+    def test_iterations_and_compute(self):
+        tr = wrf_trace(64, row=8, iterations=3, compute_time=0.5)
+        prog = tr.programs[32]
+        assert sum(isinstance(r, Compute) for r in prog) == 3
+        assert sum(isinstance(r, WaitAll) for r in prog) == 3
+
+    def test_divisibility_check(self):
+        with pytest.raises(ValueError):
+            wrf_trace(100, row=16)
+
+
+class TestCGTrace:
+    def test_five_exchanges_per_iteration(self):
+        tr = cg_trace(128, iterations=1)
+        prog = tr.programs[2]
+        exchanges = [r for r in prog if isinstance(r, SendRecv)]
+        assert len(exchanges) == 5  # 4 reduce + 1 transpose
+
+    def test_reduce_partners_are_xor(self):
+        tr = cg_trace(128)
+        prog = tr.programs[10]
+        exchanges = [r for r in prog if isinstance(r, SendRecv)]
+        assert [e.peer for e in exchanges[:4]] == [10 ^ 1, 10 ^ 2, 10 ^ 4, 10 ^ 8]
+
+    def test_transpose_fixed_points_skip_exchange(self):
+        tr = cg_trace(128)
+        # rank 0 is its own transpose partner: only 4 exchanges
+        exchanges = [r for r in tr.programs[0] if isinstance(r, SendRecv)]
+        assert len(exchanges) == 4
+
+    def test_compute_inserted(self):
+        tr = cg_trace(128, iterations=2, compute_time=1.0)
+        assert sum(isinstance(r, Compute) for r in tr.programs[5]) == 2
+
+
+class TestPatternTrace:
+    def test_phases_to_program(self):
+        pat = Pattern(
+            (
+                Phase.from_pairs([(0, 1)], size=10),
+                Phase.from_pairs([(1, 0)], size=20),
+            )
+        )
+        tr = pattern_trace(pat)
+        assert sum(isinstance(r, Barrier) for r in tr.programs[0]) == 2
+        assert any(isinstance(r, Isend) and r.size == 10 for r in tr.programs[0])
+        assert any(isinstance(r, Irecv) for r in tr.programs[1])
+
+    def test_no_barrier_mode(self):
+        pat = wrf_pattern(64, row=8)
+        tr = pattern_trace(pat, barrier_between_phases=False)
+        assert not any(isinstance(r, Barrier) for p in tr.programs for r in p)
+
+    def test_self_flows_dropped(self):
+        pat = Pattern.single_phase([(0, 0), (0, 1)], num_ranks=2)
+        tr = pattern_trace(pat)
+        sends = [r for r in tr.programs[0] if isinstance(r, Isend)]
+        assert len(sends) == 1
+
+    def test_cg_trace_matches_pattern_trace_timing(self):
+        """cg_trace and pattern_trace(cg_pattern) express the same workload:
+        replayed on the same network they agree on completion time."""
+        from repro.dimemas import replay_on_crossbar
+
+        direct = replay_on_crossbar(cg_trace(32), 32)
+        via_pattern = replay_on_crossbar(pattern_trace(cg_pattern(32)), 32)
+        assert direct.total_time == pytest.approx(via_pattern.total_time, rel=1e-9)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig2_args(self):
+        args = build_parser().parse_args(["fig2", "--app", "cg", "--w2", "16", "8"])
+        assert args.app == "cg"
+        assert args.w2 == [16, 8]
+        assert args.engine == "fluid"
+
+    def test_app_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--app", "linpack"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--topology", "XGFT(2;4,4;1,2)"]) == 0
+        out = capsys.readouterr().out
+        assert "XGFT(2;4,4;1,2)" in out
+        assert "switches" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--topology", "XGFT(2;16,16;1,10)"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "transpose" in capsys.readouterr().out
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--app", "cg", "--w2", "16", "1", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "colored" in out and "random" in out
+
+    def test_fig4_small(self, capsys):
+        assert main(["fig4", "--w2", "10", "--seeds", "2"]) == 0
+        assert "NCA" in capsys.readouterr().out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--app", "cg", "--w2", "16", "--seeds", "2"]) == 0
+        assert "r-nca-u" in capsys.readouterr().out
+
+    def test_equivalence(self, capsys):
+        assert main(["equivalence", "--permutations", "10"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_bad_topology_spec(self):
+        with pytest.raises(ValueError):
+            main(["info", "--topology", "not-a-spec"])

@@ -1,0 +1,78 @@
+"""Tests for the traffic-pattern data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.patterns import Flow, Pattern, Phase
+
+
+class TestFlow:
+    def test_valid(self):
+        f = Flow(1, 2, 100)
+        assert f.pair == (1, 2)
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(-1, 2)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(1, 2, 0)
+
+
+class TestPhase:
+    def test_from_pairs(self):
+        ph = Phase.from_pairs([(0, 1), (1, 2)], size=10, name="x")
+        assert ph.pairs() == [(0, 1), (1, 2)]
+        assert ph.total_bytes() == 20
+        assert len(ph) == 2
+
+    def test_is_permutation(self):
+        assert Phase.from_pairs([(0, 1), (1, 0)]).is_permutation()
+        assert not Phase.from_pairs([(0, 1), (0, 2)]).is_permutation()
+        assert not Phase.from_pairs([(0, 1), (2, 1)]).is_permutation()
+        assert not Phase.from_pairs([(0, 0)]).is_permutation()
+
+
+class TestPattern:
+    def test_num_ranks_inferred(self):
+        pat = Pattern.single_phase([(0, 5), (3, 1)])
+        assert pat.num_ranks == 6
+
+    def test_num_ranks_explicit_check(self):
+        with pytest.raises(ValueError):
+            Pattern.single_phase([(0, 9)], num_ranks=5)
+
+    def test_connectivity_matrix(self):
+        pat = Pattern.single_phase([(0, 1), (0, 1), (1, 2)], size=5)
+        mat = pat.connectivity_matrix()
+        assert mat[0, 1] == 10
+        assert mat[1, 2] == 5
+        assert mat.sum() == 15
+
+    def test_inverse(self):
+        pat = Pattern.single_phase([(0, 1), (2, 3)], size=7)
+        inv = pat.inverse()
+        assert inv.pairs() == [(1, 0), (3, 2)]
+        assert inv.num_ranks == pat.num_ranks
+        np.testing.assert_array_equal(
+            inv.connectivity_matrix(), pat.connectivity_matrix().T
+        )
+
+    def test_symmetry(self):
+        assert Pattern.single_phase([(0, 1), (1, 0)]).is_symmetric()
+        assert not Pattern.single_phase([(0, 1), (1, 2)]).is_symmetric()
+
+    def test_unique_pairs(self):
+        pat = Pattern.single_phase([(1, 0), (0, 1), (1, 0)])
+        assert pat.unique_pairs() == [(0, 1), (1, 0)]
+
+    def test_multi_phase_totals(self):
+        pat = Pattern(
+            (Phase.from_pairs([(0, 1)], size=3), Phase.from_pairs([(1, 0)], size=4)),
+        )
+        assert pat.total_bytes() == 7
+        assert len(pat) == 2
+        assert len(list(pat.flows())) == 2

@@ -1,0 +1,94 @@
+"""Tests for the permutation algebra (paper Sec. VII-B foundations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import Permutation
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = Permutation.identity(5)
+        assert p.pairs() == []
+        assert p.is_involution()
+
+    def test_not_a_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 0, 1])
+        with pytest.raises(ValueError):
+            Permutation([1, 2, 3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation([])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation(np.zeros((2, 2), dtype=int))
+
+    def test_random_reproducible(self):
+        assert Permutation.random(20, 3) == Permutation.random(20, 3)
+        assert Permutation.random(20, 3) != Permutation.random(20, 4)
+
+    def test_from_function(self):
+        p = Permutation.from_function(8, lambda i: i ^ 1)
+        assert p[0] == 1 and p[7] == 6
+
+
+class TestAlgebra:
+    def test_inverse(self):
+        p = Permutation([2, 0, 1])
+        inv = p.inverse()
+        assert inv.compose(p) == Permutation.identity(3)
+        assert p.compose(inv) == Permutation.identity(3)
+
+    def test_compose_order(self):
+        p = Permutation([1, 2, 0])
+        q = Permutation([0, 2, 1])
+        # (p ∘ q)(i) = p(q(i))
+        assert p.compose(q) == Permutation([p[q[i]] for i in range(3)])
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 1]).compose(Permutation([0, 1, 2]))
+
+    def test_involution_detection(self):
+        assert Permutation([1, 0, 3, 2]).is_involution()
+        assert not Permutation([1, 2, 0]).is_involution()
+
+    def test_fixed_points(self):
+        np.testing.assert_array_equal(
+            Permutation([0, 2, 1, 3]).fixed_points(), [0, 3]
+        )
+
+
+class TestTraffic:
+    def test_pairs_exclude_fixed_points(self):
+        p = Permutation([0, 2, 1])
+        assert p.pairs() == [(1, 2), (2, 1)]
+
+    def test_pattern(self):
+        pat = Permutation([1, 0]).pattern(size=9)
+        assert pat.total_bytes() == 18
+        assert pat.num_ranks == 2
+
+
+@given(n=st.integers(2, 64), seed=st.integers(0, 10_000))
+@settings(max_examples=100, deadline=None)
+def test_property_inverse_round_trip(n, seed):
+    p = Permutation.random(n, seed)
+    assert p.inverse().inverse() == p
+    assert p.compose(p.inverse()) == Permutation.identity(n)
+
+
+@given(n=st.integers(2, 64), seed=st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_property_pairs_are_inverse_swapped(n, seed):
+    """pairs of P^-1 are exactly the swapped pairs of P (Sec. VII-B's
+    source/destination exchange)."""
+    p = Permutation.random(n, seed)
+    assert sorted((d, s) for s, d in p.pairs()) == sorted(p.inverse().pairs())

@@ -1,0 +1,77 @@
+"""Cross-validation: the fluid model against the flit-level engine.
+
+DESIGN.md commits to quantifying the substitution of the fast fluid model
+for the flit-level simulator in the figure sweeps: on bandwidth-dominated
+phases the two must agree closely on completion times and, more
+importantly, on *slowdown ratios* between routing algorithms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Colored, DModK, RandomNCA, SModK
+from repro.patterns import cg_transpose_exchange, wrf_exchange
+from repro.sim import NetworkConfig, VenusSimulator, simulate_phase_fluid
+from repro.topology import XGFT
+
+
+def _phase_times(topo, alg, pairs, size, cfg):
+    table = alg.build_table(pairs)
+    sizes = [size] * len(table)
+    fluid = simulate_phase_fluid(table, sizes, cfg).duration
+    sim = VenusSimulator(topo, cfg)
+    sim.inject_table(table, sizes)
+    venus = sim.run().duration
+    return fluid, venus
+
+
+@pytest.fixture
+def cfg():
+    # zero latency: isolates bandwidth behaviour (what fluid models)
+    return NetworkConfig(hop_latency=0.0)
+
+
+class TestAgreement:
+    def test_contended_phase_agrees(self, cfg):
+        """CG's pathological phase: dominated by a 7x bottleneck — the
+        engines must agree within a few percent."""
+        topo = XGFT((16, 16), (1, 16))
+        pairs = cg_transpose_exchange(128)
+        fluid, venus = _phase_times(topo, DModK(topo), pairs, 64 * 1024, cfg)
+        assert venus / fluid == pytest.approx(1.0, rel=0.05)
+
+    def test_wrf_phase_agrees(self, cfg):
+        topo = XGFT((16, 16), (1, 8))
+        pairs = wrf_exchange(256)
+        fluid, venus = _phase_times(topo, SModK(topo), pairs, 32 * 1024, cfg)
+        assert venus / fluid == pytest.approx(1.0, rel=0.10)
+
+    def test_slowdown_ratio_preserved(self, cfg):
+        """The figure-level quantity — algorithm A time / algorithm B time —
+        agrees between engines even where absolute times drift."""
+        topo = XGFT((16, 16), (1, 16))
+        pairs = cg_transpose_exchange(128)
+        size = 64 * 1024
+        f_bad, v_bad = _phase_times(topo, DModK(topo), pairs, size, cfg)
+        f_good, v_good = _phase_times(topo, Colored(topo), pairs, size, cfg)
+        assert (v_bad / v_good) == pytest.approx(f_bad / f_good, rel=0.15)
+
+    def test_random_routing_agrees(self, cfg):
+        topo = XGFT((8, 8), (1, 4))
+        pairs = [(s, (s + 8) % 64) for s in range(64)]
+        fluid, venus = _phase_times(topo, RandomNCA(topo, seed=2), pairs, 32 * 1024, cfg)
+        assert venus / fluid == pytest.approx(1.0, rel=0.12)
+
+    def test_latency_is_the_gap(self):
+        """With per-hop latency enabled, venus exceeds fluid by roughly the
+        pipeline-fill term, not more."""
+        topo = XGFT((8, 8), (1, 8))
+        cfg = NetworkConfig(hop_latency=2e-6)
+        pairs = [(0, 8)]
+        size = 16 * 1024
+        fluid, venus = _phase_times(topo, DModK(topo), pairs, size, cfg)
+        overhead = venus - fluid
+        # pipeline fill: (hops-1) segment times + hops * latency
+        bound = 3 * cfg.segment_time + 4 * cfg.hop_latency + 1e-9
+        assert 0 < overhead <= bound

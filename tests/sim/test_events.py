@@ -1,0 +1,83 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, fired.append, "b")
+        q.schedule(1.0, fired.append, "a")
+        q.schedule(3.0, fired.append, "c")
+        q.run()
+        assert fired == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_fifo_at_equal_times(self):
+        q = EventQueue()
+        fired = []
+        for tag in range(5):
+            q.schedule(1.0, fired.append, tag)
+        q.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_in(self):
+        q = EventQueue()
+        out = []
+        q.schedule(1.0, lambda: q.schedule_in(0.5, out.append, "x"))
+        q.run()
+        assert out == ["x"]
+        assert q.now == 1.5
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule(0.5, lambda: None)
+
+    def test_until_horizon(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, fired.append, 1)
+        q.schedule(5.0, fired.append, 5)
+        q.run(until=2.0)
+        assert fired == [1]
+        assert q.now == 2.0
+        assert q.pending == 1
+
+    def test_event_budget(self):
+        q = EventQueue()
+
+        def reschedule():
+            q.schedule_in(1.0, reschedule)
+
+        q.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            q.run(max_events=100)
+
+    def test_processed_counter(self):
+        q = EventQueue()
+        for t in range(4):
+            q.schedule(float(t), lambda: None)
+        q.run()
+        assert q.processed == 4
+
+    def test_cascading_events(self):
+        q = EventQueue()
+        out = []
+
+        def chain(n):
+            out.append(n)
+            if n:
+                q.schedule_in(1.0, chain, n - 1)
+
+        q.schedule(0.0, chain, 3)
+        q.run()
+        assert out == [3, 2, 1, 0]
+        assert q.now == 3.0

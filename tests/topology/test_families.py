@@ -1,0 +1,95 @@
+"""Tests for the named XGFT sub-family constructors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    XGFT,
+    fig1_examples,
+    kary_ntree,
+    mary_complete_tree,
+    progressive_slimming,
+    slimmed_kary_ntree,
+    slimmed_two_level,
+)
+
+
+class TestKaryNTree:
+    def test_parameters(self):
+        topo = kary_ntree(4, 3)
+        assert topo.m == (4, 4, 4)
+        assert topo.w == (1, 4, 4)
+        assert topo.spec() == "XGFT(3;4,4,4;1,4,4)"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            kary_ntree(0, 3)
+        with pytest.raises(ValueError):
+            kary_ntree(4, 0)
+
+
+class TestSlimmed:
+    def test_parameters(self):
+        topo = slimmed_kary_ntree(4, 3, (2, 3))
+        assert topo.m == (4, 4, 4)
+        assert topo.w == (1, 2, 3)
+        assert topo.is_slimmed
+
+    def test_full_is_not_slimmed(self):
+        assert not slimmed_kary_ntree(4, 2, (4,)).is_slimmed
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            slimmed_kary_ntree(4, 3, (2,))
+
+    def test_fattening_rejected(self):
+        with pytest.raises(ValueError):
+            slimmed_kary_ntree(4, 2, (5,))
+
+
+class TestMAry:
+    def test_parameters(self):
+        topo = mary_complete_tree(3, 2)
+        assert topo.m == (3, 3)
+        assert topo.w == (1, 1)
+        assert topo.num_switches == 3 + 1
+
+    def test_single_path_property(self):
+        """A complete tree has exactly one route per pair (all w_i = 1)."""
+        topo = mary_complete_tree(3, 2)
+        assert all(topo.num_ncas(l) == 1 for l in range(topo.h + 1))
+
+
+class TestPaperSweep:
+    def test_slimmed_two_level_default_is_full(self):
+        topo = slimmed_two_level()
+        assert topo.spec() == "XGFT(2;16,16;1,16)"
+        assert topo.is_kary_ntree
+
+    def test_progressive_slimming_order(self):
+        sweep = list(progressive_slimming())
+        assert len(sweep) == 16
+        assert [t.w[1] for t in sweep] == list(range(16, 0, -1))
+        assert all(t.m == (16, 16) for t in sweep)
+
+    def test_progressive_slimming_custom_values(self):
+        sweep = list(progressive_slimming(8, 8, [8, 4, 2]))
+        assert [t.w[1] for t in sweep] == [8, 4, 2]
+        assert all(t.m == (8, 8) for t in sweep)
+
+
+class TestFig1Examples:
+    def test_all_valid(self):
+        examples = fig1_examples()
+        assert len(examples) >= 4
+        for name, topo in examples.items():
+            assert isinstance(topo, XGFT)
+            assert topo.num_leaves >= 4
+
+    def test_families_represented(self):
+        examples = fig1_examples()
+        kinds = {t.is_kary_ntree for t in examples.values()}
+        assert kinds == {True, False}
+        assert any(t.is_slimmed for t in examples.values())
+        assert any(t.h >= 3 for t in examples.values())

@@ -1,0 +1,152 @@
+"""Unit and property tests for the mixed-radix label codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.labels import MixedRadix, digits_to_int, int_to_digits
+
+
+class TestScalarCodec:
+    def test_round_trip_simple(self):
+        assert digits_to_int([1, 2], [10, 10]) == 21
+        assert int_to_digits(21, [10, 10]) == (1, 2)
+
+    def test_mixed_bases(self):
+        # bases LSB-first (3, 4, 2): value = d0 + 3*d1 + 12*d2
+        assert digits_to_int([2, 3, 1], [3, 4, 2]) == 2 + 9 + 12
+
+    def test_zero(self):
+        assert digits_to_int([0, 0], [5, 7]) == 0
+        assert int_to_digits(0, [5, 7]) == (0, 0)
+
+    def test_digit_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            digits_to_int([5], [5])
+
+    def test_negative_digit_rejected(self):
+        with pytest.raises(ValueError):
+            digits_to_int([-1], [5])
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_digits(35, [5, 7])
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_digits(-1, [5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            digits_to_int([1, 2, 3], [5, 5])
+
+
+class TestMixedRadix:
+    def test_size(self):
+        assert MixedRadix([3, 4, 2]).size == 24
+
+    def test_weights(self):
+        assert MixedRadix([3, 4, 2]).weights == (1, 3, 12, 24)
+
+    def test_encode_decode(self):
+        mr = MixedRadix([3, 4, 2])
+        for v in range(mr.size):
+            assert mr.encode(mr.decode(v)) == v
+
+    def test_digit(self):
+        mr = MixedRadix([3, 4, 2])
+        assert mr.digit(23, 0) == 23 % 3
+        assert mr.digit(23, 1) == (23 // 3) % 4
+        assert mr.digit(23, 2) == 23 // 12
+
+    def test_replace_digit(self):
+        mr = MixedRadix([3, 4, 2])
+        v = mr.encode((2, 1, 0))
+        v2 = mr.replace_digit(v, 1, 3)
+        assert mr.decode(v2) == (2, 3, 0)
+
+    def test_replace_digit_out_of_range(self):
+        mr = MixedRadix([3, 4, 2])
+        with pytest.raises(ValueError):
+            mr.replace_digit(0, 1, 4)
+
+    def test_unit_base_allowed(self):
+        mr = MixedRadix([1, 5])
+        assert mr.size == 5
+        assert mr.decode(3) == (0, 3)
+
+    def test_empty_bases_rejected(self):
+        with pytest.raises(ValueError):
+            MixedRadix([])
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            MixedRadix([3, 0])
+
+    def test_equality_and_hash(self):
+        assert MixedRadix([3, 4]) == MixedRadix([3, 4])
+        assert MixedRadix([3, 4]) != MixedRadix([4, 3])
+        assert hash(MixedRadix([3, 4])) == hash(MixedRadix([3, 4]))
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError):
+            MixedRadix([2, 2]).decode(4)
+
+
+class TestVectorized:
+    def test_digit_array_matches_scalar(self):
+        mr = MixedRadix([3, 4, 2])
+        values = np.arange(mr.size)
+        for j in range(3):
+            expected = [mr.digit(int(v), j) for v in values]
+            np.testing.assert_array_equal(mr.digit_array(values, j), expected)
+
+    def test_decode_array_matches_scalar(self):
+        mr = MixedRadix([5, 2, 3])
+        values = np.arange(mr.size)
+        mat = mr.decode_array(values)
+        for v in values:
+            np.testing.assert_array_equal(mat[v], mr.decode(int(v)))
+
+    def test_encode_array_round_trip(self):
+        mr = MixedRadix([5, 2, 3])
+        values = np.arange(mr.size)
+        np.testing.assert_array_equal(mr.encode_array(mr.decode_array(values)), values)
+
+    def test_encode_array_shape_check(self):
+        mr = MixedRadix([5, 2])
+        with pytest.raises(ValueError):
+            mr.encode_array(np.zeros((3, 3), dtype=np.int64))
+
+
+@given(
+    bases=st.lists(st.integers(1, 7), min_size=1, max_size=5),
+    data=st.data(),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_round_trip(bases, data):
+    mr = MixedRadix(bases)
+    value = data.draw(st.integers(0, mr.size - 1))
+    digits = mr.decode(value)
+    assert len(digits) == len(bases)
+    assert all(0 <= d < b for d, b in zip(digits, bases))
+    assert mr.encode(digits) == value
+
+
+@given(
+    bases=st.lists(st.integers(1, 7), min_size=1, max_size=5),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_replace_digit_involution(bases, data):
+    mr = MixedRadix(bases)
+    value = data.draw(st.integers(0, mr.size - 1))
+    j = data.draw(st.integers(0, len(bases) - 1))
+    new_digit = data.draw(st.integers(0, bases[j] - 1))
+    replaced = mr.replace_digit(value, j, new_digit)
+    assert mr.digit(replaced, j) == new_digit
+    # restoring the original digit restores the original value
+    assert mr.replace_digit(replaced, j, mr.digit(value, j)) == value
