@@ -2,9 +2,15 @@
 
 1. Relabel map: balanced-random (the paper's proposal) vs plain mod
    (degenerates to S/D-mod-k) vs one global scramble per level (loses the
-   per-subtree independence).
-2. Colored: endpoint-aware link costs vs raw flow counts.
-3. Engine substitution: fluid vs flit-level on a contended phase.
+   per-subtree independence).  Expressed as a sweep grid over
+   parameterized algorithm specs (``r-nca-d(map_kind=...)``).
+2. Relabel balance: the Fig.-4(b) census spread under each map, as an
+   all-pairs ``routes_per_nca`` sweep.
+3. Colored: endpoint-aware link costs vs raw flow counts.
+4. Engine substitution: fluid vs flit-level on a contended phase.
+
+(3) and (4) probe simulator internals rather than a scenario grid, so
+they stay direct harness calls.
 """
 
 from __future__ import annotations
@@ -12,35 +18,34 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.contention import all_pairs_nca_census, max_network_contention
-from repro.core import Colored, DModK, RNCADown
-from repro.experiments import crossbar_time, slowdown
-from repro.patterns import cg_pattern, wrf_exchange, wrf_pattern
+from repro.core import Colored, DModK
+from repro.experiments import SweepSpec, run_sweep
 from repro.sim import NetworkConfig, VenusSimulator, simulate_phase_fluid
 from repro.topology import slimmed_two_level
 
-from .conftest import bench_seeds
+from .conftest import bench_jobs, bench_seeds
+
+MAP_KINDS = ("balanced-random", "mod", "global-random")
 
 
 def test_relabel_map_ablation(benchmark, record_result):
     """Balanced-random vs mod vs global-random relabeling on CG.D."""
-    pattern = cg_pattern(128)
-    topo = slimmed_two_level(16, 16, 16)
-    t_ref = crossbar_time(pattern, 256)
-    seeds = bench_seeds()
+    spec = SweepSpec(
+        topologies=("XGFT(2;16,16;1,16)",),
+        patterns=("cg-128",),
+        algorithms=tuple(f"r-nca-d(map_kind={kind})" for kind in MAP_KINDS),
+        seeds=bench_seeds(),
+        metrics=("slowdown",),
+        name="ablation-relabel-map",
+    )
 
     def run():
-        out = {}
-        for kind in ("balanced-random", "mod", "global-random"):
-            samples = [
-                slowdown(
-                    topo, "r-nca-d", pattern, seed=s,
-                    reference_time=t_ref, map_kind=kind,
-                )
-                for s in range(seeds)
-            ]
-            out[kind] = float(np.median(samples))
-        return out
+        result = run_sweep(spec, jobs=bench_jobs())
+        out: dict[str, list[float]] = {}
+        for record in result.runs:
+            kind = record["algorithm"].split("map_kind=")[1].rstrip(")")
+            out.setdefault(kind, []).append(record["metrics"]["slowdown"])
+        return {kind: float(np.median(vals)) for kind, vals in out.items()}
 
     medians = benchmark.pedantic(run, rounds=1, iterations=1)
     record_result(
@@ -64,13 +69,26 @@ def test_relabel_map_ablation(benchmark, record_result):
 def test_relabel_balance_ablation(benchmark, record_result):
     """On the slimmed tree only the *balanced* map fixes the Fig.-4(b)
     census skew; the mod map keeps the 7680/3840 bimodality."""
-    topo = slimmed_two_level(16, 16, 10)
+    spec = SweepSpec(
+        topologies=("XGFT(2;16,16;1,10)",),
+        patterns=("all-pairs",),
+        algorithms=(
+            "r-nca-d(map_kind=balanced-random)",
+            "r-nca-d(map_kind=mod)",
+        ),
+        seeds=2,  # planned seeds {0, 1}; the census is asserted on seed 1
+        metrics=("routes_per_nca",),
+        name="ablation-relabel-balance",
+    )
 
     def run():
+        result = run_sweep(spec, jobs=bench_jobs())
         spreads = {}
-        for kind in ("balanced-random", "mod"):
-            census = all_pairs_nca_census(RNCADown(topo, seed=1, map_kind=kind))
-            spreads[kind] = int(np.ptp(census))
+        for record in result.runs:
+            if record["seed"] != 1:
+                continue
+            kind = record["algorithm"].split("map_kind=")[1].rstrip(")")
+            spreads[kind] = int(np.ptp(record["metrics"]["routes_per_nca"]))
         return spreads
 
     spreads = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,7 +1,9 @@
 """E4/E5 — Fig. 2: slowdown of the classic oblivious schemes vs w2.
 
-Regenerates both panels over the full progressive-slimming sweep
-(w2 = 16..1) and asserts the paper's qualitative conclusions:
+The figure is now a declarative sweep grid (``figure_grid_spec("fig2",
+app)``) executed by :func:`repro.experiments.run_sweep` — process
+parallel, one memoized route table per (topology, algorithm, seed) —
+and adapted back into the paper's series for the assertions:
 
 * (a) WRF-256: Random is worse than S-mod-k/D-mod-k, which match the
   pattern-aware Colored; slowdown grows to ~15-16x at w2 = 1.
@@ -13,19 +15,28 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import BoxStats, fig2, format_sweep
+from repro.experiments import (
+    BoxStats,
+    figure_grid_spec,
+    format_sweep,
+    run_sweep,
+    sweep_to_figure,
+)
 
-from .conftest import bench_seeds
+from .conftest import bench_jobs, bench_seeds
 
 
 def _median(v):
     return v.median if isinstance(v, BoxStats) else v
 
 
+def _run_fig2(app: str):
+    spec = figure_grid_spec("fig2", app, seeds=bench_seeds())
+    return sweep_to_figure(run_sweep(spec, jobs=bench_jobs()))
+
+
 def test_fig2a_wrf(benchmark, record_result):
-    sweep = benchmark.pedantic(
-        fig2, args=("wrf",), kwargs={"seeds": bench_seeds()}, rounds=1, iterations=1
-    )
+    sweep = benchmark.pedantic(_run_fig2, args=("wrf-256",), rounds=1, iterations=1)
     record_result("fig2a_wrf", format_sweep(sweep, "Fig. 2(a) WRF-256"))
 
     smodk = sweep.series_by_name("s-mod-k").values
@@ -48,9 +59,7 @@ def test_fig2a_wrf(benchmark, record_result):
 
 
 def test_fig2b_cg(benchmark, record_result):
-    sweep = benchmark.pedantic(
-        fig2, args=("cg",), kwargs={"seeds": bench_seeds()}, rounds=1, iterations=1
-    )
+    sweep = benchmark.pedantic(_run_fig2, args=("cg-128",), rounds=1, iterations=1)
     record_result("fig2b_cg", format_sweep(sweep, "Fig. 2(b) CG.D-128"))
 
     dmodk = sweep.series_by_name("d-mod-k").values

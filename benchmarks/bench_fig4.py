@@ -1,51 +1,83 @@
 """E8/E9 — Fig. 4: all-pairs routes assigned per root NCA.
 
-Panel (a): the full XGFT(2;16,16;1,16) — mod-k is perfectly flat at
-61440/16 = 3840 routes per root.  Panel (b): the slimmed (1,10) tree —
-mod-k is bimodal (7680 on roots 0-5, 3840 on 6-9, the Sec. VII-D
-imbalance) while the balanced relabeling of r-NCA-u/-d and Random stay
-near the 6144 mean.
+Both panels are one sweep each: the ``all-pairs`` pattern with the
+``routes_per_nca`` metric over {s-mod-k, d-mod-k, random, r-nca-u,
+r-nca-d} x seeds.  Panel (a): the full XGFT(2;16,16;1,16) — mod-k is
+perfectly flat at 61440/16 = 3840 routes per root.  Panel (b): the
+slimmed (1,10) tree — mod-k is bimodal (7680 on roots 0-5, 3840 on 6-9,
+the Sec. VII-D imbalance) while the balanced relabeling of r-NCA-u/-d
+and Random stay near the 6144 mean.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.experiments import fig4, format_fig4
+from repro.experiments import SweepResult, figure_grid_spec, run_sweep
 
-from .conftest import bench_seeds
+from .conftest import bench_jobs, bench_seeds
+
+
+def _census(result: SweepResult) -> tuple[dict, dict]:
+    """(exact per-algorithm counts, per-seed census matrix) from a sweep."""
+    exact: dict[str, tuple[int, ...]] = {}
+    sampled: dict[str, list[list[int]]] = {}
+    for record in result.runs:
+        census = record["metrics"]["routes_per_nca"]
+        if record["algorithm"] in ("s-mod-k", "d-mod-k"):
+            exact[record["algorithm"]] = tuple(census)
+        else:
+            sampled.setdefault(record["algorithm"], []).append(census)
+    medians = {
+        name: np.median(np.asarray(rows), axis=0) for name, rows in sampled.items()
+    }
+    return exact, medians
+
+
+def _format(exact: dict, medians: dict, title: str) -> str:
+    lines = [title]
+    for name, counts in exact.items():
+        lines.append(f"  {name:>10}: {list(counts)}")
+    for name, meds in medians.items():
+        lines.append(f"  {name:>10}: medians {[float(m) for m in meds]}")
+    return "\n".join(lines)
+
+
+def _run_fig4(w2: int) -> SweepResult:
+    spec = figure_grid_spec("fig4", w2_values=(w2,), seeds=bench_seeds())
+    return run_sweep(spec, jobs=bench_jobs())
 
 
 def test_fig4a_full_tree(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig4, args=(16,), kwargs={"seeds": bench_seeds()}, rounds=1, iterations=1
+    result = benchmark.pedantic(_run_fig4, args=(16,), rounds=1, iterations=1)
+    exact, medians = _census(result)
+    record_result(
+        "fig4a_routes_per_nca", _format(exact, medians, "Fig. 4(a) XGFT(2;16,16;1,16)")
     )
-    record_result("fig4a_routes_per_nca", format_fig4(result))
-    assert result.exact["s-mod-k"] == (3840,) * 16
-    assert result.exact["d-mod-k"] == (3840,) * 16
+    assert exact["s-mod-k"] == (3840,) * 16
+    assert exact["d-mod-k"] == (3840,) * 16
     # the r-NCA relabeling is per-subtree *permutations* here (m == w):
     # census is exactly flat as well
     for name in ("r-nca-u", "r-nca-d"):
-        medians = [b.median for b in result.boxed[name]]
-        assert medians == [3840.0] * 16
+        assert medians[name].tolist() == [3840.0] * 16
     # random stays near the mean
-    rnd = [b.median for b in result.boxed["random"]]
-    assert max(rnd) < 3840 * 1.06 and min(rnd) > 3840 * 0.94
+    assert medians["random"].max() < 3840 * 1.06
+    assert medians["random"].min() > 3840 * 0.94
 
 
 def test_fig4b_slimmed_tree(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig4, args=(10,), kwargs={"seeds": bench_seeds()}, rounds=1, iterations=1
+    result = benchmark.pedantic(_run_fig4, args=(10,), rounds=1, iterations=1)
+    exact, medians = _census(result)
+    record_result(
+        "fig4b_routes_per_nca", _format(exact, medians, "Fig. 4(b) XGFT(2;16,16;1,10)")
     )
-    record_result("fig4b_routes_per_nca", format_fig4(result))
     # the modulo imbalance: six roots take double load
-    assert result.exact["s-mod-k"] == (7680,) * 6 + (3840,) * 4
-    assert result.exact["d-mod-k"] == (7680,) * 6 + (3840,) * 4
+    assert exact["s-mod-k"] == (7680,) * 6 + (3840,) * 4
+    assert exact["d-mod-k"] == (7680,) * 6 + (3840,) * 4
     mean = 61440 / 10
     for name in ("random", "r-nca-u", "r-nca-d"):
-        medians = np.asarray([b.median for b in result.boxed[name]])
+        meds = medians[name]
         # strictly inside the mod-k extremes, centred on the mean
-        assert medians.max() < 7680
-        assert medians.min() > 3840
-        assert abs(medians.mean() - mean) < 0.05 * mean
+        assert meds.max() < 7680
+        assert meds.min() > 3840
+        assert abs(meds.mean() - mean) < 0.05 * mean

@@ -1,7 +1,8 @@
 """E10/E11 — Fig. 5: the proposed r-NCA-u / r-NCA-d vs the field.
 
-The paper's headline evaluation: over the progressive-slimming sweep,
-the proposed schemes (boxplots over seeds)
+The paper's headline evaluation as a sweep grid (``figure_grid_spec
+("fig5", app)``): over the progressive-slimming sweep, the proposed
+schemes (boxplots over seeds)
 
 * perform statistically better than static Random on both applications,
 * avoid the S-mod-k/D-mod-k pathology on CG.D-128,
@@ -17,19 +18,28 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import BoxStats, fig5, format_sweep
+from repro.experiments import (
+    BoxStats,
+    figure_grid_spec,
+    format_sweep,
+    run_sweep,
+    sweep_to_figure,
+)
 
-from .conftest import bench_seeds
+from .conftest import bench_jobs, bench_seeds
 
 
 def _median(v):
     return v.median if isinstance(v, BoxStats) else v
 
 
+def _run_fig5(app: str):
+    spec = figure_grid_spec("fig5", app, seeds=bench_seeds())
+    return sweep_to_figure(run_sweep(spec, jobs=bench_jobs()))
+
+
 def test_fig5a_wrf(benchmark, record_result):
-    sweep = benchmark.pedantic(
-        fig5, args=("wrf",), kwargs={"seeds": bench_seeds()}, rounds=1, iterations=1
-    )
+    sweep = benchmark.pedantic(_run_fig5, args=("wrf-256",), rounds=1, iterations=1)
     record_result("fig5a_wrf", format_sweep(sweep, "Fig. 5(a) WRF-256"))
     for w2 in range(16, 1, -1):
         rnd = sweep.series_by_name("random").values[w2].median
@@ -43,9 +53,7 @@ def test_fig5a_wrf(benchmark, record_result):
 
 
 def test_fig5b_cg(benchmark, record_result):
-    sweep = benchmark.pedantic(
-        fig5, args=("cg",), kwargs={"seeds": bench_seeds()}, rounds=1, iterations=1
-    )
+    sweep = benchmark.pedantic(_run_fig5, args=("cg-128",), rounds=1, iterations=1)
     record_result("fig5b_cg", format_sweep(sweep, "Fig. 5(b) CG.D-128"))
     rnca_mean = {name: 0.0 for name in ("r-nca-u", "r-nca-d")}
     rnd_mean = 0.0

@@ -1,18 +1,22 @@
 """Shared fixtures for the benchmark harness.
 
-Each benchmark regenerates one paper artifact: it runs the experiment
-under ``pytest-benchmark`` timing, asserts the paper's qualitative shape,
-writes the rendered rows to ``benchmarks/results/<name>.txt`` and prints
-them (run with ``-s`` to see them inline).
+Each benchmark regenerates one paper artifact through the sweep engine
+(:mod:`repro.experiments.sweep`): it declares the figure's grid as a
+:class:`~repro.experiments.SweepSpec`, executes it under
+``pytest-benchmark`` timing, asserts the paper's qualitative shape, and
+writes the rendered rows to ``benchmarks/results/<name>.txt`` (run with
+``-s`` to see them inline).
 
 Environment knobs:
 
 * ``REPRO_BENCH_SEEDS`` — seeds per randomized algorithm (default 5;
   the paper uses 40-60 for Fig. 5, which takes correspondingly longer).
+* ``REPRO_BENCH_JOBS`` — sweep worker processes (default: up to 4).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from pathlib import Path
 
@@ -23,6 +27,12 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def bench_seeds(default: int = 5) -> int:
     return int(os.environ.get("REPRO_BENCH_SEEDS", default))
+
+
+def bench_jobs() -> int:
+    return int(
+        os.environ.get("REPRO_BENCH_JOBS", min(4, multiprocessing.cpu_count()))
+    )
 
 
 @pytest.fixture(scope="session")

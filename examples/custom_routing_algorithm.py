@@ -92,7 +92,10 @@ def main() -> None:
             alg = make_algorithm(name, topo, seed=t)
             perm = Permutation.random(256, rng)
             levels.append(pattern_contention_level(alg, perm.pairs()))
-        print(f"  {name:>9}: mean C = {np.mean(levels):.2f}  (min {min(levels)}, max {max(levels)})")
+        print(
+            f"  {name:>9}: mean C = {np.mean(levels):.2f}  "
+            f"(min {min(levels)}, max {max(levels)})"
+        )
     print(
         "\nxor-fold concentrates neither endpoint, so like Random it "
         "spreads endpoint contention over the fabric; h-rand-d tracks "

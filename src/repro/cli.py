@@ -2,20 +2,30 @@
 
 ::
 
-    repro-xgft fig2 --app wrf
-    repro-xgft fig2 --app cg --w2 16 8 4 1
-    repro-xgft fig3
-    repro-xgft fig4 --w2 10 --seeds 10
-    repro-xgft fig5 --app cg --seeds 40
-    repro-xgft table1 --topology "XGFT(2;16,16;1,10)"
-    repro-xgft equivalence --permutations 500
-    repro-xgft info --topology "XGFT(3;4,4,4;1,4,2)"
+    repro fig2 --app wrf
+    repro fig2 --app cg --w2 16 8 4 1
+    repro fig3
+    repro fig4 --w2 10 --seeds 10
+    repro fig5 --app cg --seeds 40
+    repro table1 --topology "XGFT(2;16,16;1,10)"
+    repro equivalence --permutations 500
+    repro info --topology "XGFT(3;4,4,4;1,4,2)"
+    repro sweep --jobs 4 -o sweep_results.json
+    repro sweep --spec benchmarks/smoke_spec.json --baseline benchmarks/baseline_smoke.json
+    repro compare baseline.json current.json --tolerance 0.1
+
+The ``sweep`` subcommand runs a declarative {topology x pattern x
+algorithm x seed} grid through :mod:`repro.experiments.sweep` — by
+default the paper's full Fig. 2-5 evaluation grid — and writes the
+schema-versioned JSON artifact CI regression-gates on.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from . import experiments
@@ -23,10 +33,19 @@ from .topology import ascii_art, cost_summary, parse_xgft, slimmed_two_level
 
 __all__ = ["main", "build_parser"]
 
+#: the paper's full evaluation grid (Figs. 2 and 5): both applications,
+#: every algorithm, the whole progressive-slimming topology family
+PAPER_GRID = {
+    "topologies": [slimmed_two_level(16, 16, w2).spec() for w2 in range(16, 0, -1)],
+    "patterns": ["wrf-256", "cg-128"],
+    "algorithms": ["s-mod-k", "d-mod-k", "colored", "random", "r-nca-u", "r-nca-d"],
+    "seeds": 5,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-xgft",
+        prog="repro",
         description="Regenerate the figures/tables of 'Oblivious Routing "
         "Schemes in Extended Generalized Fat Tree Networks' (CLUSTER 2009).",
     )
@@ -58,7 +77,127 @@ def build_parser() -> argparse.ArgumentParser:
 
     pi = sub.add_parser("info", help="structural summary of a topology")
     pi.add_argument("--topology", default="XGFT(2;16,16;1,16)")
+
+    ps = sub.add_parser(
+        "sweep",
+        help="run a {topology x pattern x algorithm x seed} grid "
+        "(default: the paper's Fig. 2-5 grid)",
+    )
+    ps.add_argument("--spec", type=Path, default=None,
+                    help="JSON sweep spec file; mutually exclusive with the "
+                    "grid flags (--seeds/--engine may still override it)")
+    ps.add_argument("--topologies", nargs="+", default=None, metavar="XGFT",
+                    help="XGFT spec strings")
+    ps.add_argument("--patterns", nargs="+", default=None,
+                    help="pattern names (wrf-256, cg-128, shift-1, all-pairs, ...)")
+    ps.add_argument("--algorithms", nargs="+", default=None,
+                    help="algorithm names, optionally parameterized: "
+                    "'r-nca-d(map_kind=mod)'")
+    ps.add_argument("--seeds", type=int, default=None,
+                    help="seeds per randomized algorithm")
+    ps.add_argument("--metrics", nargs="+", default=None,
+                    choices=list(experiments.KNOWN_METRICS))
+    ps.add_argument("--engine", choices=("fluid", "replay"), default=None)
+    ps.add_argument("--jobs", "-j", type=int, default=1,
+                    help="worker processes (grouped by shared route table)")
+    ps.add_argument("--filter", dest="run_filter", default=None,
+                    help="fnmatch/substring filter on run ids "
+                    "('topology/pattern/algorithm@seed')")
+    ps.add_argument("--output", "-o", type=Path, default=Path("sweep_results.json"))
+    ps.add_argument("--baseline", type=Path, default=None,
+                    help="prior artifact to regression-compare against "
+                    "(nonzero exit on regression)")
+    ps.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative regression tolerance for --baseline")
+    ps.add_argument("--max-rows", type=int, default=40,
+                    help="run rows to print (artifact always holds all)")
+
+    pc = sub.add_parser(
+        "compare", help="diff two sweep artifacts; nonzero exit on regression"
+    )
+    pc.add_argument("baseline", type=Path)
+    pc.add_argument("current", type=Path)
+    pc.add_argument("--tolerance", type=float, default=0.05)
+    pc.add_argument("--metrics", nargs="+", default=None,
+                    help="restrict the diff to these metrics")
     return parser
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> experiments.SweepSpec:
+    if args.spec is not None:
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--topologies", args.topologies),
+                ("--patterns", args.patterns),
+                ("--algorithms", args.algorithms),
+                ("--metrics", args.metrics),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            raise SystemExit(
+                f"error: {', '.join(conflicting)} cannot be combined with --spec; "
+                "edit the spec file (only --seeds/--engine override it)"
+            )
+        spec = experiments.SweepSpec.from_dict(json.loads(args.spec.read_text()))
+        overrides = {}
+        if args.seeds is not None:
+            overrides["seeds"] = args.seeds
+        if args.engine is not None:
+            overrides["engine"] = args.engine
+        if overrides:
+            d = spec.to_dict()
+            d.update(overrides)
+            spec = experiments.SweepSpec.from_dict(d)
+        return spec
+    grid = dict(PAPER_GRID)
+    if args.topologies is not None:
+        grid["topologies"] = args.topologies
+    if args.patterns is not None:
+        grid["patterns"] = args.patterns
+    if args.algorithms is not None:
+        grid["algorithms"] = args.algorithms
+    if args.seeds is not None:
+        grid["seeds"] = args.seeds
+    if args.metrics is not None:
+        grid["metrics"] = args.metrics
+    if args.engine is not None:
+        grid["engine"] = args.engine
+    return experiments.SweepSpec.from_dict(grid)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _sweep_spec_from_args(args)
+    result = experiments.run_sweep(spec, jobs=args.jobs, run_filter=args.run_filter)
+    path = experiments.write_artifact(result, args.output)
+    print(experiments.format_sweep_results(result, max_rows=args.max_rows))
+    cache = result.cache_stats
+    print(
+        f"\n{len(result.runs)} runs in {result.total_wall_time_s:.1f}s "
+        f"(jobs={args.jobs}; route tables: {cache.get('table_builds', 0)} built, "
+        f"{cache.get('table_hits', 0)} reused)"
+    )
+    print(f"artifact written to {path}")
+    if args.baseline is not None:
+        baseline = experiments.load_artifact(args.baseline)
+        comparison = experiments.sweep_compare(
+            baseline, result.to_dict(), rel_tol=args.tolerance
+        )
+        print(experiments.format_sweep_compare(comparison))
+        return 0 if comparison.ok else 1
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    comparison = experiments.sweep_compare(
+        experiments.load_artifact(args.baseline),
+        experiments.load_artifact(args.current),
+        rel_tol=args.tolerance,
+        metrics=args.metrics,
+    )
+    print(experiments.format_sweep_compare(comparison))
+    return 0 if comparison.ok else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -85,6 +224,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(ascii_art(topo))
         for key, value in cost_summary(topo).items():
             print(f"  {key:>22}: {value}")
+    elif args.command == "sweep":
+        return _cmd_sweep(args)
+    elif args.command == "compare":
+        return _cmd_compare(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

@@ -11,8 +11,10 @@ from .distribution import (
 from .link_load import busiest_links, link_flow_counts, load_histogram
 from .metrics import (
     ContentionReport,
+    LinkLoadSummary,
     contention_report,
     endpoint_contention,
+    link_load_summary,
     link_network_contention,
     max_network_contention,
 )
@@ -32,6 +34,8 @@ __all__ = [
     "endpoint_contention",
     "ContentionReport",
     "contention_report",
+    "LinkLoadSummary",
+    "link_load_summary",
     "pattern_contention_level",
     "permutation_contention_level",
     "contention_spectrum",

@@ -41,6 +41,8 @@ __all__ = [
     "endpoint_contention",
     "ContentionReport",
     "contention_report",
+    "LinkLoadSummary",
+    "link_load_summary",
 ]
 
 
@@ -91,6 +93,37 @@ def endpoint_contention(
         sends[s] += 1
         recvs[d] += 1
     return sends, recvs
+
+
+@dataclass(frozen=True)
+class LinkLoadSummary:
+    """One-pass digest of a routed phase's raw link-load census.
+
+    The sweep engine aggregates these across phases into its per-run
+    metrics; idle links are excluded from the mean but counted in the
+    histogram under load 0.
+    """
+
+    max_load: int
+    mean_load: float
+    num_used_links: int
+    #: {flows-per-link: number-of-links}, idle links included under 0
+    histogram: dict[int, int]
+
+
+def link_load_summary(table: RouteTable) -> LinkLoadSummary:
+    """Summarize the flow count census of a routed batch."""
+    from .link_load import link_flow_counts
+
+    counts = link_flow_counts(table)
+    used = counts[counts > 0]
+    values, freq = np.unique(counts, return_counts=True)
+    return LinkLoadSummary(
+        max_load=int(counts.max(initial=0)),
+        mean_load=float(used.mean()) if len(used) else 0.0,
+        num_used_links=int(len(used)),
+        histogram={int(v): int(f) for v, f in zip(values, freq)},
+    )
 
 
 @dataclass(frozen=True)

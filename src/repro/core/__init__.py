@@ -21,7 +21,9 @@ from .dmodk import DModK
 from .factory import (
     DETERMINISTIC_ALGORITHMS,
     RANDOMIZED_ALGORITHMS,
+    SINGLE_SEED_ALGORITHMS,
     available_algorithms,
+    is_oblivious,
     make_algorithm,
     register_algorithm,
 )
@@ -58,6 +60,8 @@ __all__ = [
     "register_algorithm",
     "DETERMINISTIC_ALGORITHMS",
     "RANDOMIZED_ALGORITHMS",
+    "SINGLE_SEED_ALGORITHMS",
+    "is_oblivious",
     "source_digit_port",
     "splitmix64",
 ]

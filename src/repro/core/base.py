@@ -198,13 +198,35 @@ class RoutingAlgorithm(ABC):
         """Vectorized up-port choice at ``level`` for pair arrays.
 
         Only called for pairs whose NCA is *above* ``level``.  The default
-        falls back to scalar :meth:`up_ports`; digit-wise algorithms
+        falls back to scalar :meth:`up_ports`, calling it once per
+        *unique* pair and scattering the result; digit-wise algorithms
         override this with pure NumPy.
         """
-        out = np.empty(len(src), dtype=np.int64)
-        for i, (s, d) in enumerate(zip(src.tolist(), dst.tolist())):
-            out[i] = self.up_ports(s, d)[level]
-        return out
+        uniq, inverse = np.unique(np.stack([src, dst], axis=1), axis=0, return_inverse=True)
+        vals = np.empty(len(uniq), dtype=np.int64)
+        for i, (s, d) in enumerate(uniq.tolist()):
+            vals[i] = self.up_ports(int(s), int(d))[level]
+        return vals[inverse]
+
+    def _scalar_port_matrix(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Full ``(F, h)`` port matrix for scalar-only algorithms.
+
+        One :meth:`up_ports` call per unique pair — instead of one per
+        (pair, level) as the level-by-level :meth:`port_array` fallback
+        would make — then a vectorized gather back onto the flow axis.
+        Patterns routinely repeat pairs across phases, so the dedup also
+        collapses that repetition.
+        """
+        ports = np.zeros((len(src), self.topo.h), dtype=np.int64)
+        if len(src) == 0:
+            return ports
+        uniq, inverse = np.unique(np.stack([src, dst], axis=1), axis=0, return_inverse=True)
+        uniq_ports = np.zeros((len(uniq), self.topo.h), dtype=np.int64)
+        for i, (s, d) in enumerate(uniq.tolist()):
+            seq = self.up_ports(int(s), int(d))
+            if seq:
+                uniq_ports[i, : len(seq)] = seq
+        return uniq_ports[inverse]
 
     def build_table(self, pairs: Iterable[tuple[int, int]]) -> RouteTable:
         """Route a batch of pairs into a :class:`RouteTable`."""
@@ -217,6 +239,9 @@ class RoutingAlgorithm(ABC):
             src = np.empty(0, dtype=np.int64)
             dst = np.empty(0, dtype=np.int64)
         nca = self.topo.nca_level_array(src, dst)
+        if type(self).port_array is RoutingAlgorithm.port_array:
+            # scalar-only algorithm: one up_ports call per unique pair
+            return RouteTable(self.topo, src, dst, nca, self._scalar_port_matrix(src, dst))
         ports = np.zeros((len(src), self.topo.h), dtype=np.int64)
         for level in range(self.topo.h):
             active = np.nonzero(nca > level)[0]

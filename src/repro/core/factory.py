@@ -23,8 +23,10 @@ __all__ = [
     "make_algorithm",
     "available_algorithms",
     "register_algorithm",
+    "is_oblivious",
     "DETERMINISTIC_ALGORITHMS",
     "RANDOMIZED_ALGORITHMS",
+    "SINGLE_SEED_ALGORITHMS",
 ]
 
 _BUILDERS: Dict[str, Callable[..., RoutingAlgorithm]] = {
@@ -42,6 +44,25 @@ _BUILDERS: Dict[str, Callable[..., RoutingAlgorithm]] = {
 DETERMINISTIC_ALGORITHMS = (SModK.name, DModK.name)
 #: algorithms evaluated over many seeds in the paper's boxplots
 RANDOMIZED_ALGORITHMS = (RandomNCA.name, RNCAUp.name, RNCADown.name)
+#: algorithms swept with a single seed by the sweep planner: either
+#: seed-free, or (Colored, the heuristics) plotted as one series in the
+#: paper rather than boxed over seeds
+SINGLE_SEED_ALGORITHMS = DETERMINISTIC_ALGORITHMS + (
+    Colored.name,
+    AutoModK.name,
+    BestOfKRNCA.name,
+)
+
+
+def is_oblivious(algorithm: RoutingAlgorithm) -> bool:
+    """True iff the algorithm never looks at the pattern it routes.
+
+    Detected structurally: an algorithm is oblivious exactly when it
+    keeps the no-op :meth:`~RoutingAlgorithm.prepare` hook.  The sweep
+    engine memoizes all-pairs route tables only for oblivious schemes —
+    a pattern-aware scheme's answers change with every pattern.
+    """
+    return type(algorithm).prepare is RoutingAlgorithm.prepare
 
 
 def register_algorithm(name: str, builder: Callable[..., RoutingAlgorithm]) -> None:

@@ -24,14 +24,37 @@ from .figures import (
     table1,
 )
 from .report import (
+    MetricDelta,
+    SweepComparison,
     format_equivalence,
     format_fig3,
     format_fig4,
     format_sweep,
+    format_sweep_compare,
+    format_sweep_results,
     format_table1,
+    sweep_compare,
 )
 from .slowdown import crossbar_time, slowdown
 from .stats import BoxStats, box_stats
+from .sweep import (
+    DEFAULT_METRICS,
+    KNOWN_METRICS,
+    SCHEMA_VERSION,
+    RouteTableCache,
+    RunSpec,
+    SweepResult,
+    SweepSpec,
+    execute_run,
+    figure_grid_spec,
+    load_artifact,
+    parse_algorithm_spec,
+    plan_runs,
+    resolve_pattern,
+    run_sweep,
+    sweep_to_figure,
+    write_artifact,
+)
 
 __all__ = [
     "fig2",
@@ -57,4 +80,27 @@ __all__ = [
     "format_equivalence",
     "DETERMINISTIC",
     "RANDOMIZED",
+    # sweep engine
+    "SCHEMA_VERSION",
+    "DEFAULT_METRICS",
+    "KNOWN_METRICS",
+    "SweepSpec",
+    "RunSpec",
+    "SweepResult",
+    "RouteTableCache",
+    "plan_runs",
+    "run_sweep",
+    "execute_run",
+    "resolve_pattern",
+    "parse_algorithm_spec",
+    "write_artifact",
+    "load_artifact",
+    "figure_grid_spec",
+    "sweep_to_figure",
+    # sweep reports
+    "MetricDelta",
+    "SweepComparison",
+    "sweep_compare",
+    "format_sweep_compare",
+    "format_sweep_results",
 ]

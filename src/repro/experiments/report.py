@@ -5,10 +5,15 @@ x-axis point (w2 or NCA id), one column per algorithm, boxplot series as
 ``median [q1..q3] (min..max)``.  The CLI and the benchmark harness print
 through these functions so that running a bench reproduces the paper's
 rows on stdout.
+
+Also home of :func:`sweep_compare` — the artifact diff the CI benchmark
+job gates on: it matches two sweep artifacts run by run, flags metric
+regressions beyond a tolerance, and renders the verdict.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -22,6 +27,11 @@ __all__ = [
     "format_fig4",
     "format_table1",
     "format_equivalence",
+    "MetricDelta",
+    "SweepComparison",
+    "sweep_compare",
+    "format_sweep_compare",
+    "format_sweep_results",
 ]
 
 
@@ -96,6 +106,179 @@ def format_table1(rows: Sequence[dict], spec: str = "") -> str:
             f"{row['level']:>5} {row['num_nodes']:>8} "
             f"{str(row['example_label']):>20} {row['links_down']:>8} {row['links_up']:>8}"
         )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Sweep artifacts: result table and regression diff
+# ----------------------------------------------------------------------
+def _sweep_records(artifact) -> list[dict]:
+    """Accept a SweepResult or an artifact dict."""
+    if hasattr(artifact, "to_dict"):
+        artifact = artifact.to_dict()
+    return artifact["runs"]
+
+
+def _sweep_record_id(record: dict) -> str:
+    return (
+        f"{record['topology']}/{record['pattern']}/"
+        f"{record['algorithm']}@{record['seed']}"
+    )
+
+
+def format_sweep_results(artifact, max_rows: int | None = None) -> str:
+    """Render a sweep artifact as one aligned row per run."""
+    records = _sweep_records(artifact)
+    if not records:
+        return "empty sweep (no runs matched)"
+    metric_names = sorted({m for r in records for m in r["metrics"]})
+    header = ["topology", "pattern", "algorithm", "seed", *metric_names]
+    rows = [header]
+    shown = records if max_rows is None else records[:max_rows]
+    for r in shown:
+        cells = [r["topology"], r["pattern"], r["algorithm"], str(r["seed"])]
+        for name in metric_names:
+            value = r["metrics"].get(name)
+            if isinstance(value, float):
+                cells.append(f"{value:.3f}")
+            elif isinstance(value, list):
+                cells.append(f"[{len(value)} values]")
+            else:
+                cells.append("-" if value is None else str(value))
+        rows.append(cells)
+    widths = [max(len(row[c]) for row in rows) for c in range(len(header))]
+    lines = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip() for row in rows]
+    lines.insert(1, "-" * len(lines[0]))
+    if max_rows is not None and len(records) > max_rows:
+        lines.append(f"... {len(records) - max_rows} more runs")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric of one run, baseline vs current."""
+
+    run_id: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+
+@dataclass(frozen=True)
+class SweepComparison:
+    """Outcome of diffing two sweep artifacts run by run."""
+
+    compared: int
+    regressions: tuple[MetricDelta, ...]
+    improvements: tuple[MetricDelta, ...]
+    #: baseline runs with no counterpart in the current artifact —
+    #: treated as failures (a shrunk sweep must not pass the gate)
+    missing_runs: tuple[str, ...]
+    #: ``run_id::metric`` pairs numeric in the baseline but absent from
+    #: the current run — also failures (a dropped metric must not make
+    #: its regressions invisible)
+    missing_metrics: tuple[str, ...]
+    new_runs: tuple[str, ...]
+    rel_tol: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing_runs and not self.missing_metrics
+
+
+def sweep_compare(
+    baseline: dict,
+    current: dict,
+    rel_tol: float = 0.05,
+    abs_tol: float = 1e-9,
+    metrics: Sequence[str] | None = None,
+) -> SweepComparison:
+    """Diff two sweep artifacts; every shipped metric is lower-is-better.
+
+    A current value above ``baseline * (1 + rel_tol) + abs_tol`` is a
+    regression; below the mirrored bound, an improvement.  Only numeric
+    metrics participate (vector metrics such as ``routes_per_nca`` are
+    skipped).  ``metrics`` restricts the comparison to a subset.
+    """
+    if hasattr(baseline, "to_dict"):
+        baseline = baseline.to_dict()
+    if hasattr(current, "to_dict"):
+        current = current.to_dict()
+    base_version = baseline.get("schema_version")
+    cur_version = current.get("schema_version")
+    if base_version != cur_version:
+        raise ValueError(
+            f"cannot compare artifacts of different schemas: "
+            f"v{base_version} vs v{cur_version}"
+        )
+    current_by_id = {_sweep_record_id(r): r for r in current["runs"]}
+    baseline_by_id = {_sweep_record_id(r): r for r in baseline["runs"]}
+    regressions: list[MetricDelta] = []
+    improvements: list[MetricDelta] = []
+    missing: list[str] = []
+    missing_metrics: list[str] = []
+    compared = 0
+    for run_id, base_record in baseline_by_id.items():
+        cur_record = current_by_id.get(run_id)
+        if cur_record is None:
+            missing.append(run_id)
+            continue
+        for name, base_value in base_record["metrics"].items():
+            if metrics is not None and name not in metrics:
+                continue
+            if not isinstance(base_value, (int, float)):
+                continue  # vector metrics (e.g. routes_per_nca) are not diffed
+            cur_value = cur_record["metrics"].get(name)
+            if not isinstance(cur_value, (int, float)):
+                missing_metrics.append(f"{run_id}::{name}")
+                continue
+            compared += 1
+            delta = MetricDelta(run_id, name, float(base_value), float(cur_value))
+            if cur_value > base_value * (1 + rel_tol) + abs_tol:
+                regressions.append(delta)
+            elif cur_value < base_value * (1 - rel_tol) - abs_tol:
+                improvements.append(delta)
+    added = [rid for rid in current_by_id if rid not in baseline_by_id]
+    regressions.sort(key=lambda d: d.ratio, reverse=True)
+    improvements.sort(key=lambda d: d.ratio)
+    return SweepComparison(
+        compared=compared,
+        regressions=tuple(regressions),
+        improvements=tuple(improvements),
+        missing_runs=tuple(missing),
+        missing_metrics=tuple(missing_metrics),
+        new_runs=tuple(added),
+        rel_tol=rel_tol,
+    )
+
+
+def format_sweep_compare(comparison: SweepComparison) -> str:
+    """Render a sweep diff the way CI logs want to read it."""
+    lines = [
+        f"compared {comparison.compared} metric values "
+        f"(rel_tol={comparison.rel_tol:.1%})"
+    ]
+    for delta in comparison.regressions:
+        lines.append(
+            f"  REGRESSION {delta.run_id} :: {delta.metric}: "
+            f"{delta.baseline:.4g} -> {delta.current:.4g} (x{delta.ratio:.3f})"
+        )
+    for run_id in comparison.missing_runs:
+        lines.append(f"  MISSING    {run_id} (in baseline, absent in current)")
+    for entry in comparison.missing_metrics:
+        lines.append(f"  MISSING    {entry} (metric in baseline, absent in current)")
+    for delta in comparison.improvements:
+        lines.append(
+            f"  improved   {delta.run_id} :: {delta.metric}: "
+            f"{delta.baseline:.4g} -> {delta.current:.4g} (x{delta.ratio:.3f})"
+        )
+    if comparison.new_runs:
+        lines.append(f"  {len(comparison.new_runs)} new runs not in baseline")
+    lines.append("PASS" if comparison.ok else "FAIL")
     return "\n".join(lines)
 
 

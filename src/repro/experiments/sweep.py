@@ -1,0 +1,695 @@
+"""Declarative experiment sweeps: plan, execute, memoize, serialize.
+
+The paper's evaluation is a grid of {topology x pattern x algorithm x
+seed} runs.  This module turns such a grid into a first-class object:
+
+* :class:`SweepSpec` — the declarative grid (JSON round-trippable);
+* :func:`plan_runs` — the cartesian product, with seed collapsing for
+  deterministic algorithms;
+* :func:`run_sweep` — execution, serial or ``multiprocessing``-parallel,
+  with per-``(topology, algorithm, seed)`` route-table memoization: an
+  *oblivious* algorithm's all-pairs table is built once and every
+  pattern's per-phase tables are row subsets of it — the operational
+  payoff of obliviousness (cf. Räcke & Schmid, *Compact Oblivious
+  Routing*: one table, any pattern);
+* :func:`write_artifact` / :func:`load_artifact` — a deterministic,
+  schema-versioned JSON artifact (``docs/sweep_schema.md``) that CI jobs
+  cache, diff and regression-gate via
+  :func:`repro.experiments.report.sweep_compare`.
+
+All shipped metrics are *lower-is-better* (loads, contention, slowdown,
+simulated time), which is what the regression comparison assumes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..contention import link_load_summary, max_network_contention, routes_per_nca
+from ..core.base import RouteTable, RoutingAlgorithm
+from ..core.factory import SINGLE_SEED_ALGORITHMS, is_oblivious, make_algorithm
+from ..patterns import (
+    Pattern,
+    bit_complement,
+    bit_reversal,
+    cg_pattern,
+    cg_transpose_exchange,
+    neighbor_exchange,
+    shift,
+    tornado_groups,
+    transpose,
+    wrf_pattern,
+)
+from ..patterns.applications import CG_PHASE_MESSAGE
+from ..sim.config import PAPER_CONFIG, NetworkConfig
+from ..sim.network import crossbar_pattern_time, simulate_phase_fluid
+from ..topology import XGFT, parse_xgft, slimmed_two_level
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_METRICS",
+    "KNOWN_METRICS",
+    "SweepSpec",
+    "RunSpec",
+    "SweepResult",
+    "RouteTableCache",
+    "plan_runs",
+    "run_sweep",
+    "execute_run",
+    "resolve_pattern",
+    "parse_algorithm_spec",
+    "write_artifact",
+    "load_artifact",
+    "figure_grid_spec",
+    "sweep_to_figure",
+]
+
+#: version stamp of the JSON artifact layout (docs/sweep_schema.md)
+SCHEMA_VERSION = 1
+
+#: metrics computed when a spec does not name its own
+DEFAULT_METRICS = (
+    "max_link_load",
+    "mean_link_load",
+    "max_network_contention",
+    "sim_time",
+    "slowdown",
+)
+
+#: every metric name the engine knows how to compute
+KNOWN_METRICS = DEFAULT_METRICS + ("routes_per_nca",)
+
+
+# ----------------------------------------------------------------------
+# Grid specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep grid.
+
+    ``algorithms`` entries are factory names, optionally parameterized:
+    ``"r-nca-d(map_kind=mod)"`` passes ``map_kind="mod"`` to the builder
+    (the ablation grids rely on this).  ``seeds`` is the number of seeds
+    per *randomized* algorithm; deterministic and single-series schemes
+    (see :data:`repro.core.factory.SINGLE_SEED_ALGORITHMS`) are planned
+    with seed 0 only.
+    """
+
+    topologies: tuple[str, ...]
+    patterns: tuple[str, ...]
+    algorithms: tuple[str, ...]
+    seeds: int = 1
+    metrics: tuple[str, ...] = DEFAULT_METRICS
+    engine: str = "fluid"
+    name: str = ""
+
+    def __post_init__(self):
+        if not self.topologies or not self.patterns or not self.algorithms:
+            raise ValueError("a sweep needs at least one topology, pattern and algorithm")
+        if self.seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        if self.engine not in ("fluid", "replay"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        unknown = set(self.metrics) - set(KNOWN_METRICS)
+        if unknown:
+            raise ValueError(
+                f"unknown metrics {sorted(unknown)}; known: {', '.join(KNOWN_METRICS)}"
+            )
+        for spec in self.topologies:
+            parse_xgft(spec)  # fail fast on malformed topology specs
+        for spec in self.algorithms:
+            parse_algorithm_spec(spec)
+
+    def to_dict(self) -> dict:
+        return {
+            "topologies": list(self.topologies),
+            "patterns": list(self.patterns),
+            "algorithms": list(self.algorithms),
+            "seeds": self.seeds,
+            "metrics": list(self.metrics),
+            "engine": self.engine,
+            "name": self.name,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "SweepSpec":
+        return SweepSpec(
+            topologies=tuple(d["topologies"]),
+            patterns=tuple(d["patterns"]),
+            algorithms=tuple(d["algorithms"]),
+            seeds=int(d.get("seeds", 1)),
+            metrics=tuple(d.get("metrics", DEFAULT_METRICS)),
+            engine=d.get("engine", "fluid"),
+            name=d.get("name", ""),
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the grid: a single routed-and-measured scenario."""
+
+    topology: str
+    pattern: str
+    algorithm: str
+    seed: int
+
+    @property
+    def run_id(self) -> str:
+        return f"{self.topology}/{self.pattern}/{self.algorithm}@{self.seed}"
+
+    @property
+    def memo_key(self) -> tuple[str, str, int]:
+        """Route tables are shared across patterns, never across these."""
+        return (self.topology, self.algorithm, self.seed)
+
+
+def parse_algorithm_spec(spec: str) -> tuple[str, dict]:
+    """Split ``"name(key=value,...)"`` into a factory name and kwargs.
+
+    Values parse as int when possible, ``true``/``false`` as bool,
+    anything else stays a string.
+    """
+    spec = spec.strip()
+    if "(" not in spec:
+        return spec, {}
+    if not spec.endswith(")"):
+        raise ValueError(f"malformed algorithm spec {spec!r}")
+    name, _, arglist = spec[:-1].partition("(")
+    kwargs: dict = {}
+    for item in filter(None, (s.strip() for s in arglist.split(","))):
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip():
+            raise ValueError(f"malformed parameter {item!r} in {spec!r}")
+        kwargs[key.strip()] = _parse_value(value.strip())
+    return name.strip(), kwargs
+
+
+def _parse_value(text: str):
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _make_run_algorithm(spec: str, topo: XGFT, seed: int) -> RoutingAlgorithm:
+    name, kwargs = parse_algorithm_spec(spec)
+    return make_algorithm(name, topo, seed=seed, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Pattern registry
+# ----------------------------------------------------------------------
+def resolve_pattern(name: str, num_leaves: int) -> Pattern:
+    """Instantiate a pattern by name for a machine of ``num_leaves``.
+
+    Application patterns carry their rank count in the name (``wrf-256``,
+    ``cg-128``; bare ``wrf`` / ``cg`` use the paper's sizes) and must fit
+    on the topology.  Synthetic patterns (``shift-1``, ``bit-reversal``,
+    ``bit-complement``, ``transpose``, ``tornado-4``, ``neighbor-1``,
+    ``all-pairs``) scale with the machine.
+    """
+    key = name.lower().strip()
+    head, _, tail = key.partition("-")
+    if key in ("wrf", "cg") or (head in ("wrf", "cg") and tail.isdigit()):
+        n = int(tail) if tail.isdigit() else (256 if head == "wrf" else 128)
+        pattern = wrf_pattern(n) if head == "wrf" else cg_pattern(n)
+    elif key == "cg-transpose" or (key.startswith("cg-transpose-") and key[13:].isdigit()):
+        n = int(key[13:]) if len(key) > 13 else 128
+        pattern = Pattern.single_phase(
+            cg_transpose_exchange(n), size=CG_PHASE_MESSAGE, name=key, num_ranks=n
+        )
+    elif key == "all-pairs":
+        src, dst = np.divmod(np.arange(num_leaves * num_leaves, dtype=np.int64), num_leaves)
+        keep = src != dst
+        pattern = Pattern.single_phase(
+            zip(src[keep].tolist(), dst[keep].tolist()), name=key, num_ranks=num_leaves
+        )
+    elif head == "shift" and tail.isdigit():
+        pattern = shift(num_leaves, int(tail)).pattern(name=key)
+    elif key == "bit-reversal":
+        pattern = bit_reversal(num_leaves).pattern(name=key)
+    elif key == "bit-complement":
+        pattern = bit_complement(num_leaves).pattern(name=key)
+    elif key == "transpose":
+        side = int(round(num_leaves**0.5))
+        if side * side != num_leaves:
+            raise ValueError(f"transpose needs a square leaf count, got {num_leaves}")
+        pattern = transpose(side, side).pattern(name=key)
+    elif head == "tornado" and tail.isdigit():
+        pattern = tornado_groups(num_leaves, int(tail)).pattern(name=key)
+    elif head == "neighbor" and tail.isdigit():
+        pattern = Pattern.single_phase(
+            neighbor_exchange(num_leaves, int(tail)), name=key, num_ranks=num_leaves
+        )
+    else:
+        raise ValueError(f"unknown pattern {name!r}")
+    if pattern.num_ranks > num_leaves:
+        raise ValueError(
+            f"pattern {name!r} needs {pattern.num_ranks} ranks but the "
+            f"topology only has {num_leaves} leaves"
+        )
+    return pattern
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def plan_runs(spec: SweepSpec, run_filter: str | None = None) -> tuple[RunSpec, ...]:
+    """The grid's cartesian product, memo-key-contiguous.
+
+    Runs sharing a ``(topology, algorithm, seed)`` route table are
+    consecutive, so parallel chunking by memo key keeps each table build
+    inside one worker.  Deterministic/single-series algorithms collapse
+    the seed axis to ``{0}``.  ``run_filter`` is an ``fnmatch`` pattern
+    applied to ``run_id`` (substring match when it has no wildcards).
+    """
+    for topo_spec in spec.topologies:
+        topo = parse_xgft(topo_spec)
+        for pattern in spec.patterns:
+            resolve_pattern(pattern, topo.num_leaves)  # validate fit
+    runs: list[RunSpec] = []
+    for topo_spec in spec.topologies:
+        for algorithm in spec.algorithms:
+            name, _ = parse_algorithm_spec(algorithm)
+            seeds = (0,) if name in SINGLE_SEED_ALGORITHMS else tuple(range(spec.seeds))
+            for seed in seeds:
+                for pattern in spec.patterns:
+                    runs.append(RunSpec(topo_spec, pattern, algorithm, seed))
+    if run_filter:
+        glob = run_filter if any(c in run_filter for c in "*?[") else f"*{run_filter}*"
+        runs = [r for r in runs if fnmatch(r.run_id, glob)]
+    return tuple(runs)
+
+
+# ----------------------------------------------------------------------
+# Route-table memoization
+# ----------------------------------------------------------------------
+class RouteTableCache:
+    """All-pairs route tables keyed by ``(topology, algorithm, seed)``.
+
+    Holds one table per oblivious scheme instance; per-pattern tables are
+    row subsets (:func:`subset_table`).  ``builds``/``hits`` feed the
+    artifact's cache section, which the memoization tests assert on.
+    """
+
+    def __init__(self):
+        self._tables: dict[tuple, RouteTable] = {}
+        self._rows: dict[tuple, np.ndarray] = {}
+        self.builds = 0
+        self.hits = 0
+
+    def all_pairs_table(self, key: tuple, algorithm: RoutingAlgorithm) -> RouteTable:
+        table = self._tables.get(key)
+        if table is None:
+            table = self._tables[key] = algorithm.all_pairs_table()
+            self.builds += 1
+        else:
+            self.hits += 1
+        return table
+
+    def row_index(self, key: tuple) -> np.ndarray:
+        """``(n*n,)`` flat-pair -> row lookup for the cached table."""
+        rows = self._rows.get(key)
+        if rows is None:
+            table = self._tables[key]
+            n = table.topo.num_leaves
+            rows = np.full(n * n, -1, dtype=np.int64)
+            rows[table.src * n + table.dst] = np.arange(len(table), dtype=np.int64)
+            self._rows[key] = rows
+        return rows
+
+    def stats(self) -> dict:
+        return {"table_builds": self.builds, "table_hits": self.hits}
+
+
+def subset_table(
+    full: RouteTable, rows: np.ndarray, pairs: Sequence[tuple[int, int]]
+) -> RouteTable:
+    """The rows of an all-pairs table covering ``pairs`` (order kept)."""
+    n = full.topo.num_leaves
+    arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    idx = rows[arr[:, 0] * n + arr[:, 1]]
+    if (idx < 0).any():
+        raise ValueError("pair outside the all-pairs table (self-pair?)")
+    return RouteTable(
+        full.topo, full.src[idx], full.dst[idx], full.nca_level[idx], full.ports[idx]
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _phase_pairs(pattern: Pattern) -> list[tuple[list[tuple[int, int]], list[int]]]:
+    """Per-phase (pairs, sizes) with self-flows dropped (they use no links)."""
+    out = []
+    for phase in pattern.phases:
+        kept = [(f.pair, f.size) for f in phase.flows if f.src != f.dst]
+        if kept:
+            out.append(([p for p, _ in kept], [s for _, s in kept]))
+    return out
+
+
+def execute_run(
+    run: RunSpec,
+    metrics: Sequence[str],
+    engine: str = "fluid",
+    cache: RouteTableCache | None = None,
+    config: NetworkConfig = PAPER_CONFIG,
+    _crossbar_memo: dict | None = None,
+) -> dict:
+    """Execute one grid cell and return its artifact record."""
+    t0 = time.perf_counter()
+    topo = parse_xgft(run.topology)
+    pattern = resolve_pattern(run.pattern, topo.num_leaves)
+    algorithm = _make_run_algorithm(run.algorithm, topo, run.seed)
+    cache = cache if cache is not None else RouteTableCache()
+
+    phases = _phase_pairs(pattern)
+    tables: list[RouteTable] = []
+    if is_oblivious(algorithm):
+        full = cache.all_pairs_table(run.memo_key, algorithm)
+        rows = cache.row_index(run.memo_key)
+        tables = [subset_table(full, rows, pairs) for pairs, _ in phases]
+    else:
+        tables = [algorithm.build_table(pairs) for pairs, _ in phases]
+
+    values: dict[str, object] = {}
+    # the used-link histogram is always part of the record (phases are
+    # aggregated; idle links are omitted so multi-phase runs don't count
+    # the same idle link once per phase)
+    histogram: dict[int, int] = {}
+    max_load, used_sum, used_links = 0, 0.0, 0
+    for table in tables:
+        summary = link_load_summary(table)
+        max_load = max(max_load, summary.max_load)
+        used_sum += summary.mean_load * summary.num_used_links
+        used_links += summary.num_used_links
+        for load, count in summary.histogram.items():
+            if load > 0:
+                histogram[load] = histogram.get(load, 0) + count
+    if "max_link_load" in metrics:
+        values["max_link_load"] = max_load
+    if "mean_link_load" in metrics:
+        values["mean_link_load"] = used_sum / used_links if used_links else 0.0
+    if "max_network_contention" in metrics:
+        values["max_network_contention"] = max(
+            (max_network_contention(t) for t in tables), default=0
+        )
+    if "routes_per_nca" in metrics and tables:
+        merged = _concat_all(tables)
+        values["routes_per_nca"] = [int(x) for x in routes_per_nca(merged)]
+    if "sim_time" in metrics or "slowdown" in metrics:
+        sim_time = _simulate(run, topo, pattern, algorithm, tables, phases, engine, config)
+        if "sim_time" in metrics:
+            values["sim_time"] = sim_time
+        if "slowdown" in metrics:
+            memo = _crossbar_memo if _crossbar_memo is not None else {}
+            ref_key = (run.pattern, topo.num_leaves, engine)
+            t_ref = memo.get(ref_key)
+            if t_ref is None:
+                t_ref = memo[ref_key] = _crossbar_reference(pattern, topo, engine, config)
+            values["slowdown"] = sim_time / t_ref
+    return {
+        "topology": run.topology,
+        "pattern": run.pattern,
+        "algorithm": run.algorithm,
+        "seed": run.seed,
+        "metrics": {k: _round(v) for k, v in values.items()},
+        "load_histogram": {str(k): v for k, v in sorted(histogram.items())},
+        "wall_time_s": round(time.perf_counter() - t0, 6),
+    }
+
+
+def _round(value):
+    return round(value, 10) if isinstance(value, float) else value
+
+
+def _concat_all(tables: list[RouteTable]) -> RouteTable:
+    merged = tables[0]
+    for t in tables[1:]:
+        merged = merged.concat(t)
+    return merged
+
+
+def _simulate(run, topo, pattern, algorithm, tables, phases, engine, config) -> float:
+    if engine == "fluid":
+        return sum(
+            simulate_phase_fluid(table, sizes, config).duration
+            for table, (_, sizes) in zip(tables, phases)
+        )
+    from ..dimemas import pattern_trace, replay_on_xgft
+
+    algorithm.prepare(sorted({(s, d) for s, d in pattern.pairs() if s != d}))
+    return replay_on_xgft(pattern_trace(pattern), topo, algorithm, config).total_time
+
+
+def _crossbar_reference(pattern, topo, engine, config) -> float:
+    if engine == "fluid":
+        t_ref = crossbar_pattern_time(pattern, topo.num_leaves, config)
+    else:
+        from ..dimemas import pattern_trace, replay_on_crossbar
+
+        t_ref = replay_on_crossbar(pattern_trace(pattern), topo.num_leaves, config).total_time
+    if t_ref <= 0:
+        raise ValueError("crossbar reference time must be positive (empty pattern?)")
+    return t_ref
+
+
+# ----------------------------------------------------------------------
+# The sweep driver
+# ----------------------------------------------------------------------
+@dataclass
+class SweepResult:
+    """Executed sweep: the artifact's in-memory form."""
+
+    spec: SweepSpec
+    runs: list[dict]
+    cache_stats: dict = field(default_factory=dict)
+    total_wall_time_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "repro-sweep-results",
+            "spec": self.spec.to_dict(),
+            "environment": _environment(),
+            "cache": dict(self.cache_stats),
+            "total_wall_time_s": round(self.total_wall_time_s, 6),
+            "runs": self.runs,
+        }
+
+    def run_map(self) -> dict[str, dict]:
+        return {_record_id(r): r for r in self.runs}
+
+
+def _environment() -> dict:
+    from .. import __version__
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+        "repro": __version__,
+        "cpu_count": multiprocessing.cpu_count(),
+    }
+
+
+def _record_id(record: dict) -> str:
+    return (
+        f"{record['topology']}/{record['pattern']}/"
+        f"{record['algorithm']}@{record['seed']}"
+    )
+
+
+def _execute_group(payload: tuple[dict, list[tuple[int, dict]]]) -> tuple[list, dict]:
+    """Worker entry: one memo group = one route-table build, many patterns."""
+    spec_d, indexed_runs = payload
+    spec = SweepSpec.from_dict(spec_d)
+    cache = RouteTableCache()
+    crossbar_memo: dict = {}
+    out = []
+    for index, run_d in indexed_runs:
+        run = RunSpec(**run_d)
+        out.append(
+            (
+                index,
+                execute_run(
+                    run, spec.metrics, spec.engine, cache, _crossbar_memo=crossbar_memo
+                ),
+            )
+        )
+    return out, cache.stats()
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    run_filter: str | None = None,
+) -> SweepResult:
+    """Execute a sweep, serial (``jobs=1``) or process-parallel.
+
+    Parallel execution partitions the plan by memo key, so each
+    ``(topology, algorithm, seed)`` route table is built exactly once in
+    exactly one worker regardless of how many patterns consume it.
+    Results are deterministic and ordered by the plan, independent of
+    ``jobs``.
+    """
+    t0 = time.perf_counter()
+    runs = plan_runs(spec, run_filter)
+    if not runs:
+        return SweepResult(spec, [], {"table_builds": 0, "table_hits": 0}, 0.0)
+
+    groups: dict[tuple, list[tuple[int, dict]]] = {}
+    for index, run in enumerate(runs):
+        groups.setdefault(run.memo_key, []).append((index, asdict(run)))
+    payloads = [(spec.to_dict(), indexed) for indexed in groups.values()]
+
+    records: list[dict | None] = [None] * len(runs)
+    stats = {"table_builds": 0, "table_hits": 0}
+    jobs = max(1, min(jobs, len(payloads)))
+    if jobs == 1:
+        results = map(_execute_group, payloads)
+    else:
+        pool = multiprocessing.Pool(processes=jobs)
+        try:
+            results = pool.imap_unordered(_execute_group, payloads)
+            results = list(results)
+        finally:
+            pool.close()
+            pool.join()
+    for group_records, group_stats in results:
+        for index, record in group_records:
+            records[index] = record
+        for key in stats:
+            stats[key] += group_stats[key]
+    assert all(r is not None for r in records)
+    return SweepResult(spec, records, stats, time.perf_counter() - t0)
+
+
+# ----------------------------------------------------------------------
+# Artifact I/O
+# ----------------------------------------------------------------------
+def write_artifact(result: SweepResult, path: str | Path) -> Path:
+    """Serialize a sweep to the schema-versioned JSON artifact."""
+    path = Path(path)
+    path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: str | Path) -> dict:
+    """Load and schema-check a sweep artifact."""
+    data = json.loads(Path(path).read_text())
+    if data.get("kind") != "repro-sweep-results":
+        raise ValueError(f"{path}: not a sweep artifact")
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: artifact schema v{version} != supported v{SCHEMA_VERSION}"
+        )
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figure grids (the paper's evaluation as sweep specs)
+# ----------------------------------------------------------------------
+def _slimming_topologies(w2_values: Iterable[int]) -> tuple[str, ...]:
+    return tuple(slimmed_two_level(16, 16, w2).spec() for w2 in w2_values)
+
+
+def figure_grid_spec(
+    figure: str,
+    app: str | None = None,
+    w2_values: Sequence[int] | None = None,
+    seeds: int = 5,
+) -> SweepSpec:
+    """The paper's Fig. 2/4/5 evaluation grids as :class:`SweepSpec` s.
+
+    ``fig2``/``fig5`` sweep slowdown over the progressive-slimming
+    topologies for one application; ``fig4`` sweeps the all-pairs
+    routes-per-NCA census.
+    """
+    if w2_values is None:
+        w2_values = tuple(range(16, 0, -1))
+    topologies = _slimming_topologies(w2_values)
+    if figure == "fig2":
+        if app is None:
+            raise ValueError("fig2 needs an application")
+        return SweepSpec(
+            topologies=topologies,
+            patterns=(app,),
+            algorithms=("random", "s-mod-k", "d-mod-k", "colored"),
+            seeds=seeds,
+            metrics=("slowdown",),
+            name=f"fig2-{app}",
+        )
+    if figure == "fig5":
+        if app is None:
+            raise ValueError("fig5 needs an application")
+        return SweepSpec(
+            topologies=topologies,
+            patterns=(app,),
+            algorithms=("s-mod-k", "d-mod-k", "colored", "r-nca-u", "r-nca-d", "random"),
+            seeds=seeds,
+            metrics=("slowdown",),
+            name=f"fig5-{app}",
+        )
+    if figure == "fig4":
+        return SweepSpec(
+            topologies=topologies,
+            patterns=("all-pairs",),
+            algorithms=("s-mod-k", "d-mod-k", "random", "r-nca-u", "r-nca-d"),
+            seeds=seeds,
+            metrics=("routes_per_nca",),
+            name="fig4",
+        )
+    raise ValueError(f"unknown figure {figure!r} (expected fig2, fig4 or fig5)")
+
+
+def sweep_to_figure(result: SweepResult):
+    """Adapt a fig2/fig5-shaped sweep into a :class:`FigureSweep`.
+
+    Groups the ``slowdown`` metric by algorithm and w2.  Single-seed
+    algorithms carry plain floats, randomized ones :class:`BoxStats`
+    over the seeds — even a one-seed box, matching the original figure
+    harness (bench assertions read ``.median`` off randomized series).
+    """
+    from .figures import FigureSweep, SweepSeries
+    from .stats import box_stats
+
+    w2_of = {spec: parse_xgft(spec).w[-1] for spec in result.spec.topologies}
+    samples: dict[str, dict[int, list[float]]] = {}
+    for record in result.runs:
+        w2 = w2_of[record["topology"]]
+        samples.setdefault(record["algorithm"], {}).setdefault(w2, []).append(
+            record["metrics"]["slowdown"]
+        )
+    series = []
+    for algorithm in result.spec.algorithms:
+        name, _ = parse_algorithm_spec(algorithm)
+        single = name in SINGLE_SEED_ALGORITHMS
+        per_w2 = samples.get(algorithm, {})
+        values = {
+            w2: (vals[0] if single else box_stats(vals)) for w2, vals in per_w2.items()
+        }
+        series.append(SweepSeries(algorithm, values))
+    return FigureSweep(
+        result.spec.patterns[0],
+        tuple(sorted(w2_of.values(), reverse=True)),
+        tuple(series),
+    )

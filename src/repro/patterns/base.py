@@ -97,7 +97,9 @@ class Pattern:
         name: str = "",
         num_ranks: int = 0,
     ) -> "Pattern":
-        return Pattern((Phase.from_pairs(pairs, size=size, name=name),), name=name, num_ranks=num_ranks)
+        return Pattern(
+            (Phase.from_pairs(pairs, size=size, name=name),), name=name, num_ranks=num_ranks
+        )
 
     def flows(self) -> Iterator[Flow]:
         for phase in self.phases:

@@ -62,7 +62,9 @@ class _Channel:
         "rr_pos",
     )
 
-    def __init__(self, index: int, src_node: tuple[int, int], dst_node: tuple[int, int], credits: int):
+    def __init__(
+        self, index: int, src_node: tuple[int, int], dst_node: tuple[int, int], credits: int
+    ):
         self.index = index
         self.src_node = src_node
         self.dst_node = dst_node

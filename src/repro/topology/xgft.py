@@ -361,7 +361,8 @@ class XGFT:
 
     @property
     def is_slimmed(self) -> bool:
-        """True iff some upper level has fewer parents than children (``w_{i} < m_{i}`` for some i>=2)."""
+        """True iff some upper level has fewer parents than children
+        (``w_{i} < m_{i}`` for some i>=2)."""
         return any(self.w[i] < self.m[i] for i in range(1, self.h))
 
     # ------------------------------------------------------------------

@@ -1,10 +1,12 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+Hypothesis strategies live in :mod:`tests.helpers`; only pytest fixtures
+belong here.
+"""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
-from hypothesis import strategies as st
 
 from repro.topology import XGFT, kary_ntree, slimmed_two_level
 
@@ -37,54 +39,3 @@ def deep_tree() -> XGFT:
 def slimmed_deep_tree() -> XGFT:
     """A slimmed 3-level tree (w3 < m3)."""
     return XGFT((4, 4, 4), (1, 3, 2))
-
-
-def xgft_strategy(max_h: int = 3, max_m: int = 5, max_w: int = 5, max_leaves: int = 256):
-    """Hypothesis strategy generating small random XGFTs."""
-
-    @st.composite
-    def build(draw):
-        h = draw(st.integers(1, max_h))
-        m = tuple(draw(st.integers(1, max_m)) for _ in range(h))
-        w = tuple(draw(st.integers(1, max_w)) for _ in range(h))
-        topo = XGFT(m, w)
-        if topo.num_leaves > max_leaves or topo.num_leaves < 2:
-            # keep exhaustive per-example loops cheap
-            raise AssertionError  # pragma: no cover
-        return topo
-
-    return build().filter(lambda t: 2 <= t.num_leaves <= max_leaves)
-
-
-@st.composite
-def xgft_examples(draw, max_h: int = 3):
-    """Strategy over a curated pool of XGFTs (cheap, deterministic shapes)."""
-    pool = [
-        XGFT((4,), (1,)),
-        XGFT((4,), (3,)),
-        XGFT((2, 2), (1, 2)),
-        XGFT((4, 4), (1, 4)),
-        XGFT((4, 4), (1, 3)),
-        XGFT((4, 4), (2, 3)),
-        XGFT((3, 5), (1, 4)),
-        XGFT((4, 2, 3), (1, 2, 2)),
-        XGFT((2, 3, 4), (1, 3, 2)),
-        XGFT((4, 4, 4), (1, 3, 2)),
-        XGFT((2, 2, 2), (2, 2, 2)),
-    ]
-    return draw(st.sampled_from([t for t in pool if t.h <= max_h]))
-
-
-@st.composite
-def leaf_pairs(draw, topo: XGFT):
-    """A (src, dst) pair of distinct leaves of ``topo``."""
-    n = topo.num_leaves
-    src = draw(st.integers(0, n - 1))
-    dst = draw(st.integers(0, n - 2))
-    if dst >= src:
-        dst += 1
-    return src, dst
-
-
-def rng(seed: int = 0) -> np.random.Generator:
-    return np.random.default_rng(seed)

@@ -9,8 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core import DModK, SModK
 from repro.topology import XGFT, kary_ntree
-
-from ..conftest import xgft_examples
+from tests.helpers import xgft_examples
 
 
 class TestKaryFormula:

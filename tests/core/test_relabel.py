@@ -9,8 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core import RelabelMaps, balanced_random_map, mod_map
 from repro.topology import XGFT
-
-from ..conftest import xgft_examples
+from tests.helpers import xgft_examples
 
 
 class TestBalancedRandomMap:

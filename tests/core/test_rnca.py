@@ -7,8 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import DModK, RNCADown, RNCAUp, SModK
-
-from ..conftest import xgft_examples
+from tests.helpers import xgft_examples
 
 
 class TestDegenerationToModK:

@@ -9,8 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core import Route, RouteError
 from repro.topology import XGFT
-
-from ..conftest import xgft_examples
+from tests.helpers import xgft_examples
 
 
 class TestValidation:

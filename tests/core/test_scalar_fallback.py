@@ -1,0 +1,68 @@
+"""The vectorized fallback for algorithms that only implement ``up_ports``."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core import SModK
+from repro.core.base import RoutingAlgorithm
+from repro.topology import XGFT, kary_ntree
+from tests.helpers import xgft_examples
+
+
+class ScalarSModK(RoutingAlgorithm):
+    """S-mod-k exposed through the scalar interface only (counts calls)."""
+
+    name = "scalar-s-mod-k"
+
+    def __init__(self, topo: XGFT):
+        super().__init__(topo)
+        self._inner = SModK(topo)
+        self.up_ports_calls = 0
+
+    def up_ports(self, src: int, dst: int) -> tuple[int, ...]:
+        self.up_ports_calls += 1
+        return self._inner.up_ports(src, dst)
+
+
+def test_build_table_matches_vectorized(small_tree):
+    pairs = [(s, d) for s in range(small_tree.num_leaves) for d in range(small_tree.num_leaves)]
+    scalar = ScalarSModK(small_tree).build_table(pairs)
+    vector = SModK(small_tree).build_table(pairs)
+    assert np.array_equal(scalar.ports, vector.ports)
+    assert np.array_equal(scalar.nca_level, vector.nca_level)
+    scalar.validate()
+
+
+def test_one_up_ports_call_per_unique_pair():
+    topo = kary_ntree(4, 2)
+    pairs = [(0, 5), (1, 6), (0, 5), (2, 9), (0, 5), (1, 6)]
+    alg = ScalarSModK(topo)
+    table = alg.build_table(pairs)
+    assert len(table) == len(pairs)
+    assert alg.up_ports_calls == 3  # unique pairs only, not len(pairs) * h
+
+
+def test_port_array_fallback_dedupes():
+    topo = kary_ntree(4, 2)
+    alg = ScalarSModK(topo)
+    src = np.asarray([0, 0, 1, 0], dtype=np.int64)
+    dst = np.asarray([5, 5, 6, 5], dtype=np.int64)
+    out = alg.port_array(0, src, dst)
+    assert alg.up_ports_calls == 2
+    expected = SModK(topo).port_array(0, src, dst)
+    assert np.array_equal(out, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(topo=xgft_examples())
+def test_scalar_path_equivalence_random_shapes(topo):
+    n = topo.num_leaves
+    rng = np.random.default_rng(7)
+    src = rng.integers(0, n, size=50)
+    dst = rng.integers(0, n, size=50)
+    pairs = list(zip(src.tolist(), dst.tolist()))
+    scalar = ScalarSModK(topo).build_table(pairs)
+    vector = SModK(topo).build_table(pairs)
+    assert np.array_equal(scalar.ports, vector.ports)

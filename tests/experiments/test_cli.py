@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -58,3 +60,64 @@ class TestCommands:
     def test_bad_topology_spec(self):
         with pytest.raises(ValueError):
             main(["info", "--topology", "not-a-spec"])
+
+
+SWEEP_ARGS = [
+    "sweep",
+    "--topologies", "XGFT(2;4,4;1,4)",
+    "--patterns", "shift-1", "bit-reversal",
+    "--algorithms", "s-mod-k", "random",
+    "--seeds", "2",
+]
+
+
+class TestSweepCommands:
+    def test_sweep_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "sweep_results.json"
+        assert main([*SWEEP_ARGS, "-o", str(out)]) == 0
+        assert "artifact written" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        assert data["kind"] == "repro-sweep-results"
+        assert len(data["runs"]) == 2 * (1 + 2)
+
+    def test_sweep_filter_and_jobs(self, tmp_path, capsys):
+        out = tmp_path / "filtered.json"
+        assert main([*SWEEP_ARGS, "--filter", "shift-1", "--jobs", "2", "-o", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert all(r["pattern"] == "shift-1" for r in data["runs"])
+
+    def test_sweep_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "topologies": ["XGFT(2;4,4;1,2)"],
+                    "patterns": ["transpose"],
+                    "algorithms": ["d-mod-k"],
+                    "seeds": 1,
+                }
+            )
+        )
+        out = tmp_path / "from_spec.json"
+        assert main(["sweep", "--spec", str(spec_path), "-o", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert [r["algorithm"] for r in data["runs"]] == ["d-mod-k"]
+
+    def test_sweep_baseline_gate(self, tmp_path, capsys):
+        out = tmp_path / "sweep_results.json"
+        assert main([*SWEEP_ARGS, "-o", str(out)]) == 0
+        # identical baseline passes through the --baseline gate
+        assert main([*SWEEP_ARGS, "-o", str(out), "--baseline", str(out)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_detects_regression(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main([*SWEEP_ARGS, "-o", str(base)]) == 0
+        data = json.loads(base.read_text())
+        data["runs"][0]["metrics"]["max_link_load"] *= 10
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(data))
+        assert main(["compare", str(base), str(worse)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # and the reverse direction is an improvement, not a failure
+        assert main(["compare", str(worse), str(base)]) == 0

@@ -1,0 +1,349 @@
+"""The sweep engine: planning, memoization, parallelism, artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import make_algorithm
+from repro.experiments import (
+    DEFAULT_METRICS,
+    SCHEMA_VERSION,
+    RouteTableCache,
+    RunSpec,
+    SweepSpec,
+    execute_run,
+    figure_grid_spec,
+    load_artifact,
+    parse_algorithm_spec,
+    plan_runs,
+    resolve_pattern,
+    run_sweep,
+    sweep_compare,
+    sweep_to_figure,
+    write_artifact,
+)
+from repro.experiments.sweep import subset_table
+from repro.topology import parse_xgft
+
+SMALL_SPEC = SweepSpec(
+    topologies=("XGFT(2;4,4;1,4)", "XGFT(2;4,4;1,2)"),
+    patterns=("shift-1", "bit-reversal"),
+    algorithms=("s-mod-k", "random", "r-nca-d"),
+    seeds=2,
+)
+
+
+class TestSpec:
+    def test_round_trip(self):
+        assert SweepSpec.from_dict(SMALL_SPEC.to_dict()) == SMALL_SPEC
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ValueError):
+            SweepSpec(topologies=(), patterns=("shift-1",), algorithms=("s-mod-k",))
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metrics"):
+            SweepSpec(
+                topologies=("XGFT(2;4,4;1,4)",),
+                patterns=("shift-1",),
+                algorithms=("s-mod-k",),
+                metrics=("latency",),
+            )
+
+    def test_rejects_bad_topology(self):
+        with pytest.raises(ValueError):
+            SweepSpec(
+                topologies=("not-a-tree",), patterns=("shift-1",), algorithms=("s-mod-k",)
+            )
+
+    def test_rejects_bad_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            SweepSpec(
+                topologies=("XGFT(2;4,4;1,4)",),
+                patterns=("shift-1",),
+                algorithms=("s-mod-k",),
+                engine="telepathy",
+            )
+
+
+class TestAlgorithmSpec:
+    def test_plain_name(self):
+        assert parse_algorithm_spec("r-nca-d") == ("r-nca-d", {})
+
+    def test_parameters(self):
+        name, kwargs = parse_algorithm_spec("r-nca-d(map_kind=mod, k=8, fast=true)")
+        assert name == "r-nca-d"
+        assert kwargs == {"map_kind": "mod", "k": 8, "fast": True}
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            parse_algorithm_spec("r-nca-d(map_kind)")
+
+
+class TestPatterns:
+    def test_applications_carry_their_size(self):
+        assert resolve_pattern("wrf-256", 256).num_ranks == 256
+        assert resolve_pattern("cg", 256).num_ranks == 128
+
+    def test_pattern_must_fit_topology(self):
+        with pytest.raises(ValueError, match="leaves"):
+            resolve_pattern("wrf-256", 16)
+
+    def test_synthetic_patterns_scale(self):
+        for name in ("shift-1", "bit-reversal", "bit-complement", "transpose", "all-pairs"):
+            pattern = resolve_pattern(name, 16)
+            assert pattern.num_ranks == 16
+        assert len(resolve_pattern("all-pairs", 16).pairs()) == 16 * 15
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError, match="unknown pattern"):
+            resolve_pattern("linpack", 16)
+
+
+class TestPlanning:
+    def test_cartesian_product_with_seed_collapse(self):
+        runs = plan_runs(SMALL_SPEC)
+        # 2 topologies x 2 patterns x (s-mod-k@{0} + {random,r-nca-d}@{0,1})
+        assert len(runs) == 2 * 2 * (1 + 2 + 2)
+        smodk = [r for r in runs if r.algorithm == "s-mod-k"]
+        assert {r.seed for r in smodk} == {0}
+        random_runs = [r for r in runs if r.algorithm == "random"]
+        assert {r.seed for r in random_runs} == {0, 1}
+
+    def test_memo_key_contiguity(self):
+        runs = plan_runs(SMALL_SPEC)
+        seen, previous = set(), None
+        for run in runs:
+            if run.memo_key != previous:
+                assert run.memo_key not in seen, "memo group split across the plan"
+                seen.add(run.memo_key)
+                previous = run.memo_key
+
+    def test_filter_substring(self):
+        runs = plan_runs(SMALL_SPEC, run_filter="bit-reversal")
+        assert runs and all(r.pattern == "bit-reversal" for r in runs)
+
+    def test_filter_glob(self):
+        runs = plan_runs(SMALL_SPEC, run_filter="*1,2)/*@0")
+        assert runs and all(r.topology.endswith("1,2)") and r.seed == 0 for r in runs)
+
+    def test_plan_validates_fit(self):
+        spec = SweepSpec(
+            topologies=("XGFT(2;4,4;1,4)",), patterns=("cg-128",), algorithms=("s-mod-k",)
+        )
+        with pytest.raises(ValueError, match="leaves"):
+            plan_runs(spec)
+
+
+class TestMemoization:
+    def test_tables_built_once_across_patterns(self):
+        result = run_sweep(SMALL_SPEC)
+        groups = {r.memo_key for r in plan_runs(SMALL_SPEC)}
+        assert result.cache_stats["table_builds"] == len(groups)
+        # every additional pattern of a group is a cache hit
+        assert result.cache_stats["table_hits"] == len(result.runs) - len(groups)
+
+    def test_same_table_object_reused(self):
+        cache = RouteTableCache()
+        run_a = RunSpec("XGFT(2;4,4;1,4)", "shift-1", "random", 0)
+        run_b = RunSpec("XGFT(2;4,4;1,4)", "bit-reversal", "random", 0)
+        execute_run(run_a, DEFAULT_METRICS, cache=cache)
+        execute_run(run_b, DEFAULT_METRICS, cache=cache)
+        assert cache.builds == 1 and cache.hits == 1
+        assert len(cache._tables) == 1
+
+    def test_subset_matches_direct_build(self):
+        topo_spec = "XGFT(2;4,4;1,2)"
+        alg = make_algorithm("r-nca-u", parse_xgft(topo_spec), seed=3)
+        cache = RouteTableCache()
+        key = (topo_spec, "r-nca-u", 3)
+        full = cache.all_pairs_table(key, alg)
+        pairs = resolve_pattern("bit-reversal", 16).pairs()
+        sub = subset_table(full, cache.row_index(key), pairs)
+        direct = alg.build_table(pairs)
+        assert np.array_equal(sub.ports, direct.ports)
+        assert np.array_equal(sub.src, direct.src)
+        assert np.array_equal(sub.nca_level, direct.nca_level)
+
+    def test_pattern_aware_not_memoized(self):
+        spec = SweepSpec(
+            topologies=("XGFT(2;4,4;1,2)",),
+            patterns=("shift-1", "bit-reversal"),
+            algorithms=("colored",),
+        )
+        result = run_sweep(spec)
+        assert result.cache_stats == {"table_builds": 0, "table_hits": 0}
+        assert len(result.runs) == 2
+
+
+class TestExecution:
+    def test_parallel_equals_serial(self):
+        serial = run_sweep(SMALL_SPEC, jobs=1)
+        parallel = run_sweep(SMALL_SPEC, jobs=4)
+        assert [r["metrics"] for r in serial.runs] == [r["metrics"] for r in parallel.runs]
+        assert [r["load_histogram"] for r in serial.runs] == [
+            r["load_histogram"] for r in parallel.runs
+        ]
+        assert serial.cache_stats == parallel.cache_stats
+
+    def test_run_order_matches_plan(self):
+        result = run_sweep(SMALL_SPEC, jobs=3)
+        planned = [r.run_id for r in plan_runs(SMALL_SPEC)]
+        got = [
+            f"{r['topology']}/{r['pattern']}/{r['algorithm']}@{r['seed']}"
+            for r in result.runs
+        ]
+        assert got == planned
+
+    def test_metric_selection(self):
+        spec = SweepSpec(
+            topologies=("XGFT(2;4,4;1,4)",),
+            patterns=("all-pairs",),
+            algorithms=("s-mod-k",),
+            metrics=("routes_per_nca", "max_link_load"),
+        )
+        result = run_sweep(spec)
+        metrics = result.runs[0]["metrics"]
+        assert set(metrics) == {"routes_per_nca", "max_link_load"}
+        assert sum(metrics["routes_per_nca"]) == 16 * 15 - 4 * 4 * 3  # cross-switch pairs
+
+    def test_empty_filter_gives_empty_result(self):
+        result = run_sweep(SMALL_SPEC, run_filter="no-such-run")
+        assert result.runs == []
+
+
+class TestArtifact:
+    def test_round_trip(self, tmp_path):
+        result = run_sweep(SMALL_SPEC)
+        path = write_artifact(result, tmp_path / "sweep_results.json")
+        data = load_artifact(path)
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["kind"] == "repro-sweep-results"
+        assert SweepSpec.from_dict(data["spec"]) == SMALL_SPEC
+        assert data["runs"] == result.runs
+        assert {"python", "numpy", "platform", "repro", "cpu_count"} <= set(
+            data["environment"]
+        )
+
+    def test_deterministic_across_executions(self, tmp_path):
+        a = run_sweep(SMALL_SPEC, jobs=1)
+        b = run_sweep(SMALL_SPEC, jobs=2)
+        da = json.loads(write_artifact(a, tmp_path / "a.json").read_text())
+        db = json.loads(write_artifact(b, tmp_path / "b.json").read_text())
+        # identical except wall-clock timings
+        for record in da["runs"] + db["runs"]:
+            record.pop("wall_time_s")
+        da.pop("total_wall_time_s")
+        db.pop("total_wall_time_s")
+        assert da == db
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "something-else"}')
+        with pytest.raises(ValueError, match="not a sweep artifact"):
+            load_artifact(path)
+
+    def test_rejects_schema_mismatch(self, tmp_path):
+        result = run_sweep(SMALL_SPEC, run_filter="shift-1")
+        data = result.to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema"):
+            load_artifact(path)
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return run_sweep(SMALL_SPEC).to_dict()
+
+    def test_identical_artifacts_pass(self, artifact):
+        comparison = sweep_compare(artifact, artifact)
+        assert comparison.ok
+        assert not comparison.regressions and not comparison.missing_runs
+        assert comparison.compared > 0
+
+    def test_injected_regression_detected(self, artifact):
+        import copy
+
+        worse = copy.deepcopy(artifact)
+        worse["runs"][0]["metrics"]["max_link_load"] *= 2
+        comparison = sweep_compare(artifact, worse, rel_tol=0.05)
+        assert not comparison.ok
+        assert any(d.metric == "max_link_load" for d in comparison.regressions)
+
+    def test_within_tolerance_passes(self, artifact):
+        import copy
+
+        near = copy.deepcopy(artifact)
+        for record in near["runs"]:
+            if "slowdown" in record["metrics"]:
+                record["metrics"]["slowdown"] *= 1.01
+        assert sweep_compare(artifact, near, rel_tol=0.05).ok
+
+    def test_missing_metric_fails(self, artifact):
+        import copy
+
+        stripped = copy.deepcopy(artifact)
+        for record in stripped["runs"]:
+            record["metrics"].pop("slowdown", None)
+        comparison = sweep_compare(artifact, stripped)
+        assert not comparison.ok
+        assert comparison.missing_metrics
+        assert all(entry.endswith("::slowdown") for entry in comparison.missing_metrics)
+
+    def test_missing_run_fails(self, artifact):
+        import copy
+
+        shrunk = copy.deepcopy(artifact)
+        shrunk["runs"] = shrunk["runs"][:-1]
+        comparison = sweep_compare(artifact, shrunk)
+        assert not comparison.ok and len(comparison.missing_runs) == 1
+
+    def test_improvement_is_not_a_failure(self, artifact):
+        import copy
+
+        better = copy.deepcopy(artifact)
+        for record in better["runs"]:
+            if "sim_time" in record["metrics"]:
+                record["metrics"]["sim_time"] *= 0.5
+        comparison = sweep_compare(artifact, better)
+        assert comparison.ok and comparison.improvements
+
+    def test_schema_mismatch_raises(self, artifact):
+        import copy
+
+        other = copy.deepcopy(artifact)
+        other["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            sweep_compare(artifact, other)
+
+
+class TestFigureAdapters:
+    def test_fig2_grid_matches_original_harness(self):
+        from repro.experiments import fig2
+
+        spec = figure_grid_spec("fig2", "wrf-256", w2_values=(16, 4), seeds=2)
+        fig = sweep_to_figure(run_sweep(spec, jobs=2))
+        orig = fig2("wrf", w2_values=(16, 4), seeds=2)
+        for name in ("random", "s-mod-k", "d-mod-k", "colored"):
+            for w2 in (16, 4):
+                got = fig.series_by_name(name).values[w2]
+                want = orig.series_by_name(name).values[w2]
+                got_m = got.median if hasattr(got, "median") else got
+                want_m = want.median if hasattr(want, "median") else want
+                assert got_m == pytest.approx(want_m, rel=1e-9)
+
+    def test_fig4_grid_shape(self):
+        spec = figure_grid_spec("fig4", w2_values=(2,), seeds=2)
+        result = run_sweep(spec)
+        assert len(result.runs) == 2 + 3 * 2  # 2 deterministic + 3 randomized x 2 seeds
+        for record in result.runs:
+            census = record["metrics"]["routes_per_nca"]
+            assert len(census) == 2  # one entry per root (w2 roots)
+            # every cross-switch ordered pair lands on exactly one root
+            assert sum(census) == 256 * 255 - 16 * 16 * 15

@@ -6,8 +6,7 @@ import networkx as nx
 from hypothesis import given, settings
 
 from repro.topology import ascii_art, degree_histogram, kary_ntree, to_networkx
-
-from ..conftest import xgft_examples
+from tests.helpers import xgft_examples
 
 
 class TestExport:

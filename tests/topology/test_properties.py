@@ -16,8 +16,7 @@ from repro.topology import (
     slimmed_two_level,
     total_ports,
 )
-
-from ..conftest import xgft_examples
+from tests.helpers import xgft_examples
 
 
 class TestEq1:

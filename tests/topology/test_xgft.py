@@ -8,8 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.topology import XGFT, kary_ntree, parse_xgft
-
-from ..conftest import xgft_examples
+from tests.helpers import xgft_examples
 
 
 class TestConstruction:
