@@ -12,6 +12,8 @@ The package provides, as importable building blocks:
 * :mod:`repro.sim` — network simulators (flit-level "Venus" substitute,
   max-min fluid model, ideal Full-Crossbar);
 * :mod:`repro.dimemas` — trace-driven MPI replay;
+* :mod:`repro.faults` — fault injection, degraded topologies, route
+  repair and resilience metrics;
 * :mod:`repro.experiments` — the figure/table regeneration harness.
 
 Quickstart::
@@ -39,7 +41,7 @@ from .core import (
 )
 from .topology import XGFT, kary_ntree, parse_xgft, slimmed_two_level
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "XGFT",

@@ -12,12 +12,16 @@
     repro info --topology "XGFT(3;4,4,4;1,4,2)"
     repro sweep --jobs 4 -o sweep_results.json
     repro sweep --spec benchmarks/smoke_spec.json --baseline benchmarks/baseline_smoke.json
+    repro sweep --faults none "links:rate=0.05" --patterns shift-1
     repro compare baseline.json current.json --tolerance 0.1
+    repro faults --topology "XGFT(3;4,4,4;1,4,2)" --rates 0 0.01 0.05
 
 The ``sweep`` subcommand runs a declarative {topology x pattern x
-algorithm x seed} grid through :mod:`repro.experiments.sweep` — by
-default the paper's full Fig. 2-5 evaluation grid — and writes the
-schema-versioned JSON artifact CI regression-gates on.
+algorithm x seed x faults} grid through :mod:`repro.experiments.sweep`
+— by default the paper's full Fig. 2-5 evaluation grid — and writes the
+schema-versioned JSON artifact CI regression-gates on.  ``faults``
+sweeps failure rates over a degraded topology with local route repair
+(:mod:`repro.faults`) and reports slowdown and flow-loss curves.
 """
 
 from __future__ import annotations
@@ -53,10 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_sweep_args(p: argparse.ArgumentParser, default_seeds: int) -> None:
         p.add_argument("--app", choices=("wrf", "cg"), required=True)
-        p.add_argument("--w2", type=int, nargs="+", default=None,
-                       help="w2 values to sweep (default 16..1)")
-        p.add_argument("--seeds", type=int, default=default_seeds,
-                       help="seeds per randomized algorithm")
+        p.add_argument(
+            "--w2", type=int, nargs="+", default=None, help="w2 values to sweep (default 16..1)"
+        )
+        p.add_argument(
+            "--seeds", type=int, default=default_seeds, help="seeds per randomized algorithm"
+        )
         p.add_argument("--engine", choices=("fluid", "replay"), default="fluid")
 
     add_sweep_args(sub.add_parser("fig2", help="Fig. 2: classic oblivious schemes"), 5)
@@ -83,34 +89,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a {topology x pattern x algorithm x seed} grid "
         "(default: the paper's Fig. 2-5 grid)",
     )
-    ps.add_argument("--spec", type=Path, default=None,
-                    help="JSON sweep spec file; mutually exclusive with the "
-                    "grid flags (--seeds/--engine may still override it)")
-    ps.add_argument("--topologies", nargs="+", default=None, metavar="XGFT",
-                    help="XGFT spec strings")
-    ps.add_argument("--patterns", nargs="+", default=None,
-                    help="pattern names (wrf-256, cg-128, shift-1, all-pairs, ...)")
-    ps.add_argument("--algorithms", nargs="+", default=None,
-                    help="algorithm names, optionally parameterized: "
-                    "'r-nca-d(map_kind=mod)'")
-    ps.add_argument("--seeds", type=int, default=None,
-                    help="seeds per randomized algorithm")
-    ps.add_argument("--metrics", nargs="+", default=None,
-                    choices=list(experiments.KNOWN_METRICS))
+    ps.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        help="JSON sweep spec file; mutually exclusive with the "
+        "grid flags (--seeds/--engine may still override it)",
+    )
+    ps.add_argument(
+        "--topologies", nargs="+", default=None, metavar="XGFT", help="XGFT spec strings"
+    )
+    ps.add_argument(
+        "--patterns",
+        nargs="+",
+        default=None,
+        help="pattern names (wrf-256, cg-128, shift-1, all-pairs, ...)",
+    )
+    ps.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        help="algorithm names, optionally parameterized: 'r-nca-d(map_kind=mod)'",
+    )
+    ps.add_argument("--seeds", type=int, default=None, help="seeds per randomized algorithm")
+    ps.add_argument("--metrics", nargs="+", default=None, choices=list(experiments.KNOWN_METRICS))
+    ps.add_argument(
+        "--faults",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help="fault scenarios per run ('none', 'links:rate=0.05', "
+        "'switches:count=1', 'worst-links:count=4')",
+    )
     ps.add_argument("--engine", choices=("fluid", "replay"), default=None)
-    ps.add_argument("--jobs", "-j", type=int, default=1,
-                    help="worker processes (grouped by shared route table)")
-    ps.add_argument("--filter", dest="run_filter", default=None,
-                    help="fnmatch/substring filter on run ids "
-                    "('topology/pattern/algorithm@seed')")
+    ps.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (grouped by shared route table)",
+    )
+    ps.add_argument(
+        "--filter",
+        dest="run_filter",
+        default=None,
+        help="fnmatch/substring filter on run ids ('topology/pattern/algorithm@seed')",
+    )
     ps.add_argument("--output", "-o", type=Path, default=Path("sweep_results.json"))
-    ps.add_argument("--baseline", type=Path, default=None,
-                    help="prior artifact to regression-compare against "
-                    "(nonzero exit on regression)")
-    ps.add_argument("--tolerance", type=float, default=0.05,
-                    help="relative regression tolerance for --baseline")
-    ps.add_argument("--max-rows", type=int, default=40,
-                    help="run rows to print (artifact always holds all)")
+    ps.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="prior artifact to regression-compare against (nonzero exit on regression)",
+    )
+    ps.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative regression tolerance for --baseline",
+    )
+    ps.add_argument(
+        "--max-rows", type=int, default=40, help="run rows to print (artifact always holds all)"
+    )
 
     pc = sub.add_parser(
         "compare", help="diff two sweep artifacts; nonzero exit on regression"
@@ -118,8 +158,44 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("baseline", type=Path)
     pc.add_argument("current", type=Path)
     pc.add_argument("--tolerance", type=float, default=0.05)
-    pc.add_argument("--metrics", nargs="+", default=None,
-                    help="restrict the diff to these metrics")
+    pc.add_argument(
+        "--metrics", nargs="+", default=None, help="restrict the diff to these metrics"
+    )
+
+    pff = sub.add_parser(
+        "faults",
+        help="resilience sweep: slowdown and flow loss vs failure rate "
+        "on a degraded topology with local route repair",
+    )
+    pff.add_argument("--topology", default="XGFT(3;4,4,4;1,4,2)", help="XGFT spec string")
+    pff.add_argument(
+        "--pattern", default="shift-1", help="traffic pattern (wrf-256, cg-128, shift-1, ...)"
+    )
+    pff.add_argument("--algorithms", nargs="+", default=["d-mod-k", "s-mod-k", "r-nca-d", "random"])
+    pff.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.01, 0.05],
+        help="failure rates (0 = pristine)",
+    )
+    pff.add_argument(
+        "--kind",
+        choices=("links", "switches"),
+        default="links",
+        help="what fails: cables or inner switches",
+    )
+    pff.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        help="routing/repair seeds per algorithm (the fault draw is fixed per rate)",
+    )
+    pff.add_argument("--engine", choices=("fluid", "replay"), default="fluid")
+    pff.add_argument("--jobs", "-j", type=int, default=1)
+    pff.add_argument(
+        "--output", "-o", type=Path, default=None, help="also write the sweep artifact JSON"
+    )
     return parser
 
 
@@ -132,6 +208,7 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> experiments.SweepSpec:
                 ("--patterns", args.patterns),
                 ("--algorithms", args.algorithms),
                 ("--metrics", args.metrics),
+                ("--faults", args.faults),
             )
             if value is not None
         ]
@@ -162,6 +239,8 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> experiments.SweepSpec:
         grid["seeds"] = args.seeds
     if args.metrics is not None:
         grid["metrics"] = args.metrics
+    if args.faults is not None:
+        grid["faults"] = args.faults
     if args.engine is not None:
         grid["engine"] = args.engine
     return experiments.SweepSpec.from_dict(grid)
@@ -186,6 +265,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         print(experiments.format_sweep_compare(comparison))
         return 0 if comparison.ok else 1
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    spec = experiments.fault_grid_spec(
+        topology=args.topology,
+        pattern=args.pattern,
+        algorithms=args.algorithms,
+        rates=args.rates,
+        kind=args.kind,
+        seeds=args.seeds,
+        engine=args.engine,
+    )
+    result = experiments.run_sweep(spec, jobs=args.jobs)
+    print(experiments.format_fault_sweep(result))
+    if args.output is not None:
+        path = experiments.write_artifact(result, args.output)
+        print(f"\nartifact written to {path}")
     return 0
 
 
@@ -226,6 +323,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"  {key:>22}: {value}")
     elif args.command == "sweep":
         return _cmd_sweep(args)
+    elif args.command == "faults":
+        return _cmd_faults(args)
     elif args.command == "compare":
         return _cmd_compare(args)
     else:  # pragma: no cover - argparse enforces choices

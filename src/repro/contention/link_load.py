@@ -13,7 +13,10 @@ def link_flow_counts(table: RouteTable, weights: np.ndarray | None = None) -> np
     """Number of flows (or total weight) traversing each directed link.
 
     Returns an array of length ``topo.num_directed_links``; index meaning
-    per :meth:`repro.topology.XGFT.describe_link`.
+    per :meth:`repro.topology.XGFT.describe_link`.  The unweighted census
+    is int64; the weighted one is always float64, including for tables
+    with no link-traversing flows (``np.bincount`` would otherwise fall
+    back to int zeros on empty input and surprise float consumers).
     """
     flows, links = table.flow_links()
     n_links = table.topo.num_directed_links
@@ -21,7 +24,9 @@ def link_flow_counts(table: RouteTable, weights: np.ndarray | None = None) -> np
         return np.bincount(links, minlength=n_links)
     weights = np.asarray(weights, dtype=np.float64)
     if weights.shape != (len(table),):
-        raise ValueError(f"weights must have shape ({len(table)},)")
+        raise ValueError(f"weights must have shape ({len(table)},), got {weights.shape}")
+    if len(links) == 0:
+        return np.zeros(n_links, dtype=np.float64)
     return np.bincount(links, weights=weights[flows], minlength=n_links)
 
 

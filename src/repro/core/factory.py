@@ -58,11 +58,17 @@ def is_oblivious(algorithm: RoutingAlgorithm) -> bool:
     """True iff the algorithm never looks at the pattern it routes.
 
     Detected structurally: an algorithm is oblivious exactly when it
-    keeps the no-op :meth:`~RoutingAlgorithm.prepare` hook.  The sweep
-    engine memoizes all-pairs route tables only for oblivious schemes —
-    a pattern-aware scheme's answers change with every pattern.
+    keeps the no-op :meth:`~RoutingAlgorithm.prepare` hook (neither its
+    class nor the instance itself overrides it — wrappers such as
+    :class:`repro.faults.repair.RepairedRouting` delegate via an
+    instance attribute).  The sweep engine memoizes all-pairs route
+    tables only for oblivious schemes — a pattern-aware scheme's answers
+    change with every pattern.
     """
-    return type(algorithm).prepare is RoutingAlgorithm.prepare
+    return (
+        type(algorithm).prepare is RoutingAlgorithm.prepare
+        and "prepare" not in algorithm.__dict__
+    )
 
 
 def register_algorithm(name: str, builder: Callable[..., RoutingAlgorithm]) -> None:

@@ -18,7 +18,7 @@ ascending part, shifted past the descending ports).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
 
 from ..topology import XGFT
 from .base import RoutingAlgorithm
@@ -76,17 +76,30 @@ class ForwardingTables:
 
 
 def build_forwarding_tables(
-    algorithm: RoutingAlgorithm, destinations: list[int] | None = None
+    algorithm: RoutingAlgorithm,
+    destinations: list[int] | None = None,
+    pairs: Iterable[tuple[int, int]] | None = None,
 ) -> ForwardingTables:
     """Build per-switch LFTs by tracing every (src, dst) route.
+
+    By default every ordered leaf pair is traced; ``destinations``
+    restricts the destination set, ``pairs`` (mutually exclusive with
+    ``destinations``) restricts to an explicit pair list — the degraded-
+    topology exporter uses this to skip unreachable pairs.
 
     Raises :class:`InconsistentRouteError` if the algorithm's routes are
     not destination-deterministic (two sources would need different ports
     at the same switch for the same destination).
     """
     topo = algorithm.topo
-    if destinations is None:
-        destinations = list(topo.leaves())
+    if pairs is not None and destinations is not None:
+        raise ValueError("pass either destinations or pairs, not both")
+    if pairs is None:
+        if destinations is None:
+            destinations = list(topo.leaves())
+        pairs = (
+            (src, dst) for dst in destinations for src in topo.leaves() if src != dst
+        )
     out = ForwardingTables(topo)
 
     def record(level: int, node: int, dst: int, port: int) -> None:
@@ -101,24 +114,23 @@ def build_forwarding_tables(
                 f"({algorithm.name}) is not destination-deterministic"
             )
 
-    for dst in destinations:
-        for src in topo.leaves():
-            if src == dst:
-                continue
-            route = algorithm.route(src, dst)
-            lvl = route.nca_level
-            # ascending part: at the leaf and at levels 1..lvl-1 record up-ports
-            node = src
-            record(0, src, dst, route.up_ports[0])
-            node = topo.up_neighbor(0, src, route.up_ports[0])
-            for i in range(1, lvl):
-                m_l = topo.m[i - 1]
-                record(i, node, dst, m_l + route.up_ports[i])
-                node = topo.up_neighbor(i, node, route.up_ports[i])
-            # descending part: record down-ports along the unique path to dst
-            for i in range(lvl, 0, -1):
-                down_port = (dst // topo.mprod(i - 1)) % topo.m[i - 1]
-                record(i, node, dst, down_port)
-                node = topo.down_neighbor(i, node, down_port)
-            assert node == dst, "descending walk must terminate at the destination"
+    for src, dst in pairs:
+        if src == dst:
+            continue
+        route = algorithm.route(src, dst)
+        lvl = route.nca_level
+        # ascending part: at the leaf and at levels 1..lvl-1 record up-ports
+        node = src
+        record(0, src, dst, route.up_ports[0])
+        node = topo.up_neighbor(0, src, route.up_ports[0])
+        for i in range(1, lvl):
+            m_l = topo.m[i - 1]
+            record(i, node, dst, m_l + route.up_ports[i])
+            node = topo.up_neighbor(i, node, route.up_ports[i])
+        # descending part: record down-ports along the unique path to dst
+        for i in range(lvl, 0, -1):
+            down_port = (dst // topo.mprod(i - 1)) % topo.m[i - 1]
+            record(i, node, dst, down_port)
+            node = topo.down_neighbor(i, node, down_port)
+        assert node == dst, "descending walk must terminate at the destination"
     return out

@@ -20,6 +20,7 @@ import numpy as np
 
 from .figures import EquivalenceResult, Fig3Result, Fig4Result, FigureSweep
 from .stats import BoxStats
+from .sweep import record_id
 
 __all__ = [
     "format_sweep",
@@ -32,6 +33,7 @@ __all__ = [
     "sweep_compare",
     "format_sweep_compare",
     "format_sweep_results",
+    "format_fault_sweep",
 ]
 
 
@@ -119,24 +121,22 @@ def _sweep_records(artifact) -> list[dict]:
     return artifact["runs"]
 
 
-def _sweep_record_id(record: dict) -> str:
-    return (
-        f"{record['topology']}/{record['pattern']}/"
-        f"{record['algorithm']}@{record['seed']}"
-    )
-
-
 def format_sweep_results(artifact, max_rows: int | None = None) -> str:
     """Render a sweep artifact as one aligned row per run."""
     records = _sweep_records(artifact)
     if not records:
         return "empty sweep (no runs matched)"
     metric_names = sorted({m for r in records for m in r["metrics"]})
+    show_faults = any(r.get("faults", "none") != "none" for r in records)
     header = ["topology", "pattern", "algorithm", "seed", *metric_names]
+    if show_faults:
+        header.insert(4, "faults")
     rows = [header]
     shown = records if max_rows is None else records[:max_rows]
     for r in shown:
         cells = [r["topology"], r["pattern"], r["algorithm"], str(r["seed"])]
+        if show_faults:
+            cells.append(r.get("faults", "none"))
         for name in metric_names:
             value = r["metrics"].get(name)
             if isinstance(value, float):
@@ -151,6 +151,61 @@ def format_sweep_results(artifact, max_rows: int | None = None) -> str:
     lines.insert(1, "-" * len(lines[0]))
     if max_rows is not None and len(records) > max_rows:
         lines.append(f"... {len(records) - max_rows} more runs")
+    return "\n".join(lines)
+
+
+def format_fault_sweep(artifact) -> str:
+    """Render a resilience sweep: one row per fault scenario.
+
+    Cells show the median headline metric (``slowdown`` when present)
+    over the swept seeds, annotated with the median disconnected-pair
+    percentage when any flow was lost.
+    """
+    if hasattr(artifact, "to_dict"):
+        artifact = artifact.to_dict()
+    spec = artifact["spec"]
+    records = artifact["runs"]
+    if not records:
+        return "empty sweep (no runs matched)"
+    algorithms = list(spec["algorithms"])
+    fault_axis = list(spec.get("faults", ["none"]))
+    headline = "slowdown" if "slowdown" in spec["metrics"] else spec["metrics"][0]
+    cells: dict[tuple[str, str], dict[str, list[float]]] = {}
+    for record in records:
+        key = (record.get("faults", "none"), record["algorithm"])
+        bucket = cells.setdefault(key, {"headline": [], "disconnected": []})
+        value = record["metrics"].get(headline)
+        if isinstance(value, (int, float)):
+            bucket["headline"].append(float(value))
+        lost = record["metrics"].get("disconnected_fraction")
+        if isinstance(lost, (int, float)):
+            bucket["disconnected"].append(float(lost))
+
+    def render(faults: str, algorithm: str) -> str:
+        bucket = cells.get((faults, algorithm))
+        if not bucket or not bucket["headline"]:
+            return "-"
+        text = f"{float(np.median(bucket['headline'])):.2f}"
+        if bucket["disconnected"]:
+            lost = float(np.median(bucket["disconnected"]))
+            if lost > 0:
+                text += f" (-{lost:.1%})"
+        return text
+
+    header = ["faults"] + algorithms
+    rows = [header]
+    for faults in fault_axis:
+        rows.append([faults] + [render(faults, a) for a in algorithms])
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    title = (
+        f"{headline} vs fault scenario — {spec['patterns'][0]} on "
+        f"{spec['topologies'][0]} (median over seeds; (-x%) = flows lost)"
+    )
+    lines = [title]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
     return "\n".join(lines)
 
 
@@ -215,8 +270,8 @@ def sweep_compare(
             f"cannot compare artifacts of different schemas: "
             f"v{base_version} vs v{cur_version}"
         )
-    current_by_id = {_sweep_record_id(r): r for r in current["runs"]}
-    baseline_by_id = {_sweep_record_id(r): r for r in baseline["runs"]}
+    current_by_id = {record_id(r): r for r in current["runs"]}
+    baseline_by_id = {record_id(r): r for r in baseline["runs"]}
     regressions: list[MetricDelta] = []
     improvements: list[MetricDelta] = []
     missing: list[str] = []

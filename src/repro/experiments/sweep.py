@@ -37,6 +37,13 @@ import numpy as np
 from ..contention import link_load_summary, max_network_contention, routes_per_nca
 from ..core.base import RouteTable, RoutingAlgorithm
 from ..core.factory import SINGLE_SEED_ALGORITHMS, is_oblivious, make_algorithm
+from ..faults import (
+    DegradedTopology,
+    RepairedRouting,
+    inflation_ratio,
+    parse_fault_spec,
+    repair_table,
+)
 from ..patterns import (
     Pattern,
     bit_complement,
@@ -58,10 +65,13 @@ __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_METRICS",
     "KNOWN_METRICS",
+    "RESILIENCE_METRICS",
     "SweepSpec",
     "RunSpec",
     "SweepResult",
     "RouteTableCache",
+    "format_run_id",
+    "record_id",
     "plan_runs",
     "run_sweep",
     "execute_run",
@@ -70,11 +80,13 @@ __all__ = [
     "write_artifact",
     "load_artifact",
     "figure_grid_spec",
+    "fault_grid_spec",
     "sweep_to_figure",
 ]
 
-#: version stamp of the JSON artifact layout (docs/sweep_schema.md)
-SCHEMA_VERSION = 1
+#: version stamp of the JSON artifact layout (docs/sweep_schema.md);
+#: v2 added the ``faults`` axis and the resilience metrics
+SCHEMA_VERSION = 2
 
 #: metrics computed when a spec does not name its own
 DEFAULT_METRICS = (
@@ -85,8 +97,16 @@ DEFAULT_METRICS = (
     "slowdown",
 )
 
+#: resilience metrics, meaningful on the ``faults`` axis (all
+#: lower-is-better; trivially 0 / 1 / 1 on the pristine topology)
+RESILIENCE_METRICS = (
+    "disconnected_fraction",
+    "max_load_inflation",
+    "mean_load_inflation",
+)
+
 #: every metric name the engine knows how to compute
-KNOWN_METRICS = DEFAULT_METRICS + ("routes_per_nca",)
+KNOWN_METRICS = DEFAULT_METRICS + RESILIENCE_METRICS + ("routes_per_nca",)
 
 
 # ----------------------------------------------------------------------
@@ -101,7 +121,9 @@ class SweepSpec:
     (the ablation grids rely on this).  ``seeds`` is the number of seeds
     per *randomized* algorithm; deterministic and single-series schemes
     (see :data:`repro.core.factory.SINGLE_SEED_ALGORITHMS`) are planned
-    with seed 0 only.
+    with seed 0 only.  ``faults`` is the degraded-topology axis: fault
+    spec strings per :func:`repro.faults.parse_fault_spec` (``"none"``
+    keeps the topology pristine).
     """
 
     topologies: tuple[str, ...]
@@ -111,10 +133,13 @@ class SweepSpec:
     metrics: tuple[str, ...] = DEFAULT_METRICS
     engine: str = "fluid"
     name: str = ""
+    faults: tuple[str, ...] = ("none",)
 
     def __post_init__(self):
         if not self.topologies or not self.patterns or not self.algorithms:
             raise ValueError("a sweep needs at least one topology, pattern and algorithm")
+        if not self.faults:
+            raise ValueError("the faults axis needs at least one entry ('none')")
         if self.seeds < 1:
             raise ValueError("seeds must be >= 1")
         if self.engine not in ("fluid", "replay"):
@@ -128,6 +153,8 @@ class SweepSpec:
             parse_xgft(spec)  # fail fast on malformed topology specs
         for spec in self.algorithms:
             parse_algorithm_spec(spec)
+        for spec in self.faults:
+            parse_fault_spec(spec)
 
     def to_dict(self) -> dict:
         return {
@@ -138,6 +165,7 @@ class SweepSpec:
             "metrics": list(self.metrics),
             "engine": self.engine,
             "name": self.name,
+            "faults": list(self.faults),
         }
 
     @staticmethod
@@ -150,7 +178,32 @@ class SweepSpec:
             metrics=tuple(d.get("metrics", DEFAULT_METRICS)),
             engine=d.get("engine", "fluid"),
             name=d.get("name", ""),
+            faults=tuple(d.get("faults", ("none",))),
         )
+
+
+def format_run_id(
+    topology: str, pattern: str, algorithm: str, seed: int, faults: str = "none"
+) -> str:
+    """The canonical run identity — the key ``sweep_compare`` matches on.
+
+    Single source of truth: :attr:`RunSpec.run_id` and the artifact
+    record ids are both derived from here, so the format cannot drift
+    apart and silently break the baseline matching.
+    """
+    base = f"{topology}/{pattern}/{algorithm}@{seed}"
+    return base if faults == "none" else f"{base}+{faults}"
+
+
+def record_id(record: dict) -> str:
+    """:func:`format_run_id` applied to an artifact run record."""
+    return format_run_id(
+        record["topology"],
+        record["pattern"],
+        record["algorithm"],
+        record["seed"],
+        record.get("faults", "none"),
+    )
 
 
 @dataclass(frozen=True)
@@ -161,14 +214,18 @@ class RunSpec:
     pattern: str
     algorithm: str
     seed: int
+    faults: str = "none"
 
     @property
     def run_id(self) -> str:
-        return f"{self.topology}/{self.pattern}/{self.algorithm}@{self.seed}"
+        return format_run_id(
+            self.topology, self.pattern, self.algorithm, self.seed, self.faults
+        )
 
     @property
     def memo_key(self) -> tuple[str, str, int]:
-        """Route tables are shared across patterns, never across these."""
+        """Route tables are shared across patterns and fault scenarios
+        (repair filters the *pristine* table), never across these."""
         return (self.topology, self.algorithm, self.seed)
 
 
@@ -276,21 +333,28 @@ def plan_runs(spec: SweepSpec, run_filter: str | None = None) -> tuple[RunSpec, 
     Runs sharing a ``(topology, algorithm, seed)`` route table are
     consecutive, so parallel chunking by memo key keeps each table build
     inside one worker.  Deterministic/single-series algorithms collapse
-    the seed axis to ``{0}``.  ``run_filter`` is an ``fnmatch`` pattern
-    applied to ``run_id`` (substring match when it has no wildcards).
+    the seed axis to ``{0}`` on the pristine topology; under a fault
+    scenario the seed still varies the *repair* draw, so the full seed
+    range is planned there even for deterministic schemes.
+    ``run_filter`` is an ``fnmatch`` pattern applied to ``run_id``
+    (substring match when it has no wildcards).
     """
     for topo_spec in spec.topologies:
         topo = parse_xgft(topo_spec)
         for pattern in spec.patterns:
             resolve_pattern(pattern, topo.num_leaves)  # validate fit
     runs: list[RunSpec] = []
+    fault_kinds = {faults: parse_fault_spec(faults).kind for faults in spec.faults}
     for topo_spec in spec.topologies:
         for algorithm in spec.algorithms:
             name, _ = parse_algorithm_spec(algorithm)
-            seeds = (0,) if name in SINGLE_SEED_ALGORITHMS else tuple(range(spec.seeds))
-            for seed in seeds:
-                for pattern in spec.patterns:
-                    runs.append(RunSpec(topo_spec, pattern, algorithm, seed))
+            single = name in SINGLE_SEED_ALGORITHMS
+            for seed in range(spec.seeds):
+                for faults in spec.faults:
+                    if single and seed > 0 and fault_kinds[faults] == "none":
+                        continue  # deterministic scheme, pristine fabric: inert seed
+                    for pattern in spec.patterns:
+                        runs.append(RunSpec(topo_spec, pattern, algorithm, seed, faults))
     if run_filter:
         glob = run_filter if any(c in run_filter for c in "*?[") else f"*{run_filter}*"
         runs = [r for r in runs if fnmatch(r.run_id, glob)]
@@ -389,24 +453,54 @@ def execute_run(
     else:
         tables = [algorithm.build_table(pairs) for pairs, _ in phases]
 
+    # degrade-and-repair: faults are realized against the *routed*
+    # traffic (adversarial specs cut the most loaded cables of this very
+    # pattern), the pristine tables become the resilience baseline, and
+    # every downstream metric sees only surviving, repaired flows
+    fault_spec = parse_fault_spec(run.faults)
+    degraded = None
+    fault_info: dict[str, int] = {}
+    baseline_agg = None
+    if fault_spec.kind != "none":
+        # seeded random draws depend only on the fault spec (not the run
+        # seed), so every algorithm and routing seed of a row faces the
+        # *same* degraded fabric; sweep several draws by listing several
+        # specs ("links:rate=0.05,seed=0", "links:rate=0.05,seed=1", ...).
+        # adversarial "worst-links" specs are the deliberate exception:
+        # each cell's adversary watches that cell's own routes, so every
+        # scheme faces *its own* worst case (per-cell fabrics, see
+        # fault_info for what was actually cut)
+        traffic = _concat_all(tables) if tables else None
+        fault_set = fault_spec.realize(topo, table=traffic)
+        degraded = DegradedTopology(topo, fault_set)
+        repairs = [repair_table(t, degraded, seed=run.seed) for t in tables]
+        baseline_agg = _load_aggregate(tables)
+        tables = [r.table for r in repairs]
+        phases = [
+            (
+                [pairs[i] for i in r.surviving_rows()],
+                [sizes[i] for i in r.surviving_rows()],
+            )
+            for (pairs, sizes), r in zip(phases, repairs)
+        ]
+        fault_info = {
+            "failed_cables": degraded.num_failed_cables,
+            "failed_switches": degraded.num_failed_switches,
+            "broken_flows": sum(r.num_broken for r in repairs),
+            "repaired_flows": sum(r.num_repaired for r in repairs),
+            "disconnected_flows": sum(r.num_disconnected for r in repairs),
+            "total_flows": sum(len(r.broken) for r in repairs),
+        }
+
     values: dict[str, object] = {}
     # the used-link histogram is always part of the record (phases are
     # aggregated; idle links are omitted so multi-phase runs don't count
     # the same idle link once per phase)
-    histogram: dict[int, int] = {}
-    max_load, used_sum, used_links = 0, 0.0, 0
-    for table in tables:
-        summary = link_load_summary(table)
-        max_load = max(max_load, summary.max_load)
-        used_sum += summary.mean_load * summary.num_used_links
-        used_links += summary.num_used_links
-        for load, count in summary.histogram.items():
-            if load > 0:
-                histogram[load] = histogram.get(load, 0) + count
+    max_load, mean_load, histogram = _load_aggregate(tables)
     if "max_link_load" in metrics:
         values["max_link_load"] = max_load
     if "mean_link_load" in metrics:
-        values["mean_link_load"] = used_sum / used_links if used_links else 0.0
+        values["mean_link_load"] = mean_load
     if "max_network_contention" in metrics:
         values["max_network_contention"] = max(
             (max_network_contention(t) for t in tables), default=0
@@ -414,26 +508,56 @@ def execute_run(
     if "routes_per_nca" in metrics and tables:
         merged = _concat_all(tables)
         values["routes_per_nca"] = [int(x) for x in routes_per_nca(merged)]
+    if "disconnected_fraction" in metrics:
+        total = fault_info.get("total_flows", 0)
+        values["disconnected_fraction"] = (
+            fault_info["disconnected_flows"] / total if total else 0.0
+        )
+    if "max_load_inflation" in metrics:
+        values["max_load_inflation"] = (
+            inflation_ratio(max_load, baseline_agg[0]) if baseline_agg else 1.0
+        )
+    if "mean_load_inflation" in metrics:
+        values["mean_load_inflation"] = (
+            inflation_ratio(mean_load, baseline_agg[1]) if baseline_agg else 1.0
+        )
     if "sim_time" in metrics or "slowdown" in metrics:
-        sim_time = _simulate(run, topo, pattern, algorithm, tables, phases, engine, config)
+        sim_time = _simulate(
+            run, topo, pattern, algorithm, tables, phases, engine, config, degraded
+        )
         if "sim_time" in metrics:
             values["sim_time"] = sim_time
         if "slowdown" in metrics:
-            memo = _crossbar_memo if _crossbar_memo is not None else {}
-            ref_key = (run.pattern, topo.num_leaves, engine)
-            t_ref = memo.get(ref_key)
-            if t_ref is None:
-                t_ref = memo[ref_key] = _crossbar_reference(pattern, topo, engine, config)
-            values["slowdown"] = sim_time / t_ref
-    return {
+            if fault_info.get("disconnected_flows", 0) > 0:
+                # lossy scenario: the reference must cover the *same*
+                # surviving flows as the numerator, or losing traffic
+                # would drive slowdown below the 1.0 floor and the
+                # lower-is-better gate would reward disconnection;
+                # flow loss itself is disconnected_fraction's job
+                t_ref = _crossbar_time_of_phases(phases, topo.num_leaves, config)
+                values["slowdown"] = sim_time / t_ref if t_ref > 0 else 1.0
+            else:
+                memo = _crossbar_memo if _crossbar_memo is not None else {}
+                ref_key = (run.pattern, topo.num_leaves, engine)
+                t_ref = memo.get(ref_key)
+                if t_ref is None:
+                    t_ref = memo[ref_key] = _crossbar_reference(
+                        pattern, topo, engine, config
+                    )
+                values["slowdown"] = sim_time / t_ref
+    record = {
         "topology": run.topology,
         "pattern": run.pattern,
         "algorithm": run.algorithm,
         "seed": run.seed,
+        "faults": run.faults,
         "metrics": {k: _round(v) for k, v in values.items()},
         "load_histogram": {str(k): v for k, v in sorted(histogram.items())},
         "wall_time_s": round(time.perf_counter() - t0, 6),
     }
+    if fault_info:
+        record["fault_info"] = fault_info
+    return record
 
 
 def _round(value):
@@ -447,16 +571,71 @@ def _concat_all(tables: list[RouteTable]) -> RouteTable:
     return merged
 
 
-def _simulate(run, topo, pattern, algorithm, tables, phases, engine, config) -> float:
+def _load_aggregate(tables: list[RouteTable]) -> tuple[int, float, dict[int, int]]:
+    """Across-phase (max_load, mean_load_over_used_links, histogram)."""
+    histogram: dict[int, int] = {}
+    max_load, used_sum, used_links = 0, 0.0, 0
+    for table in tables:
+        summary = link_load_summary(table)
+        max_load = max(max_load, summary.max_load)
+        used_sum += summary.mean_load * summary.num_used_links
+        used_links += summary.num_used_links
+        for load, count in summary.histogram.items():
+            if load > 0:
+                histogram[load] = histogram.get(load, 0) + count
+    return max_load, used_sum / used_links if used_links else 0.0, histogram
+
+
+def _simulate(
+    run, topo, pattern, algorithm, tables, phases, engine, config, degraded=None
+) -> float:
     if engine == "fluid":
         return sum(
-            simulate_phase_fluid(table, sizes, config).duration
+            simulate_phase_fluid(table, sizes, config, degraded=degraded).duration
             for table, (_, sizes) in zip(tables, phases)
         )
     from ..dimemas import pattern_trace, replay_on_xgft
 
+    if degraded is not None:
+        # replay cannot drop flows: an MPI trace with a disconnected pair
+        # would simply deadlock, so reject early with a diagnostic
+        routed = sum(len(t) for t in tables)
+        offered = sum(len(p) for p, _ in _phase_pairs(pattern))
+        if routed < offered:
+            raise ValueError(
+                f"{run.run_id}: {offered - routed} flow(s) disconnected by "
+                f"{run.faults!r}; the replay engine cannot drop flows — use "
+                "the fluid engine for lossy fault scenarios"
+            )
+        algorithm = RepairedRouting(algorithm, degraded, seed=run.seed)
     algorithm.prepare(sorted({(s, d) for s, d in pattern.pairs() if s != d}))
     return replay_on_xgft(pattern_trace(pattern), topo, algorithm, config).total_time
+
+
+def _crossbar_time_of_phases(
+    phases: list[tuple[list[tuple[int, int]], list[int]]],
+    num_leaves: int,
+    config: NetworkConfig,
+) -> float:
+    """Full-Crossbar time of explicit per-phase (pairs, sizes) lists.
+
+    The lossy-fault slowdown reference: unlike
+    :func:`_crossbar_reference` it times exactly the flows given (the
+    survivors), not the whole pattern.
+    """
+    from ..sim.fluid import FluidSimulator
+    from ..sim.network import crossbar_link_space
+
+    total = 0.0
+    for pairs, sizes in phases:
+        if not pairs:
+            continue
+        space = crossbar_link_space(num_leaves)
+        sim = FluidSimulator(space.num_links, config.link_bandwidth)
+        for fid, ((src, dst), size) in enumerate(zip(pairs, sizes)):
+            sim.add_flow(fid, [space.injection(src), space.ejection(dst)], float(size))
+        total += sim.run_until_idle()
+    return total
 
 
 def _crossbar_reference(pattern, topo, engine, config) -> float:
@@ -495,7 +674,7 @@ class SweepResult:
         }
 
     def run_map(self) -> dict[str, dict]:
-        return {_record_id(r): r for r in self.runs}
+        return {record_id(r): r for r in self.runs}
 
 
 def _environment() -> dict:
@@ -508,13 +687,6 @@ def _environment() -> dict:
         "repro": __version__,
         "cpu_count": multiprocessing.cpu_count(),
     }
-
-
-def _record_id(record: dict) -> str:
-    return (
-        f"{record['topology']}/{record['pattern']}/"
-        f"{record['algorithm']}@{record['seed']}"
-    )
 
 
 def _execute_group(payload: tuple[dict, list[tuple[int, dict]]]) -> tuple[list, dict]:
@@ -659,6 +831,48 @@ def figure_grid_spec(
             name="fig4",
         )
     raise ValueError(f"unknown figure {figure!r} (expected fig2, fig4 or fig5)")
+
+
+def fault_grid_spec(
+    topology: str,
+    pattern: str,
+    algorithms: Sequence[str],
+    rates: Sequence[float],
+    kind: str = "links",
+    seeds: int = 3,
+    engine: str = "fluid",
+    metrics: Sequence[str] | None = None,
+) -> SweepSpec:
+    """A failure-rate resilience grid (Fig.-2-style curves vs fault rate).
+
+    ``rates`` are failure rates over cables (``kind="links"``) or inner
+    switches (``kind="switches"``); rate 0 maps to the pristine
+    ``"none"`` scenario.  All algorithms and routing seeds of a rate row
+    face the same fault draw; the ``seeds`` axis varies routing and
+    repair randomness only (for deterministic schemes, repair randomness
+    alone — their pristine rows stay single-seed).
+    """
+    if kind not in ("links", "switches"):
+        raise ValueError(f"unknown fault kind {kind!r} (expected links or switches)")
+    if not rates:
+        raise ValueError("need at least one failure rate")
+    faults = tuple(
+        "none" if rate == 0 else f"{kind}:rate={rate:g}" for rate in rates
+    )
+    if len(set(faults)) != len(faults):
+        raise ValueError(f"duplicate failure rates in {list(rates)}")
+    if metrics is None:
+        metrics = ("max_link_load", "slowdown") + RESILIENCE_METRICS
+    return SweepSpec(
+        topologies=(topology,),
+        patterns=(pattern,),
+        algorithms=tuple(algorithms),
+        seeds=seeds,
+        metrics=tuple(metrics),
+        engine=engine,
+        name=f"faults-{kind}-{pattern}",
+        faults=faults,
+    )
 
 
 def sweep_to_figure(result: SweepResult):

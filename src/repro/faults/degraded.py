@@ -1,0 +1,227 @@
+"""A degraded view of an XGFT: the topology minus a :class:`FaultSet`.
+
+:class:`DegradedTopology` wraps an :class:`~repro.topology.XGFT` with a
+failure mask.  It does not rebuild any adjacency — the pristine
+structure (labels, neighbor arithmetic, link indices) stays authoritative
+— it only answers *which* of those elements survive:
+
+* per-cable and per-directed-link alive masks,
+* surviving up/down ports of every node,
+* leaf-to-leaf reachability under minimal (up*/down* through an NCA at
+  the pair's NCA level) routing.
+
+Reachability rests on the package's W-prefix view of routes: climbing
+from a leaf, the set of level-``l`` ancestors it can still reach is a set
+of W-digit prefixes ``<r_0..r_{l-1}>``, computed by one vectorized
+recurrence over levels for *all* leaves at once
+(:meth:`DegradedTopology.alive_prefixes`).  Because cables fail in both
+directions at once, the same prefix sets answer descent: an NCA can
+still reach a destination leaf iff the leaf can still climb to it.  A
+pair is connected iff its two prefix sets intersect at the NCA level —
+and any prefix in the intersection *is* a valid repaired route.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from ..core.base import RouteTable
+from ..topology import XGFT
+from .models import FaultSet
+
+__all__ = ["DegradedTopology"]
+
+
+class DegradedTopology:
+    """An :class:`XGFT` with some cables and switches failed.
+
+    Parameters
+    ----------
+    topo:
+        The pristine topology.
+    faults:
+        The failures to apply; validated against ``topo``.  Leaf nodes
+        cannot fail (a dead host is a workload change, not a topology
+        change); to isolate a leaf, fail its up-cables.
+    """
+
+    def __init__(self, topo: XGFT, faults: FaultSet):
+        faults.validate(topo)
+        self.topo = topo
+        self.faults = faults
+        # per-level switch alive masks (level 0 = leaves, never failed)
+        self._switch_alive = [
+            np.ones(topo.num_nodes(level), dtype=bool) for level in range(topo.h + 1)
+        ]
+        for level, node in faults.switches:
+            self._switch_alive[level][node] = False
+        # cable alive mask over up-link indices; a dead switch takes all
+        # adjacent cables down with it
+        alive = np.ones(topo.num_links_per_direction, dtype=bool)
+        for link in faults.links:
+            alive[link] = False
+        for level, node in faults.switches:
+            if level < topo.h:
+                for port in range(topo.w[level]):
+                    alive[topo.up_link_index(level, node, port)] = False
+            for child in topo.children(level, node):
+                port = topo.up_port_to(level - 1, child, node)
+                alive[topo.up_link_index(level - 1, child, port)] = False
+        self.cable_alive = alive
+        self._prefixes: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Element liveness
+    # ------------------------------------------------------------------
+    @property
+    def num_failed_cables(self) -> int:
+        """Dead cables, including those implied by dead switches."""
+        return int((~self.cable_alive).sum())
+
+    @property
+    def num_failed_switches(self) -> int:
+        return len(self.faults.switches)
+
+    @property
+    def is_pristine(self) -> bool:
+        return bool(self.cable_alive.all())
+
+    def switch_alive(self, level: int, node: int) -> bool:
+        return bool(self._switch_alive[level][node])
+
+    def link_alive(self, level: int, node: int, port: int) -> bool:
+        """Is the cable ``node@level --port--> parent`` alive?"""
+        return bool(self.cable_alive[self.topo.up_link_index(level, node, port)])
+
+    @cached_property
+    def directed_link_mask(self) -> np.ndarray:
+        """Alive mask over the dense directed-link index space."""
+        return np.concatenate([self.cable_alive, self.cable_alive])
+
+    def alive_up_ports(self, level: int, node: int) -> tuple[int, ...]:
+        """Surviving up-ports of a node: cable alive and parent alive."""
+        topo = self.topo
+        if level >= topo.h:
+            return ()
+        return tuple(
+            port
+            for port in range(topo.w[level])
+            if self.cable_alive[topo.up_link_index(level, node, port)]
+            and self._switch_alive[level + 1][topo.up_neighbor(level, node, port)]
+        )
+
+    def alive_down_ports(self, level: int, node: int) -> tuple[int, ...]:
+        """Surviving down-ports of a node: cable alive and child alive."""
+        topo = self.topo
+        if level <= 0:
+            return ()
+        out = []
+        for port in range(topo.m[level - 1]):
+            child = topo.down_neighbor(level, node, port)
+            up_port = topo.up_port_to(level - 1, child, node)
+            if (
+                self.cable_alive[topo.up_link_index(level - 1, child, up_port)]
+                and self._switch_alive[level - 1][child]
+            ):
+                out.append(port)
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def alive_prefixes(self, level: int) -> np.ndarray:
+        """``(num_leaves, wprod(level))`` bool: which W-prefixes survive.
+
+        Entry ``[leaf, v]`` is True iff the level-``level`` ancestor of
+        ``leaf`` with W digits ``v`` (mixed radix ``w_1..w_level``, LSB
+        first) is still reachable from ``leaf`` over alive cables and
+        switches.  Level 0 is the leaf itself (always alive).
+        """
+        topo = self.topo
+        cached = self._prefixes.get(level)
+        if cached is not None:
+            return cached
+        if level == 0:
+            out = np.ones((topo.num_leaves, 1), dtype=bool)
+        else:
+            prev = self.alive_prefixes(level - 1)
+            i = level - 1
+            wp_i, w_i = topo.wprod(i), topo.w[i]
+            leaves = np.arange(topo.num_leaves, dtype=np.int64)
+            # level-i nodes above each leaf, one column per W-prefix v
+            nodes = (leaves // topo.mprod(i))[:, None] * wp_i + np.arange(wp_i)
+            out = np.zeros((topo.num_leaves, wp_i * w_i), dtype=bool)
+            parents_base = (leaves // topo.mprod(i + 1))[:, None] * topo.wprod(i + 1)
+            offset = topo.up_link_index(i, 0, 0)
+            for port in range(w_i):
+                cable_ok = self.cable_alive[offset + nodes * w_i + port]
+                parent_ok = self._switch_alive[i + 1][
+                    parents_base + np.arange(wp_i) + port * wp_i
+                ]
+                out[:, port * wp_i : (port + 1) * wp_i] = prev & cable_ok & parent_ok
+        self._prefixes[level] = out
+        return out
+
+    def connected(self, src: int, dst: int) -> bool:
+        """Can ``src`` still reach ``dst`` through an NCA at their NCA level?"""
+        level = self.topo.nca_level(src, dst)
+        if level == 0:
+            return True
+        alive = self.alive_prefixes(level)
+        return bool((alive[src] & alive[dst]).any())
+
+    def connected_pair_mask(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`connected` over leaf-id arrays."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        levels = self.topo.nca_level_array(src, dst)
+        out = np.ones(len(src), dtype=bool)
+        for level in range(1, self.topo.h + 1):
+            sel = levels == level
+            if not sel.any():
+                continue
+            alive = self.alive_prefixes(level)
+            out[sel] = (alive[src[sel]] & alive[dst[sel]]).any(axis=1)
+        return out
+
+    def count_disconnected_pairs(self) -> int:
+        """Ordered leaf pairs (``src != dst``) with no surviving NCA."""
+        topo = self.topo
+        total = 0
+        for level in range(1, topo.h + 1):
+            alive = self.alive_prefixes(level).astype(np.int64)
+            group = np.arange(topo.num_leaves) // topo.mprod(level)
+            subgroup = np.arange(topo.num_leaves) // topo.mprod(level - 1)
+            for g in range(topo.num_leaves // topo.mprod(level)):
+                members = np.nonzero(group == g)[0]
+                share_nca = (alive[members] @ alive[members].T) > 0
+                exact_level = subgroup[members][:, None] != subgroup[members][None, :]
+                total += int((exact_level & ~share_nca).sum())
+        return total
+
+    @property
+    def all_pairs_connected(self) -> bool:
+        return self.count_disconnected_pairs() == 0
+
+    # ------------------------------------------------------------------
+    # Route-table checks
+    # ------------------------------------------------------------------
+    def broken_flow_mask(self, table: RouteTable) -> np.ndarray:
+        """Per-flow bool: does the route traverse any dead link?"""
+        if table.topo != self.topo:
+            raise ValueError("route table belongs to a different topology")
+        flows, links = table.flow_links()
+        out = np.zeros(len(table), dtype=bool)
+        if len(flows):
+            dead = ~self.directed_link_mask[links]
+            out[flows[dead]] = True
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DegradedTopology({self.topo.spec()}, "
+            f"-{self.num_failed_cables} cables, "
+            f"-{self.num_failed_switches} switches)"
+        )

@@ -1,0 +1,133 @@
+"""Resilience metrics: how much worse is the repaired, degraded network?
+
+Every quantity compares a *fault-free baseline* routing of a pattern
+against its repaired counterpart on the degraded fabric:
+
+* disconnected-pair fraction — flows the repair had to give up on;
+* degraded vs baseline max/mean link load and their *inflation* ratios
+  (1.0 at zero faults by construction);
+* a per-link load-inflation CDF: over the links the baseline actually
+  used, how is ``degraded_load / baseline_load`` distributed?  The tail
+  of this CDF is where an oblivious scheme's graceful (or not)
+  degradation shows.
+
+All scalars are lower-is-better, matching the sweep engine's regression
+comparison convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..contention.link_load import link_flow_counts
+from ..core.base import RouteTable
+from .degraded import DegradedTopology
+from .repair import RepairResult
+
+__all__ = [
+    "ResilienceReport",
+    "resilience_report",
+    "load_inflation_cdf",
+    "inflation_ratio",
+    "DEFAULT_INFLATION_QUANTILES",
+]
+
+DEFAULT_INFLATION_QUANTILES = (0.5, 0.9, 0.99, 1.0)
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Digest of a repaired pattern's degradation vs its fault-free baseline."""
+
+    num_flows: int
+    num_broken: int
+    num_repaired: int
+    num_disconnected: int
+    disconnected_fraction: float
+    baseline_max_load: int
+    degraded_max_load: int
+    #: ``degraded_max_load / baseline_max_load`` (1.0 when both are idle)
+    max_load_inflation: float
+    baseline_mean_load: float
+    degraded_mean_load: float
+    mean_load_inflation: float
+    #: quantiles of the per-link load-inflation distribution
+    inflation_quantiles: dict[float, float]
+
+
+def load_inflation_cdf(
+    baseline: RouteTable,
+    repaired: RouteTable,
+    quantiles: tuple[float, ...] = DEFAULT_INFLATION_QUANTILES,
+) -> dict[float, float]:
+    """Quantiles of per-link ``degraded_load / baseline_load``.
+
+    Computed over the directed links the baseline routing uses; a link
+    the repair stops using contributes 0, a link it newly overloads can
+    contribute far above 1 — the interesting tail.  With no used links
+    (empty pattern) every quantile is 1.0.
+    """
+    base_counts = link_flow_counts(baseline).astype(np.float64)
+    new_counts = link_flow_counts(repaired).astype(np.float64)
+    used = base_counts > 0
+    if not used.any():
+        return {float(q): 1.0 for q in quantiles}
+    ratios = new_counts[used] / base_counts[used]
+    values = np.quantile(ratios, quantiles)
+    return {float(q): float(v) for q, v in zip(quantiles, values)}
+
+
+def inflation_ratio(degraded: float, baseline: float) -> float:
+    """``degraded / baseline`` with the idle-network convention.
+
+    A jointly idle metric inflates by exactly 1.0; something appearing
+    where the baseline had nothing is infinite inflation.  Shared by
+    :func:`resilience_report` and the sweep engine's
+    ``max/mean_load_inflation`` metrics so the two can never disagree.
+    """
+    if baseline == 0:
+        return 1.0 if degraded == 0 else float("inf")
+    return degraded / baseline
+
+
+def resilience_report(
+    baseline: RouteTable,
+    repair: RepairResult,
+    degraded: DegradedTopology | None = None,
+    quantiles: tuple[float, ...] = DEFAULT_INFLATION_QUANTILES,
+) -> ResilienceReport:
+    """Compare a fault-free routed batch against its repaired counterpart.
+
+    ``baseline`` must be the table ``repair`` was produced from.  When
+    ``degraded`` is given, the repaired table is cross-checked against
+    the failure mask (an internal-consistency guard: repair must never
+    emit a route over a dead link).
+    """
+    if len(repair.broken) != len(baseline):
+        raise ValueError("repair result does not match the baseline table")
+    if degraded is not None and degraded.broken_flow_mask(repair.table).any():
+        raise AssertionError("repaired table routes over a dead link")
+    base_counts = link_flow_counts(baseline)
+    new_counts = link_flow_counts(repair.table)
+    base_used = base_counts[base_counts > 0]
+    new_used = new_counts[new_counts > 0]
+    base_max = int(base_counts.max(initial=0))
+    new_max = int(new_counts.max(initial=0))
+    base_mean = float(base_used.mean()) if len(base_used) else 0.0
+    new_mean = float(new_used.mean()) if len(new_used) else 0.0
+    return ResilienceReport(
+        num_flows=len(baseline),
+        num_broken=repair.num_broken,
+        num_repaired=repair.num_repaired,
+        num_disconnected=repair.num_disconnected,
+        disconnected_fraction=repair.disconnected_fraction,
+        baseline_max_load=base_max,
+        degraded_max_load=new_max,
+        max_load_inflation=inflation_ratio(new_max, base_max),
+        baseline_mean_load=base_mean,
+        degraded_mean_load=new_mean,
+        mean_load_inflation=inflation_ratio(new_mean, base_mean),
+        inflation_quantiles=load_inflation_cdf(baseline, repair.table, quantiles),
+    )

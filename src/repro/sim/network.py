@@ -108,14 +108,29 @@ def simulate_phase_fluid(
     table: RouteTable,
     sizes: Sequence[float],
     config: NetworkConfig = PAPER_CONFIG,
+    degraded=None,
 ) -> PhaseResult:
     """Simulate one bulk-synchronous phase on an XGFT with the fluid engine.
 
     ``table`` routes the phase's flows; ``sizes`` gives per-flow bytes.
     All flows start at t=0; the phase ends when the last one drains.
+
+    ``degraded`` (a :class:`repro.faults.DegradedTopology`) asserts the
+    table was repaired against that failure mask: a flow routed over a
+    dead link is a caller bug and raises instead of silently simulating
+    bandwidth a failed cable no longer has.
     """
     if len(sizes) != len(table):
         raise ValueError("need one size per routed flow")
+    if degraded is not None:
+        broken = degraded.broken_flow_mask(table)
+        if broken.any():
+            f = int(np.nonzero(broken)[0][0])
+            raise ValueError(
+                f"flow {f} ({int(table.src[f])} -> {int(table.dst[f])}) and "
+                f"{int(broken.sum()) - 1} other(s) traverse dead links; repair "
+                "the table against the degraded topology first"
+            )
     space = xgft_link_space(table.topo)
     sim = FluidSimulator(space.num_links, config.link_bandwidth)
     for f, links in enumerate(_flow_link_lists(table, space)):

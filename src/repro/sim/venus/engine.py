@@ -80,9 +80,12 @@ class VenusSimulator:
     time 0 or later via ``start_time``), :meth:`run`.
     """
 
-    def __init__(self, topo: XGFT, config: NetworkConfig = PAPER_CONFIG):
+    def __init__(self, topo: XGFT, config: NetworkConfig = PAPER_CONFIG, degraded=None):
+        if degraded is not None and degraded.topo != topo:
+            raise ValueError("degraded topology does not match the simulated XGFT")
         self.topo = topo
         self.config = config
+        self.degraded = degraded
         self.queue = EventQueue()
         self._channels: dict[int, _Channel] = {}
         #: node -> ordered feeder ids (input channels; host messages appended)
@@ -99,12 +102,16 @@ class VenusSimulator:
     # Construction
     # ------------------------------------------------------------------
     def _build_fabric(self) -> None:
+        """Instantiate channels; dead cables of a degraded topology are
+        simply never built, so a route over one fails injection validation."""
         topo = self.topo
         for level in range(topo.h):
             for node in range(topo.num_nodes(level)):
                 for port in range(topo.w[level]):
-                    parent = topo.up_neighbor(level, node, port)
                     up = topo.up_link_index(level, node, port)
+                    if self.degraded is not None and not self.degraded.cable_alive[up]:
+                        continue
+                    parent = topo.up_neighbor(level, node, port)
                     down = topo.down_link_index(level, node, port)
                     self._add_channel(up, (level, node), (level + 1, parent))
                     self._add_channel(down, (level + 1, parent), (level, node))

@@ -1,0 +1,72 @@
+"""Regression tests for the raw per-link flow census."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contention.link_load import busiest_links, link_flow_counts, load_histogram
+from repro.core import make_algorithm
+from repro.topology import XGFT
+
+
+@pytest.fixture
+def topo():
+    return XGFT((4, 4), (1, 4))
+
+
+def empty_table(topo):
+    return make_algorithm("d-mod-k", topo).build_table([])
+
+
+class TestWeightedCensus:
+    def test_weighted_matches_manual_sum(self, topo):
+        alg = make_algorithm("d-mod-k", topo)
+        table = alg.build_table([(0, 5), (1, 5), (0, 9)])
+        weights = np.array([1.0, 2.5, 4.0])
+        counts = link_flow_counts(table, weights=weights)
+        assert counts.dtype == np.float64
+        flows, links = table.flow_links()
+        expected = np.zeros(topo.num_directed_links)
+        for f, l in zip(flows, links):
+            expected[l] += weights[f]
+        assert np.allclose(counts, expected)
+
+    def test_empty_table_stays_float(self, topo):
+        """Regression: np.bincount on empty input ignores the weights
+        dtype and returned int zeros, flipping the weighted census from
+        float64 to int64 for zero-flow tables."""
+        counts = link_flow_counts(empty_table(topo), weights=np.empty(0))
+        assert counts.shape == (topo.num_directed_links,)
+        assert counts.dtype == np.float64
+        assert not counts.any()
+
+    def test_self_pairs_only_stays_float(self, topo):
+        """Self-pairs traverse no links: same empty-expansion edge case."""
+        table = make_algorithm("d-mod-k", topo).build_table([(3, 3), (7, 7)])
+        counts = link_flow_counts(table, weights=np.array([5.0, 6.0]))
+        assert counts.dtype == np.float64
+        assert not counts.any()
+
+    def test_list_weights_accepted(self, topo):
+        table = make_algorithm("d-mod-k", topo).build_table([(0, 5)])
+        counts = link_flow_counts(table, weights=[2.0])
+        assert counts.sum() == pytest.approx(2.0 * 2 * table.topo.nca_level(0, 5))
+
+    def test_wrong_shape_rejected(self, topo):
+        table = make_algorithm("d-mod-k", topo).build_table([(0, 5), (1, 6)])
+        with pytest.raises(ValueError, match="shape"):
+            link_flow_counts(table, weights=np.ones(3))
+        with pytest.raises(ValueError, match="shape"):
+            link_flow_counts(table, weights=np.ones((2, 1)))
+
+
+class TestUnweightedEdgeCases:
+    def test_empty_table(self, topo):
+        counts = link_flow_counts(empty_table(topo))
+        assert counts.shape == (topo.num_directed_links,)
+        assert not counts.any()
+
+    def test_histogram_and_busiest_on_empty(self, topo):
+        assert load_histogram(empty_table(topo)) == {0: topo.num_directed_links}
+        assert busiest_links(empty_table(topo)) == []

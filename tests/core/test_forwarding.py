@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
     DModK,
@@ -66,6 +68,70 @@ class TestDestinationDeterminism:
     def test_rnca_up_rejected(self, topo):
         with pytest.raises(InconsistentRouteError):
             build_forwarding_tables(RNCAUp(topo, seed=3))
+
+
+@st.composite
+def small_xgfts(draw, min_w=1, min_h=1, w1_one=False):
+    """Topologies with at most 4^3 = 64 leaves (keeps all-pairs traces cheap).
+
+    ``w1_one`` pins ``w_1 = 1`` (single host uplink — the shape of every
+    topology in the paper's evaluation).
+    """
+    h = draw(st.integers(min_value=min_h, max_value=3))
+    m = tuple(draw(st.integers(min_value=2, max_value=4)) for _ in range(h))
+    w = tuple(draw(st.integers(min_value=min_w, max_value=3)) for _ in range(h))
+    if w1_one:
+        w = (1,) + w[1:]
+    return XGFT(m, w)
+
+
+class TestRoundTripProperties:
+    """LFT-driven forwarding must reproduce every route it was built from."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(topo=small_xgfts(), seed=st.integers(min_value=0, max_value=7))
+    def test_destination_deterministic_schemes_round_trip(self, topo, seed):
+        for alg in (DModK(topo), RNCADown(topo, seed=seed)):
+            tables = build_forwarding_tables(alg)
+            step = max(1, topo.num_leaves // 8)
+            for s in range(0, topo.num_leaves, step):
+                for d in range(0, topo.num_leaves, step):
+                    if s != d:
+                        assert tables.walk(s, d) == alg.route(s, d).node_path(topo)
+
+    @settings(max_examples=20, deadline=None)
+    @given(topo=small_xgfts(min_w=2, min_h=2, w1_one=True))
+    def test_smodk_always_rejected(self, topo):
+        """S-mod-k is source-routed: with a single host uplink, >= 2
+        levels and >= 2 upper parents, an edge switch carries >= 2
+        sources whose M_1 digits demand different up-ports for the same
+        remote destination."""
+        with pytest.raises(InconsistentRouteError):
+            build_forwarding_tables(SModK(topo))
+
+    @settings(max_examples=15, deadline=None)
+    @given(topo=small_xgfts(), seed=st.integers(min_value=0, max_value=7))
+    def test_partial_destination_set_round_trips(self, topo, seed):
+        alg = RNCADown(topo, seed=seed)
+        dst = topo.num_leaves - 1
+        tables = build_forwarding_tables(alg, destinations=[dst])
+        for s in range(0, topo.num_leaves - 1, max(1, topo.num_leaves // 6)):
+            assert tables.walk(s, dst)[-1] == (0, dst)
+
+    @settings(max_examples=15, deadline=None)
+    @given(topo=small_xgfts(), seed=st.integers(min_value=0, max_value=7))
+    def test_explicit_pairs_round_trip(self, topo, seed):
+        alg = RNCADown(topo, seed=seed)
+        n = topo.num_leaves
+        pairs = [(s, (s * 3 + 1) % n) for s in range(n) if s != (s * 3 + 1) % n]
+        tables = build_forwarding_tables(alg, pairs=pairs)
+        for s, d in pairs:
+            assert tables.walk(s, d) == alg.route(s, d).node_path(topo)
+
+    def test_pairs_and_destinations_are_exclusive(self):
+        topo = XGFT((4, 4), (1, 4))
+        with pytest.raises(ValueError, match="not both"):
+            build_forwarding_tables(DModK(topo), destinations=[1], pairs=[(0, 1)])
 
 
 class TestWalkRobustness:

@@ -110,6 +110,32 @@ class TestSweepCommands:
         assert main([*SWEEP_ARGS, "-o", str(out), "--baseline", str(out)]) == 0
         assert "PASS" in capsys.readouterr().out
 
+    def test_sweep_faults_flag(self, tmp_path, capsys):
+        out = tmp_path / "faulted.json"
+        assert main([
+            "sweep",
+            "--topologies", "XGFT(2;4,4;1,2)",
+            "--patterns", "shift-1",
+            "--algorithms", "d-mod-k",
+            "--faults", "none", "links:count=1,seed=2",
+            "--metrics", "max_link_load", "disconnected_fraction",
+            "--seeds", "1",
+            "-o", str(out),
+        ]) == 0
+        data = json.loads(out.read_text())
+        assert [r["faults"] for r in data["runs"]] == ["none", "links:count=1,seed=2"]
+        assert all("disconnected_fraction" in r["metrics"] for r in data["runs"])
+
+    def test_faults_flag_conflicts_with_spec(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "topologies": ["XGFT(2;4,4;1,2)"],
+            "patterns": ["shift-1"],
+            "algorithms": ["d-mod-k"],
+        }))
+        with pytest.raises(SystemExit, match="faults"):
+            main(["sweep", "--spec", str(spec_path), "--faults", "links:count=1"])
+
     def test_compare_detects_regression(self, tmp_path, capsys):
         base = tmp_path / "base.json"
         assert main([*SWEEP_ARGS, "-o", str(base)]) == 0
@@ -121,3 +147,28 @@ class TestSweepCommands:
         assert "REGRESSION" in capsys.readouterr().out
         # and the reverse direction is an improvement, not a failure
         assert main(["compare", str(worse), str(base)]) == 0
+
+
+class TestFaultsCommand:
+    def test_prints_curve_and_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "faults.json"
+        assert main([
+            "faults",
+            "--topology", "XGFT(2;4,4;1,2)",
+            "--pattern", "shift-1",
+            "--algorithms", "d-mod-k", "r-nca-d",
+            "--rates", "0", "0.05",
+            "--seeds", "2",
+            "--jobs", "2",
+            "-o", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "fault scenario" in text and "links:rate=0.05" in text
+        data = json.loads(out.read_text())
+        assert data["schema_version"] == 2
+        assert data["spec"]["faults"] == ["none", "links:rate=0.05"]
+
+    def test_defaults_run(self, capsys):
+        assert main(["faults", "--topology", "XGFT(2;4,4;1,4)", "--rates", "0",
+                     "--algorithms", "d-mod-k", "--seeds", "1"]) == 0
+        assert "d-mod-k" in capsys.readouterr().out

@@ -10,6 +10,7 @@ import pytest
 from repro.core import make_algorithm
 from repro.experiments import (
     DEFAULT_METRICS,
+    RESILIENCE_METRICS,
     SCHEMA_VERSION,
     RouteTableCache,
     RunSpec,
@@ -321,6 +322,199 @@ class TestCompare:
         other["schema_version"] = SCHEMA_VERSION + 1
         with pytest.raises(ValueError, match="schema"):
             sweep_compare(artifact, other)
+
+
+class TestFaultsAxis:
+    FAULT_SPEC = SweepSpec(
+        topologies=("XGFT(3;4,4,4;1,4,2)",),
+        patterns=("shift-1",),
+        algorithms=("d-mod-k", "s-mod-k", "r-nca-d"),
+        seeds=2,
+        metrics=("max_link_load", "slowdown") + RESILIENCE_METRICS,
+        faults=("none", "links:rate=0.01", "links:rate=0.05"),
+    )
+
+    def test_spec_round_trip_and_validation(self):
+        spec = self.FAULT_SPEC
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+        with pytest.raises(ValueError, match="fault"):
+            SweepSpec(
+                topologies=("XGFT(2;4,4;1,4)",),
+                patterns=("shift-1",),
+                algorithms=("s-mod-k",),
+                faults=("meteor:count=1",),
+            )
+        with pytest.raises(ValueError, match="faults"):
+            SweepSpec(
+                topologies=("XGFT(2;4,4;1,4)",),
+                patterns=("shift-1",),
+                algorithms=("s-mod-k",),
+                faults=(),
+            )
+
+    def test_plan_expands_fault_axis(self):
+        runs = plan_runs(self.FAULT_SPEC)
+        # deterministic schemes: 1 pristine run + 2 faults x 2 repair seeds;
+        # the randomized scheme: 2 seeds x 3 faults
+        assert len(runs) == 2 * (1 + 2 * 2) + 2 * 3
+        assert {r.faults for r in runs} == {"none", "links:rate=0.01", "links:rate=0.05"}
+        # memo groups stay contiguous across the fault axis
+        seen, previous = set(), None
+        for run in runs:
+            if run.memo_key != previous:
+                assert run.memo_key not in seen
+                seen.add(run.memo_key)
+                previous = run.memo_key
+
+    def test_deterministic_schemes_sweep_repair_seeds_under_faults(self):
+        """The seed axis stays collapsed on the pristine fabric but
+        varies the repair draw under faults, even for d-mod-k."""
+        runs = plan_runs(self.FAULT_SPEC)
+        dmodk = [r for r in runs if r.algorithm == "d-mod-k"]
+        assert {r.seed for r in dmodk if r.faults == "none"} == {0}
+        assert {r.seed for r in dmodk if r.faults != "none"} == {0, 1}
+        # and the extra seed yields a genuinely different repair on a
+        # scenario where flows break but stay connected
+        records = [
+            execute_run(
+                RunSpec(
+                    "XGFT(2;4,4;1,4)", "all-pairs", "d-mod-k", seed,
+                    "switches:count=1,level=2",
+                ),
+                ("max_link_load",),
+            )
+            for seed in (0, 1)
+        ]
+        assert all(r["fault_info"]["repaired_flows"] > 0 for r in records)
+
+    def test_run_ids_share_one_formatter(self):
+        from repro.experiments.sweep import record_id
+
+        run = RunSpec("XGFT(2;4,4;1,4)", "shift-1", "d-mod-k", 0, "links:count=1")
+        record = execute_run(run, ("max_link_load",))
+        assert record_id(record) == run.run_id
+
+    def test_out_of_range_rate_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="rate"):
+            SweepSpec(
+                topologies=("XGFT(2;4,4;1,4)",),
+                patterns=("shift-1",),
+                algorithms=("s-mod-k",),
+                faults=("links:rate=1.5",),
+            )
+
+    def test_run_id_tags_faults(self):
+        run = RunSpec("XGFT(2;4,4;1,4)", "shift-1", "s-mod-k", 0, "links:rate=0.05")
+        assert run.run_id.endswith("@0+links:rate=0.05")
+        pristine = RunSpec("XGFT(2;4,4;1,4)", "shift-1", "s-mod-k", 0)
+        assert "+" not in pristine.run_id
+
+    def test_resilience_metrics_trivial_without_faults(self):
+        run = RunSpec("XGFT(2;4,4;1,4)", "shift-1", "s-mod-k", 0)
+        record = execute_run(run, RESILIENCE_METRICS)
+        assert record["metrics"]["disconnected_fraction"] == 0.0
+        assert record["metrics"]["max_load_inflation"] == 1.0
+        assert record["metrics"]["mean_load_inflation"] == 1.0
+        assert record["faults"] == "none"
+        assert "fault_info" not in record
+
+    def test_fault_run_record_shape(self):
+        run = RunSpec(
+            "XGFT(2;4,4;1,2)", "all-pairs", "d-mod-k", 0, "links:rate=0.05"
+        )
+        record = execute_run(run, ("max_link_load",) + RESILIENCE_METRICS)
+        info = record["fault_info"]
+        assert info["failed_cables"] >= 1
+        assert info["broken_flows"] == info["repaired_flows"] + info["disconnected_flows"]
+        assert record["metrics"]["disconnected_fraction"] == pytest.approx(
+            info["disconnected_flows"] / info["total_flows"]
+        )
+
+    def test_adversarial_faults_use_the_pattern(self):
+        record = execute_run(
+            RunSpec("XGFT(2;4,4;1,2)", "shift-1", "d-mod-k", 0, "worst-links:count=2"),
+            ("max_link_load", "disconnected_fraction"),
+        )
+        assert record["fault_info"]["failed_cables"] == 2
+        assert record["fault_info"]["broken_flows"] > 0
+
+    def test_all_algorithms_face_the_same_fabric(self):
+        result = run_sweep(self.FAULT_SPEC, run_filter="rate=0.05")
+        infos = {
+            (r["algorithm"], r["seed"]): (
+                r["fault_info"]["failed_cables"],
+                r["fault_info"]["failed_switches"],
+            )
+            for r in result.runs
+        }
+        assert len(set(infos.values())) == 1
+
+    def test_parallel_equals_serial_with_faults(self):
+        serial = run_sweep(self.FAULT_SPEC, jobs=1)
+        parallel = run_sweep(self.FAULT_SPEC, jobs=4)
+        assert [r["metrics"] for r in serial.runs] == [
+            r["metrics"] for r in parallel.runs
+        ]
+
+    def test_artifact_round_trip_v2(self, tmp_path):
+        result = run_sweep(self.FAULT_SPEC, run_filter="rate=0.01")
+        path = write_artifact(result, tmp_path / "faults.json")
+        data = load_artifact(path)
+        assert data["schema_version"] == SCHEMA_VERSION == 2
+        assert data["spec"]["faults"] == list(self.FAULT_SPEC.faults)
+        # v1 artifacts are refused with a clear diagnostic
+        data["schema_version"] = 1
+        stale = tmp_path / "v1.json"
+        stale.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema"):
+            load_artifact(stale)
+
+    def test_lossy_slowdown_keeps_its_floor(self):
+        """Regression: dropping flows must not push slowdown below the
+        crossbar floor (the reference covers the surviving flows only)."""
+        lossy = execute_run(
+            RunSpec("XGFT(2;4,4;1,2)", "all-pairs", "d-mod-k", 0, "links:rate=0.4,seed=1"),
+            ("slowdown", "disconnected_fraction"),
+        )
+        assert lossy["metrics"]["disconnected_fraction"] > 0.5
+        assert lossy["metrics"]["slowdown"] >= 1.0
+
+    def test_fully_disconnected_slowdown_is_neutral(self):
+        # cut every leaf uplink: nothing survives, slowdown reports 1.0
+        record = execute_run(
+            RunSpec("XGFT(1;4;1)", "shift-1", "d-mod-k", 0, "links:rate=0.99,seed=0"),
+            ("slowdown", "disconnected_fraction"),
+        )
+        assert record["metrics"]["disconnected_fraction"] == 1.0
+        assert record["metrics"]["slowdown"] == 1.0
+
+    def test_replay_engine_rejects_lossy_faults(self):
+        run = RunSpec(
+            "XGFT(2;4,4;1,2)", "shift-1", "d-mod-k", 0, "links:rate=0.2,seed=3"
+        )
+        with pytest.raises(ValueError, match="replay"):
+            execute_run(run, ("sim_time",), engine="replay")
+
+    def test_replay_engine_accepts_lossless_faults(self):
+        # one dead root of four: reroutes but never disconnects
+        run = RunSpec(
+            "XGFT(2;4,4;1,4)", "shift-1", "d-mod-k", 0, "switches:count=1,level=2"
+        )
+        record = execute_run(run, ("sim_time", "disconnected_fraction"), engine="replay")
+        assert record["metrics"]["sim_time"] > 0
+        assert record["metrics"]["disconnected_fraction"] == 0.0
+
+    def test_fault_grid_spec(self):
+        from repro.experiments import fault_grid_spec
+
+        spec = fault_grid_spec(
+            "XGFT(2;4,4;1,4)", "shift-1", ("d-mod-k",), (0.0, 0.05), seeds=1
+        )
+        assert spec.faults == ("none", "links:rate=0.05")
+        with pytest.raises(ValueError, match="duplicate"):
+            fault_grid_spec("XGFT(2;4,4;1,4)", "shift-1", ("d-mod-k",), (0.0, 0.0))
+        with pytest.raises(ValueError, match="kind"):
+            fault_grid_spec("XGFT(2;4,4;1,4)", "shift-1", ("d-mod-k",), (0.1,), kind="x")
 
 
 class TestFigureAdapters:

@@ -1,0 +1,146 @@
+"""DegradedTopology: masks, surviving ports, reachability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_algorithm
+from repro.faults import (
+    DegradedTopology,
+    FaultSet,
+    random_link_faults,
+    random_switch_faults,
+)
+from repro.topology import XGFT
+
+
+@pytest.fixture
+def topo():
+    return XGFT((4, 4), (1, 2))
+
+
+def degraded_with(topo, *, links=(), switches=()):
+    return DegradedTopology(
+        topo, FaultSet(links=frozenset(links), switches=frozenset(switches))
+    )
+
+
+class TestMasks:
+    def test_pristine(self, topo):
+        deg = degraded_with(topo)
+        assert deg.is_pristine
+        assert deg.num_failed_cables == 0
+        assert deg.directed_link_mask.all()
+        assert deg.all_pairs_connected
+
+    def test_single_cable(self, topo):
+        cable = topo.up_link_index(1, 0, 1)
+        deg = degraded_with(topo, links=[cable])
+        assert not deg.link_alive(1, 0, 1)
+        assert deg.link_alive(1, 0, 0)
+        assert deg.num_failed_cables == 1
+        # both directions of the cable die together
+        assert not deg.directed_link_mask[cable]
+        assert not deg.directed_link_mask[topo.num_links_per_direction + cable]
+        assert deg.alive_up_ports(1, 0) == (0,)
+
+    def test_switch_failure_kills_adjacent_cables(self, topo):
+        deg = degraded_with(topo, switches=[(1, 0)])
+        assert not deg.switch_alive(1, 0)
+        # its 2 up-cables and 4 down-cables are all gone
+        assert deg.num_failed_cables == 2 + 4
+        assert deg.alive_up_ports(1, 0) == ()
+        for leaf in range(4):
+            assert deg.alive_up_ports(0, leaf) == ()
+
+    def test_root_failure_prunes_up_ports(self, topo):
+        deg = degraded_with(topo, switches=[(2, 0)])
+        for switch in range(4):
+            assert deg.alive_up_ports(1, switch) == (1,)
+
+    def test_alive_down_ports(self, topo):
+        cable = topo.up_link_index(0, 5, 0)  # leaf 5 <-> its edge switch
+        deg = degraded_with(topo, links=[cable])
+        edge = topo.up_neighbor(0, 5, 0)
+        assert 5 % 4 not in deg.alive_down_ports(1, edge)
+        assert len(deg.alive_down_ports(1, edge)) == 3
+
+    def test_topology_mismatch_rejected(self, topo):
+        deg = degraded_with(topo)
+        other = make_algorithm("d-mod-k", XGFT((2, 2), (1, 2))).all_pairs_table()
+        with pytest.raises(ValueError, match="different topology"):
+            deg.broken_flow_mask(other)
+
+
+class TestReachability:
+    def test_isolated_leaf(self, topo):
+        # w1 == 1: killing a leaf's only up-cable cuts it off completely
+        deg = degraded_with(topo, links=[topo.up_link_index(0, 0, 0)])
+        assert not deg.connected(0, 5)
+        assert not deg.connected(5, 0)
+        assert deg.connected(4, 5)
+        assert deg.count_disconnected_pairs() == 2 * (topo.num_leaves - 1)
+
+    def test_dead_edge_switch_cuts_its_leaves(self, topo):
+        deg = degraded_with(topo, switches=[(1, 0)])
+        # leaves 0..3 lose everything, including each other
+        assert deg.count_disconnected_pairs() == 2 * 4 * 12 + 4 * 3
+
+    def test_one_root_down_is_survivable(self, topo):
+        deg = degraded_with(topo, switches=[(2, 1)])
+        assert deg.all_pairs_connected
+
+    def test_mask_matches_scalar(self, topo):
+        deg = DegradedTopology(topo, random_link_faults(topo, count=4, seed=9))
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        mask = deg.connected_pair_mask(table.src, table.dst)
+        for f in range(0, len(table), 7):
+            assert mask[f] == deg.connected(int(table.src[f]), int(table.dst[f]))
+
+    def test_census_matches_mask(self, topo):
+        deg = DegradedTopology(topo, random_link_faults(topo, count=5, seed=2))
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        mask = deg.connected_pair_mask(table.src, table.dst)
+        assert deg.count_disconnected_pairs() == int((~mask).sum())
+
+    def test_connected_verified_against_route_enumeration(self):
+        """`connected` must agree with brute-force enumeration of all routes."""
+        topo = XGFT((2, 2, 2), (1, 2, 2))
+        deg = DegradedTopology(topo, random_link_faults(topo, count=4, seed=7))
+        from repro.core.route import Route
+
+        def any_route_alive(src: int, dst: int) -> bool:
+            level = topo.nca_level(src, dst)
+            radices = [topo.w[i] for i in range(level)]
+            total = int(np.prod(radices)) if radices else 1
+            for value in range(total):
+                ports, v = [], value
+                for w in radices:
+                    v, digit = divmod(v, w)
+                    ports.append(digit)
+                route = Route(src, dst, tuple(ports))
+                if all(deg.directed_link_mask[l] for l in route.links(topo)):
+                    return True
+            return False
+
+        for src in range(topo.num_leaves):
+            for dst in range(topo.num_leaves):
+                if src != dst:
+                    assert deg.connected(src, dst) == any_route_alive(src, dst)
+
+
+class TestBrokenFlowMask:
+    def test_flags_exactly_the_broken_routes(self, topo):
+        alg = make_algorithm("d-mod-k", topo)
+        table = alg.all_pairs_table()
+        deg = DegradedTopology(topo, random_switch_faults(topo, count=1, seed=4))
+        broken = deg.broken_flow_mask(table)
+        for f in range(0, len(table), 11):
+            route = table.route(f)
+            uses_dead = any(not deg.directed_link_mask[l] for l in route.links(topo))
+            assert broken[f] == uses_dead
+
+    def test_pristine_has_none(self, topo):
+        table = make_algorithm("random", topo, seed=1).all_pairs_table()
+        assert not degraded_with(topo).broken_flow_mask(table).any()

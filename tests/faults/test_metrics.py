@@ -1,0 +1,98 @@
+"""Resilience metrics: invariants and a hand-checked inflation case."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contention.link_load import link_flow_counts
+from repro.core import make_algorithm
+from repro.faults import (
+    DegradedTopology,
+    FaultSet,
+    load_inflation_cdf,
+    random_link_faults,
+    repair_table,
+    resilience_report,
+)
+from repro.topology import XGFT
+
+
+@pytest.fixture
+def topo():
+    return XGFT((4, 4), (1, 2))
+
+
+class TestZeroFaultInvariants:
+    def test_everything_is_neutral(self, topo):
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        deg = DegradedTopology(topo, FaultSet.none())
+        report = resilience_report(table, repair_table(table, deg), deg)
+        assert report.num_broken == 0
+        assert report.disconnected_fraction == 0.0
+        assert report.max_load_inflation == 1.0
+        assert report.mean_load_inflation == 1.0
+        assert all(v == 1.0 for v in report.inflation_quantiles.values())
+
+    def test_empty_pattern(self, topo):
+        table = make_algorithm("d-mod-k", topo).build_table([])
+        deg = DegradedTopology(topo, FaultSet.none())
+        report = resilience_report(table, repair_table(table, deg), deg)
+        assert report.num_flows == 0
+        assert report.max_load_inflation == 1.0
+        assert all(v == 1.0 for v in report.inflation_quantiles.values())
+
+
+class TestInflation:
+    def test_hand_checked_ratio(self, topo):
+        """Re-routing around a dead cable must inflate exactly as counted."""
+        alg = make_algorithm("d-mod-k", topo)
+        table = alg.all_pairs_table()
+        deg = DegradedTopology(topo, random_link_faults(topo, count=2, seed=6))
+        repair = repair_table(table, deg, seed=0)
+        report = resilience_report(table, repair, deg)
+        base = link_flow_counts(table)
+        new = link_flow_counts(repair.table)
+        assert report.baseline_max_load == base.max()
+        assert report.degraded_max_load == new.max()
+        assert report.max_load_inflation == pytest.approx(new.max() / base.max())
+
+    def test_quantiles_are_monotone(self, topo):
+        table = make_algorithm("s-mod-k", topo).all_pairs_table()
+        deg = DegradedTopology(topo, random_link_faults(topo, count=3, seed=1))
+        repair = repair_table(table, deg)
+        cdf = load_inflation_cdf(table, repair.table, quantiles=(0.1, 0.5, 0.9, 1.0))
+        values = list(cdf.values())
+        assert values == sorted(values)
+
+    def test_cross_check_guard(self, topo):
+        """The report refuses a 'repaired' table that still uses dead links."""
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        deg = DegradedTopology(topo, random_link_faults(topo, count=3, seed=11))
+        pristine = DegradedTopology(topo, FaultSet.none())
+        unrepaired = repair_table(table, pristine)  # identity "repair"
+        assert deg.broken_flow_mask(table).any()  # the scenario is lossy
+        with pytest.raises(AssertionError, match="dead link"):
+            resilience_report(table, unrepaired, deg)
+
+    def test_mismatched_tables_rejected(self, topo):
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        deg = DegradedTopology(topo, FaultSet.none())
+        repair = repair_table(table, deg)
+        shorter = make_algorithm("d-mod-k", topo).build_table([(0, 1)])
+        with pytest.raises(ValueError, match="does not match"):
+            resilience_report(shorter, repair)
+
+
+class TestDisconnectedFraction:
+    def test_counts_dropped_flows(self, topo):
+        deg = DegradedTopology(
+            topo, FaultSet(links=frozenset({topo.up_link_index(0, 0, 0)}))
+        )
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        repair = repair_table(table, deg)
+        report = resilience_report(table, repair, deg)
+        lost = 2 * (topo.num_leaves - 1)
+        assert report.num_disconnected == lost
+        assert report.disconnected_fraction == pytest.approx(lost / len(table))
+        assert np.isfinite(report.mean_load_inflation)

@@ -1,0 +1,189 @@
+"""Fault sets, samplers, schedules and the fault-spec DSL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_algorithm
+from repro.faults import (
+    FaultSchedule,
+    FaultSet,
+    parse_fault_spec,
+    random_link_faults,
+    random_switch_faults,
+    worst_link_faults,
+)
+from repro.topology import XGFT
+
+
+@pytest.fixture
+def topo():
+    return XGFT((4, 4), (1, 2))
+
+
+class TestFaultSet:
+    def test_empty(self):
+        fs = FaultSet.none()
+        assert fs.is_empty and len(fs) == 0
+
+    def test_union_and_len(self):
+        a = FaultSet(links=frozenset({1, 2}))
+        b = FaultSet(links=frozenset({2, 3}), switches=frozenset({(1, 0)}))
+        u = a.union(b)
+        assert u.links == {1, 2, 3}
+        assert u.switches == {(1, 0)}
+        assert len(u) == 4
+
+    def test_validate_link_range(self, topo):
+        FaultSet(links=frozenset({0})).validate(topo)
+        with pytest.raises(ValueError, match="cable"):
+            FaultSet(links=frozenset({topo.num_links_per_direction})).validate(topo)
+
+    def test_validate_switch_range(self, topo):
+        FaultSet(switches=frozenset({(1, 0)})).validate(topo)
+        with pytest.raises(ValueError, match="level"):
+            FaultSet(switches=frozenset({(0, 0)})).validate(topo)
+        with pytest.raises(ValueError, match="out of range"):
+            FaultSet(switches=frozenset({(2, 99)})).validate(topo)
+
+    def test_describe(self, topo):
+        fs = FaultSet(links=frozenset({0}), switches=frozenset({(1, 1)}))
+        lines = fs.describe(topo)
+        assert len(lines) == 2
+        assert any("cable" in line for line in lines)
+        assert any("switch level=1 node=1" in line for line in lines)
+
+
+class TestRandomLinkFaults:
+    def test_count_exact(self, topo):
+        fs = random_link_faults(topo, count=3, seed=1)
+        assert len(fs.links) == 3 and not fs.switches
+
+    def test_deterministic_per_seed(self, topo):
+        assert random_link_faults(topo, count=3, seed=5) == random_link_faults(
+            topo, count=3, seed=5
+        )
+        draws = {random_link_faults(topo, count=3, seed=s).links for s in range(8)}
+        assert len(draws) > 1  # different seeds give different samples
+
+    def test_rate_rounds_up(self, topo):
+        # any positive rate fails at least one cable
+        fs = random_link_faults(topo, rate=1e-6, seed=0)
+        assert len(fs.links) == 1
+        assert random_link_faults(topo, rate=0.0, seed=0).is_empty
+
+    def test_parameter_validation(self, topo):
+        with pytest.raises(ValueError, match="exactly one"):
+            random_link_faults(topo, rate=0.1, count=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            random_link_faults(topo)
+        with pytest.raises(ValueError, match="rate"):
+            random_link_faults(topo, rate=1.5)
+        with pytest.raises(ValueError, match="count"):
+            random_link_faults(topo, count=10_000)
+
+
+class TestRandomSwitchFaults:
+    def test_count_and_levels(self, topo):
+        fs = random_switch_faults(topo, count=2, seed=0)
+        assert len(fs.switches) == 2 and not fs.links
+        for level, node in fs.switches:
+            assert 1 <= level <= topo.h
+
+    def test_level_restriction(self, topo):
+        fs = random_switch_faults(topo, count=1, seed=3, level=2)
+        ((level, _),) = fs.switches
+        assert level == 2
+
+    def test_bad_level(self, topo):
+        with pytest.raises(ValueError, match="level"):
+            random_switch_faults(topo, count=1, level=0)
+
+
+class TestWorstLinkFaults:
+    def test_picks_the_hot_cable(self, topo):
+        # all flows of this batch climb through leaf 0's single up-cable
+        alg = make_algorithm("d-mod-k", topo)
+        table = alg.build_table([(0, d) for d in range(4, 16)])
+        fs = worst_link_faults(table, 1)
+        assert fs.links == {topo.up_link_index(0, 0, 0)}
+
+    def test_deterministic(self, topo):
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        assert worst_link_faults(table, 4) == worst_link_faults(table, 4)
+
+    def test_zero_count(self, topo):
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        assert worst_link_faults(table, 0).is_empty
+        with pytest.raises(ValueError):
+            worst_link_faults(table, -1)
+
+
+class TestFaultSchedule:
+    def test_cumulative(self):
+        schedule = FaultSchedule(
+            [FaultSet(links=frozenset({0})), FaultSet(links=frozenset({1}))]
+        )
+        assert schedule.at(0).links == {0}
+        assert schedule.at(1).links == {0, 1}
+        assert [fs.links for fs in schedule] == [{0}, {0, 1}]
+
+    def test_bounds(self):
+        schedule = FaultSchedule([FaultSet.none()])
+        with pytest.raises(ValueError):
+            schedule.at(1)
+        with pytest.raises(ValueError):
+            FaultSchedule([])
+
+
+class TestFaultSpecDSL:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "none",
+            "links:rate=0.05,seed=3",
+            "links:count=2",
+            "switches:rate=0.1",
+            "switches:count=1,level=2",
+            "worst-links:count=4",
+        ],
+    )
+    def test_canonical_round_trip(self, text):
+        spec = parse_fault_spec(text)
+        assert parse_fault_spec(spec.canonical()) == spec
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "links",  # neither rate nor count
+            "links:rate=0.5,count=2",  # both
+            "meteor:count=1",  # unknown kind
+            "links:rate=abc",  # non-numeric
+            "links:level=1,count=1",  # level not allowed for links
+            "worst-links:rate=0.1",  # adversarial is count-only
+            "none:count=1",  # none takes no params
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_fault_spec(text)
+
+    def test_realize(self, topo):
+        assert parse_fault_spec("none").realize(topo).is_empty
+        fs = parse_fault_spec("links:count=2,seed=1").realize(topo)
+        assert len(fs.links) == 2
+        assert fs == random_link_faults(topo, count=2, seed=1)
+
+    def test_realize_seed_offset(self, topo):
+        spec = parse_fault_spec("links:count=2,seed=1")
+        assert spec.realize(topo, seed_offset=4) == random_link_faults(
+            topo, count=2, seed=5
+        )
+
+    def test_adversarial_needs_traffic(self, topo):
+        spec = parse_fault_spec("worst-links:count=1")
+        assert spec.needs_traffic
+        with pytest.raises(ValueError, match="routed table"):
+            spec.realize(topo)
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        assert spec.realize(topo, table=table) == worst_link_faults(table, 1)

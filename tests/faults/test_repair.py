@@ -1,0 +1,158 @@
+"""Route repair: batch tables, the algorithm wrapper, LFT re-export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_algorithm
+from repro.core.factory import is_oblivious
+from repro.core.forwarding import InconsistentRouteError
+from repro.faults import (
+    DegradedTopology,
+    FaultSet,
+    RepairedRouting,
+    UnreachablePairError,
+    export_repaired_lfts,
+    random_link_faults,
+    random_switch_faults,
+    repair_table,
+)
+from repro.topology import XGFT
+
+
+@pytest.fixture
+def topo():
+    return XGFT((4, 4), (1, 2))
+
+
+@pytest.fixture
+def deg(topo):
+    return DegradedTopology(topo, random_link_faults(topo, count=3, seed=11))
+
+
+class TestRepairTable:
+    def test_zero_faults_is_identity(self, topo):
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        result = repair_table(table, DegradedTopology(topo, FaultSet.none()))
+        assert result.num_broken == 0
+        assert result.num_repaired == 0
+        assert result.num_disconnected == 0
+        assert np.array_equal(result.table.ports, table.ports)
+
+    def test_surviving_routes_untouched(self, topo, deg):
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        result = repair_table(table, deg, seed=0)
+        rows = result.surviving_rows()
+        untouched = ~result.repaired[rows]
+        assert np.array_equal(
+            result.table.ports[untouched], table.ports[rows][untouched]
+        )
+
+    def test_repaired_table_avoids_dead_links(self, topo, deg):
+        for name in ("d-mod-k", "s-mod-k", "random"):
+            table = make_algorithm(name, topo, seed=2).all_pairs_table()
+            result = repair_table(table, deg, seed=1)
+            assert not deg.broken_flow_mask(result.table).any()
+            result.table.validate()
+
+    def test_disconnected_accounting(self, topo):
+        # isolate leaf 0: every flow touching it must be dropped
+        deg = DegradedTopology(
+            topo, FaultSet(links=frozenset({topo.up_link_index(0, 0, 0)}))
+        )
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        result = repair_table(table, deg)
+        assert result.num_disconnected == 2 * (topo.num_leaves - 1)
+        assert len(result.diagnostics) == result.num_disconnected
+        assert all("disconnected" in d for d in result.diagnostics)
+        survivors = result.table
+        assert 0 not in survivors.src and 0 not in survivors.dst
+        assert result.disconnected_fraction == pytest.approx(
+            result.num_disconnected / len(table)
+        )
+
+    def test_deterministic_per_seed(self, topo, deg):
+        table = make_algorithm("s-mod-k", topo).all_pairs_table()
+        a = repair_table(table, deg, seed=5)
+        b = repair_table(table, deg, seed=5)
+        assert np.array_equal(a.table.ports, b.table.ports)
+
+    def test_masks_partition_broken(self, topo, deg):
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        result = repair_table(table, deg)
+        assert np.array_equal(result.broken, result.repaired | result.disconnected)
+        assert not (result.repaired & result.disconnected).any()
+
+    def test_topology_mismatch(self, topo, deg):
+        other = make_algorithm("d-mod-k", XGFT((2, 2), (1, 2))).all_pairs_table()
+        with pytest.raises(ValueError, match="does not match"):
+            repair_table(other, deg)
+
+
+class TestRepairedRouting:
+    def test_matches_batch_repair(self, topo, deg):
+        alg = make_algorithm("d-mod-k", topo)
+        table = alg.all_pairs_table()
+        batch = repair_table(table, deg, seed=3)
+        wrapper = RepairedRouting(alg, deg, seed=3)
+        rows = batch.surviving_rows()
+        pairs = list(zip(table.src[rows].tolist(), table.dst[rows].tolist()))
+        rebuilt = wrapper.build_table(pairs)
+        assert np.array_equal(rebuilt.ports, batch.table.ports)
+
+    def test_unreachable_raises(self, topo):
+        deg = DegradedTopology(
+            topo, FaultSet(links=frozenset({topo.up_link_index(0, 0, 0)}))
+        )
+        wrapper = RepairedRouting(make_algorithm("d-mod-k", topo), deg)
+        with pytest.raises(UnreachablePairError, match="no surviving"):
+            wrapper.up_ports(0, 9)
+
+    def test_obliviousness_preserved(self, topo, deg):
+        assert is_oblivious(RepairedRouting(make_algorithm("d-mod-k", topo), deg))
+        assert not is_oblivious(RepairedRouting(make_algorithm("colored", topo), deg))
+
+    def test_name_and_policy_validation(self, topo, deg):
+        wrapper = RepairedRouting(make_algorithm("r-nca-d", topo), deg)
+        assert wrapper.name == "r-nca-d+repair"
+        with pytest.raises(ValueError, match="policy"):
+            RepairedRouting(make_algorithm("d-mod-k", topo), deg, policy="telepathy")
+
+    def test_pattern_aware_base_still_prepares(self, topo, deg):
+        wrapper = RepairedRouting(make_algorithm("colored", topo), deg)
+        pairs = [(0, 5), (1, 6), (4, 9)]
+        table = wrapper.build_table(pairs)  # prepare() must reach Colored
+        assert len(table) == 3
+        assert not deg.broken_flow_mask(table).any()
+
+
+class TestGreedyDstPolicy:
+    def test_stays_destination_deterministic(self, topo):
+        deg = DegradedTopology(topo, random_switch_faults(topo, count=1, seed=1, level=2))
+        tables, skipped = export_repaired_lfts(make_algorithm("d-mod-k", topo), deg)
+        assert skipped == ()  # one dead root never disconnects this tree
+        wrapper = RepairedRouting(make_algorithm("d-mod-k", topo), deg, policy="greedy-dst")
+        for src in range(0, topo.num_leaves, 3):
+            for dst in range(0, topo.num_leaves, 5):
+                if src != dst:
+                    walked = tables.walk(src, dst)
+                    assert walked == wrapper.route(src, dst).node_path(topo)
+
+    def test_source_routed_base_rejected(self):
+        # enough surviving roots that S-mod-k keeps its source-dependence
+        topo = XGFT((4, 4), (1, 4))
+        deg = DegradedTopology(topo, random_switch_faults(topo, count=1, seed=1, level=2))
+        with pytest.raises(InconsistentRouteError):
+            export_repaired_lfts(make_algorithm("s-mod-k", topo), deg)
+
+    def test_skipped_pairs_are_reported(self, topo):
+        # isolating a leaf makes every pair touching it unrepairable
+        deg = DegradedTopology(
+            topo, FaultSet(links=frozenset({topo.up_link_index(0, 0, 0)}))
+        )
+        tables, skipped = export_repaired_lfts(make_algorithm("d-mod-k", topo), deg)
+        assert len(skipped) == 2 * (topo.num_leaves - 1)
+        assert all(0 in (s, d) for s, d, _ in skipped)
+        # the surviving pairs still walk correctly
+        assert tables.walk(4, 9)[-1] == (0, 9)
