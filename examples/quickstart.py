@@ -7,7 +7,9 @@ Walks the core API end to end:
 2. route individual pairs with each oblivious scheme;
 3. census a routed pattern's contention (endpoint vs network);
 4. simulate a phase with the fluid engine and report the slowdown vs the
-   ideal Full-Crossbar.
+   ideal Full-Crossbar;
+5. redo the whole study through the high-level ``repro.api`` facade
+   (one ``Scenario`` per point, ``compare`` for the table).
 
 Run:  python examples/quickstart.py
 """
@@ -15,6 +17,7 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import XGFT, make_algorithm, parse_xgft
+from repro.api import Scenario, compare
 from repro.contention import contention_report, max_network_contention
 from repro.patterns import shift
 from repro.sim import PAPER_CONFIG, crossbar_phase_time, simulate_phase_fluid
@@ -65,6 +68,19 @@ def main() -> None:
         table = make_algorithm(name, full, seed=1).build_table(pairs)
         t = simulate_phase_fluid(table, [256 * 1024] * len(table)).duration
         print(f"  {name:>8}: {t * 1e3:.3f} ms  (slowdown {t / t_ref:.2f}x)")
+
+    # -- 5. the same study, one facade call each ----------------------------
+    # steps 2-4 by hand above; repro.api.Scenario does route + simulate +
+    # measure per {topology, pattern, algorithm} point, caches the shared
+    # intermediates and tabulates the comparison (docs/api.md)
+    base = Scenario("xgft:2;16,16;1,8", "shift(d=16)", "d-mod-k")
+    print("\nvia repro.api on the slimmed tree:")
+    print(
+        compare(
+            [base, base.with_(algorithm="random"), base.with_(algorithm="r-nca-d")],
+            metrics=("max_link_load", "max_network_contention", "slowdown"),
+        )
+    )
 
 
 if __name__ == "__main__":

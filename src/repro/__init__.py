@@ -14,18 +14,27 @@ The package provides, as importable building blocks:
 * :mod:`repro.dimemas` — trace-driven MPI replay;
 * :mod:`repro.faults` — fault injection, degraded topologies, route
   repair and resilience metrics;
-* :mod:`repro.experiments` — the figure/table regeneration harness.
+* :mod:`repro.registry` / :mod:`repro.metrics` — the unified component
+  registries (algorithms, patterns, topologies, metrics) and their
+  shared ``name(key=val,...)`` spec DSL;
+* :mod:`repro.api` — the :class:`~repro.api.Scenario` facade: one
+  object per evaluated {topology, pattern, algorithm, faults, seed}
+  point, with typed results and cross-scenario comparison;
+* :mod:`repro.experiments` — the figure/table regeneration harness and
+  the declarative sweep engine built on the facade.
 
 Quickstart::
 
-    from repro import XGFT, make_algorithm
-    topo = XGFT((16, 16), (1, 8))           # XGFT(2;16,16;1,8)
-    routing = make_algorithm("r-nca-d", topo, seed=7)
-    route = routing.route(3, 200)
-    print(route, route.node_path(topo))
+    from repro import Scenario
+
+    s = Scenario("xgft:2;16,16;1,8", "bit-reversal", "r-nca-d", seed=7)
+    result = s.evaluate(metrics=("max_link_load", "slowdown"))
+    print(result.run_id, result.metrics)
 """
 
+from .api import Comparison, Scenario, ScenarioResult, compare, evaluate_scenario
 from .core import (
+    ALGORITHMS,
     Colored,
     DModK,
     RandomNCA,
@@ -39,9 +48,20 @@ from .core import (
     make_algorithm,
     register_algorithm,
 )
-from .topology import XGFT, kary_ntree, parse_xgft, slimmed_two_level
+from .metrics import METRICS, Metric, register_metric
+from .patterns import PATTERNS, register_pattern, resolve_pattern
+from .registry import Registry, canonical_spec, format_spec, parse_spec
+from .topology import (
+    TOPOLOGIES,
+    XGFT,
+    kary_ntree,
+    parse_xgft,
+    register_topology,
+    resolve_topology,
+    slimmed_two_level,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "XGFT",
@@ -60,5 +80,26 @@ __all__ = [
     "make_algorithm",
     "available_algorithms",
     "register_algorithm",
+    # the unified registries and their spec DSL
+    "Registry",
+    "parse_spec",
+    "format_spec",
+    "canonical_spec",
+    "ALGORITHMS",
+    "PATTERNS",
+    "TOPOLOGIES",
+    "METRICS",
+    "Metric",
+    "register_pattern",
+    "register_topology",
+    "register_metric",
+    "resolve_pattern",
+    "resolve_topology",
+    # the scenario facade
+    "Scenario",
+    "ScenarioResult",
+    "Comparison",
+    "compare",
+    "evaluate_scenario",
     "__version__",
 ]

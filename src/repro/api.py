@@ -1,0 +1,563 @@
+"""The high-level scenario facade: one object, the whole evaluation.
+
+The paper evaluates oblivious schemes over a product of topologies ×
+patterns × algorithms × faults; a :class:`Scenario` is one point of
+that product, addressable entirely by spec strings (or live objects)
+through the unified registries::
+
+    from repro.api import Scenario
+
+    s = Scenario("xgft:2;16,16;1,8", "bit-reversal", "r-nca-d", seed=7)
+    result = s.evaluate()                     # typed ScenarioResult
+    result.metrics["slowdown"]
+
+    degraded = Scenario(
+        "XGFT(3;4,4,4;1,4,2)", "shift-1", "d-mod-k",
+        faults="links:rate=0.05", seed=0,
+    )
+    degraded.evaluate(metrics=("slowdown", "disconnected_fraction"))
+
+    print(compare([s, s.with_(algorithm="d-mod-k")]))   # cross-algorithm table
+
+Everything downstream — the sweep engine, the CLI, the figure harness —
+builds on this facade; new backends and scenario axes extend it by
+*registration* (:mod:`repro.registry`) rather than by editing engine
+internals.  An oblivious scheme's all-pairs table is a reusable
+artifact (Räcke & Schmid, *Compact Oblivious Routing*): the
+:class:`RouteTableCache` shared across scenarios builds it once per
+``(topology, algorithm, seed)`` and serves every pattern from row
+subsets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .core.base import RouteTable, RoutingAlgorithm
+from .core.factory import is_oblivious, make_algorithm
+from .faults import DegradedTopology, FaultSpec, parse_fault_spec, repair_table
+from .metrics import (
+    DEFAULT_METRICS,
+    EvalContext,
+    SKIPPED,
+    concat_tables,
+    load_aggregate,
+    phase_pairs,
+    resolve_metrics,
+)
+from .patterns.base import Pattern
+from .patterns.registry import resolve_pattern
+from .sim.config import PAPER_CONFIG, NetworkConfig
+from .topology.registry import resolve_topology
+from .topology.xgft import XGFT
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "Comparison",
+    "RouteTableCache",
+    "compare",
+    "evaluate_scenario",
+    "format_run_id",
+    "subset_table",
+]
+
+
+def format_run_id(
+    topology: str, pattern: str, algorithm: str, seed: int, faults: str = "none"
+) -> str:
+    """The canonical run identity — the key ``sweep_compare`` matches on.
+
+    Single source of truth: :attr:`Scenario.run_id`, the sweep planner's
+    ``RunSpec.run_id`` and the artifact record ids all derive from here,
+    so the format cannot drift apart and silently break the baseline
+    matching.
+    """
+    base = f"{topology}/{pattern}/{algorithm}@{seed}"
+    return base if faults == "none" else f"{base}+{faults}"
+
+
+# ----------------------------------------------------------------------
+# Route-table memoization
+# ----------------------------------------------------------------------
+class RouteTableCache:
+    """All-pairs route tables keyed by ``(topology, algorithm, seed)``.
+
+    Holds one table per oblivious scheme instance; per-pattern tables are
+    row subsets (:func:`subset_table`).  ``builds``/``hits`` feed the
+    sweep artifact's cache section, which the memoization tests assert
+    on.
+    """
+
+    def __init__(self):
+        self._tables: dict[tuple, RouteTable] = {}
+        self._rows: dict[tuple, np.ndarray] = {}
+        self.builds = 0
+        self.hits = 0
+
+    def all_pairs_table(self, key: tuple, algorithm: RoutingAlgorithm) -> RouteTable:
+        table = self._tables.get(key)
+        if table is None:
+            table = self._tables[key] = algorithm.all_pairs_table()
+            self.builds += 1
+        else:
+            self.hits += 1
+        return table
+
+    def row_index(self, key: tuple) -> np.ndarray:
+        """``(n*n,)`` flat-pair -> row lookup for the cached table."""
+        rows = self._rows.get(key)
+        if rows is None:
+            table = self._tables[key]
+            n = table.topo.num_leaves
+            rows = np.full(n * n, -1, dtype=np.int64)
+            rows[table.src * n + table.dst] = np.arange(len(table), dtype=np.int64)
+            self._rows[key] = rows
+        return rows
+
+    def stats(self) -> dict:
+        return {"table_builds": self.builds, "table_hits": self.hits}
+
+
+def subset_table(
+    full: RouteTable, rows: np.ndarray, pairs: Sequence[tuple[int, int]]
+) -> RouteTable:
+    """The rows of an all-pairs table covering ``pairs`` (order kept)."""
+    n = full.topo.num_leaves
+    arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    idx = rows[arr[:, 0] * n + arr[:, 1]]
+    if (idx < 0).any():
+        raise ValueError("pair outside the all-pairs table (self-pair?)")
+    return RouteTable(
+        full.topo, full.src[idx], full.dst[idx], full.nca_level[idx], full.ports[idx]
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+@dataclass
+class Scenario:
+    """One routed-and-measured evaluation point.
+
+    Every axis accepts either a spec string (resolved through the
+    matching registry) or a live object:
+
+    * ``topology`` — ``"XGFT(2;16,16;1,8)"``, ``"xgft:2;16,16;1,8"``, a
+      registered family spec (``"slimmed-two-level(w2=10)"``) or an
+      :class:`XGFT`;
+    * ``pattern`` — a registered pattern spec (``"bit-reversal"``,
+      ``"shift(d=3)"``, legacy ``"shift-3"``) or a :class:`Pattern`;
+    * ``algorithm`` — a registered algorithm spec (``"d-mod-k"``,
+      ``"r-nca-u(r=2)"``) or a :class:`RoutingAlgorithm` instance;
+    * ``faults`` — a fault spec string (``"links:rate=0.05"``) or a
+      :class:`FaultSpec`; ``"none"`` keeps the fabric pristine.
+
+    Resolution is lazy and cached; :meth:`route_table`,
+    :meth:`degraded` and :meth:`evaluate` reuse each other's
+    intermediates.
+    """
+
+    topology: str | XGFT
+    pattern: str | Pattern
+    algorithm: str | RoutingAlgorithm
+    faults: str | FaultSpec = "none"
+    seed: int = 0
+
+    def __post_init__(self):
+        self._cache = RouteTableCache()
+        self._crossbar_memo: dict = {}
+        self._degraded: DegradedTopology | None = None
+        self._degraded_done = False
+        self._pristine: list[RouteTable] | None = None
+
+    # -- canonical spec strings (run identity) --------------------------
+    @property
+    def topology_spec(self) -> str:
+        return self.topology.spec() if isinstance(self.topology, XGFT) else str(self.topology)
+
+    @property
+    def pattern_spec(self) -> str:
+        return self.pattern.name if isinstance(self.pattern, Pattern) else str(self.pattern)
+
+    @property
+    def algorithm_spec(self) -> str:
+        if isinstance(self.algorithm, RoutingAlgorithm):
+            return self.algorithm.name
+        return str(self.algorithm)
+
+    @property
+    def faults_spec(self) -> str:
+        return (
+            self.faults.canonical() if isinstance(self.faults, FaultSpec) else str(self.faults)
+        )
+
+    @property
+    def run_id(self) -> str:
+        return format_run_id(
+            self.topology_spec, self.pattern_spec, self.algorithm_spec,
+            self.seed, self.faults_spec,
+        )
+
+    @property
+    def memo_key(self) -> tuple[str, str, int]:
+        """Route tables are shared across patterns and fault scenarios
+        (repair filters the *pristine* table), never across these.
+
+        A live algorithm instance is keyed by its object identity, not
+        its bare name: two hand-built instances may share a name (or a
+        name but not their parameters), and serving one's cached table
+        to the other would silently mis-measure it.  Spec strings keep
+        their verbatim key — that is what the sweep's cross-worker
+        memoization and artifact identities rely on.
+        """
+        return (self.topology_spec, self._algorithm_key, self.seed)
+
+    @property
+    def _algorithm_key(self) -> str:
+        if isinstance(self.algorithm, RoutingAlgorithm):
+            return f"{self.algorithm.name}#{id(self.algorithm):x}"
+        return str(self.algorithm)
+
+    @property
+    def _pattern_key(self) -> str:
+        """Crossbar-memo key: live patterns by identity (names can collide)."""
+        if isinstance(self.pattern, Pattern):
+            return f"{self.pattern.name}#{id(self.pattern):x}"
+        return str(self.pattern)
+
+    def with_(self, **changes) -> "Scenario":
+        """A copy with some axes replaced (``compare`` ergonomics)."""
+        return replace(self, **changes)
+
+    # -- resolved live objects ------------------------------------------
+    @property
+    def topo(self) -> XGFT:
+        resolved = self.__dict__.get("_topo")
+        if resolved is None:
+            resolved = self.__dict__["_topo"] = resolve_topology(self.topology)
+        return resolved
+
+    @property
+    def traffic(self) -> Pattern:
+        resolved = self.__dict__.get("_traffic")
+        if resolved is None:
+            resolved = self.__dict__["_traffic"] = resolve_pattern(
+                self.pattern, self.topo.num_leaves
+            )
+        return resolved
+
+    @property
+    def routing(self) -> RoutingAlgorithm:
+        resolved = self.__dict__.get("_routing")
+        if resolved is None:
+            if isinstance(self.algorithm, RoutingAlgorithm):
+                if self.algorithm.topo != self.topo:
+                    raise ValueError(
+                        "the algorithm instance routes a different topology "
+                        f"({self.algorithm.topo.spec()} != {self.topo.spec()})"
+                    )
+                resolved = self.algorithm
+            else:
+                resolved = make_algorithm(str(self.algorithm), self.topo, seed=self.seed)
+            self.__dict__["_routing"] = resolved
+        return resolved
+
+    @property
+    def fault_spec(self) -> FaultSpec:
+        if isinstance(self.faults, FaultSpec):
+            return self.faults
+        return parse_fault_spec(str(self.faults))
+
+    # -- cached evaluation intermediates --------------------------------
+    def _pristine_tables(self, cache: RouteTableCache | None = None) -> list[RouteTable]:
+        """Per-phase pristine route tables (memoized via the table cache)."""
+        cache = cache if cache is not None else self._cache
+        phases = phase_pairs(self.traffic)
+        algorithm = self.routing
+        if is_oblivious(algorithm):
+            full = cache.all_pairs_table(self.memo_key, algorithm)
+            rows = cache.row_index(self.memo_key)
+            return [subset_table(full, rows, pairs) for pairs, _ in phases]
+        return [algorithm.build_table(pairs) for pairs, _ in phases]
+
+    def route_table(self) -> RouteTable:
+        """The pristine routes of this scenario's pattern, all phases merged.
+
+        Cached; repeated calls (and :meth:`degraded` /
+        :meth:`evaluate`) reuse the same underlying all-pairs table.
+        """
+        if self._pristine is None:
+            self._pristine = self._pristine_tables()
+        if not self._pristine:
+            return self.routing.build_table([])
+        return concat_tables(self._pristine)
+
+    def degraded(self) -> DegradedTopology | None:
+        """The degraded fabric this scenario runs on (``None`` if pristine).
+
+        Faults are realized against the *routed* traffic, so adversarial
+        specs (``worst-links:...``) cut the most loaded cables of this
+        very scenario's routes.
+        """
+        if not self._degraded_done:
+            spec = self.fault_spec
+            if spec.kind == "none":
+                self._degraded = None
+            else:
+                routed = self.route_table()
+                traffic = routed if len(routed) else None
+                self._degraded = DegradedTopology(self.topo, spec.realize(self.topo, table=traffic))
+            self._degraded_done = True
+        return self._degraded
+
+    # -- evaluation ------------------------------------------------------
+    def evaluate(
+        self,
+        metrics: Sequence[str] | None = None,
+        engine: str = "fluid",
+        config: NetworkConfig = PAPER_CONFIG,
+    ) -> "ScenarioResult":
+        """Route, degrade-and-repair, simulate, measure.
+
+        ``metrics`` defaults to :data:`repro.metrics.DEFAULT_METRICS`;
+        any registered metric name is accepted.
+        """
+        return evaluate_scenario(
+            self,
+            metrics=metrics,
+            engine=engine,
+            config=config,
+            cache=self._cache,
+            crossbar_memo=self._crossbar_memo,
+        )
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioResult:
+    """A typed, metric-keyed evaluation outcome."""
+
+    scenario: Scenario
+    metrics: Mapping[str, object]
+    load_histogram: Mapping[int, int]
+    fault_info: Mapping[str, int]
+    wall_time_s: float
+
+    @property
+    def run_id(self) -> str:
+        return self.scenario.run_id
+
+    def __getitem__(self, metric: str) -> object:
+        return self.metrics[metric]
+
+    def to_record(self) -> dict:
+        """The sweep-artifact run record (``docs/sweep_schema.md``)."""
+        record = {
+            "topology": self.scenario.topology_spec,
+            "pattern": self.scenario.pattern_spec,
+            "algorithm": self.scenario.algorithm_spec,
+            "seed": self.scenario.seed,
+            "faults": self.scenario.faults_spec,
+            "metrics": {k: _round(v) for k, v in self.metrics.items()},
+            "load_histogram": {str(k): v for k, v in sorted(self.load_histogram.items())},
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+        if self.fault_info:
+            record["fault_info"] = dict(self.fault_info)
+        return record
+
+
+def _round(value):
+    return round(value, 10) if isinstance(value, float) else value
+
+
+# ----------------------------------------------------------------------
+# The evaluation engine
+# ----------------------------------------------------------------------
+def evaluate_scenario(
+    scenario: Scenario,
+    metrics: Sequence[str] | None = None,
+    engine: str = "fluid",
+    config: NetworkConfig = PAPER_CONFIG,
+    cache: RouteTableCache | None = None,
+    crossbar_memo: dict | None = None,
+) -> ScenarioResult:
+    """Evaluate one scenario and return its :class:`ScenarioResult`.
+
+    The sweep engine calls this per grid cell with a shared ``cache``
+    and ``crossbar_memo``; :meth:`Scenario.evaluate` calls it with the
+    scenario's own.  Metric values are computed by the registered
+    :class:`repro.metrics.Metric` callables over one shared
+    :class:`repro.metrics.EvalContext`.
+    """
+    t0 = time.perf_counter()
+    if engine not in ("fluid", "replay"):
+        raise ValueError(f"unknown engine {engine!r} (expected fluid or replay)")
+    metric_fns = resolve_metrics(tuple(metrics) if metrics is not None else DEFAULT_METRICS)
+    topo = scenario.topo
+    pattern = scenario.traffic
+    algorithm = scenario.routing
+    cache = cache if cache is not None else RouteTableCache()
+
+    phases = phase_pairs(pattern)
+    tables = scenario._pristine_tables(cache)
+
+    # degrade-and-repair: faults are realized against the *routed*
+    # traffic (adversarial specs cut the most loaded cables of this very
+    # pattern), the pristine tables become the resilience baseline, and
+    # every downstream metric sees only surviving, repaired flows
+    fault_spec = scenario.fault_spec
+    degraded = None
+    fault_info: dict[str, int] = {}
+    baseline_agg = None
+    if fault_spec.kind != "none":
+        # seeded random draws depend only on the fault spec (not the run
+        # seed), so every algorithm and routing seed of a row faces the
+        # *same* degraded fabric; sweep several draws by listing several
+        # specs ("links:rate=0.05,seed=0", "links:rate=0.05,seed=1", ...).
+        # adversarial "worst-links" specs are the deliberate exception:
+        # each cell's adversary watches that cell's own routes, so every
+        # scheme faces *its own* worst case (per-cell fabrics, see
+        # fault_info for what was actually cut)
+        if scenario._degraded_done:
+            # realization is a pure function of (topology, spec, routed
+            # traffic), so a prior degraded() result is reusable —
+            # adversarial scans over the routed traffic are not free
+            degraded = scenario._degraded
+        else:
+            traffic = concat_tables(tables) if tables else None
+            degraded = DegradedTopology(topo, fault_spec.realize(topo, table=traffic))
+            scenario._degraded = degraded
+            scenario._degraded_done = True
+        repairs = [repair_table(t, degraded, seed=scenario.seed) for t in tables]
+        baseline_agg = load_aggregate(tables)
+        tables = [r.table for r in repairs]
+        phases = [
+            (
+                [pairs[i] for i in r.surviving_rows()],
+                [sizes[i] for i in r.surviving_rows()],
+            )
+            for (pairs, sizes), r in zip(phases, repairs)
+        ]
+        fault_info = {
+            "failed_cables": degraded.num_failed_cables,
+            "failed_switches": degraded.num_failed_switches,
+            "broken_flows": sum(r.num_broken for r in repairs),
+            "repaired_flows": sum(r.num_repaired for r in repairs),
+            "disconnected_flows": sum(r.num_disconnected for r in repairs),
+            "total_flows": sum(len(r.broken) for r in repairs),
+        }
+
+    ctx = EvalContext(
+        topo=topo,
+        pattern=pattern,
+        algorithm=algorithm,
+        tables=tables,
+        phases=phases,
+        engine=engine,
+        config=config,
+        seed=scenario.seed,
+        degraded=degraded,
+        fault_info=fault_info,
+        baseline_agg=baseline_agg,
+        label=scenario.run_id,
+        faults_label=scenario.faults_spec,
+        pattern_key=scenario._pattern_key,
+        crossbar_memo=crossbar_memo,
+    )
+    values: dict[str, object] = {}
+    for metric in metric_fns:
+        value = metric(ctx)
+        if value is not SKIPPED:
+            values[metric.name] = value
+    return ScenarioResult(
+        scenario=scenario,
+        metrics=values,
+        # the used-link histogram is always part of the record (phases
+        # are aggregated; idle links are omitted so multi-phase runs
+        # don't count the same idle link once per phase)
+        load_histogram=ctx.load_histogram,
+        fault_info=fault_info,
+        wall_time_s=time.perf_counter() - t0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-scenario comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Comparison:
+    """Evaluated scenarios side by side (cross-algorithm tables)."""
+
+    results: tuple[ScenarioResult, ...]
+    metrics: tuple[str, ...]
+
+    def best(self, metric: str) -> ScenarioResult:
+        """The lowest-valued result for a (lower-is-better) metric."""
+        scored = [r for r in self.results if metric in r.metrics]
+        if not scored:
+            raise ValueError(f"no result carries metric {metric!r}")
+        return min(scored, key=lambda r: r.metrics[metric])
+
+    def format(self) -> str:
+        """A plain-text table, one row per scenario."""
+        headers = ["scenario"] + list(self.metrics)
+        rows = [
+            [r.run_id] + [_format_cell(r.metrics.get(m)) for m in self.metrics]
+            for r in self.results
+        ]
+        widths = [
+            max(len(headers[c]), *(len(row[c]) for row in rows)) if rows else len(headers[c])
+            for c in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def compare(
+    scenarios: Sequence[Scenario],
+    metrics: Sequence[str] | None = None,
+    engine: str = "fluid",
+    config: NetworkConfig = PAPER_CONFIG,
+) -> Comparison:
+    """Evaluate scenarios with shared caches and tabulate the metrics.
+
+    Scenarios sharing a ``(topology, algorithm, seed)`` identity reuse
+    one all-pairs route table; the crossbar reference is computed once
+    per (pattern, machine size).
+    """
+    if not scenarios:
+        raise ValueError("compare needs at least one scenario")
+    names = tuple(metrics) if metrics is not None else DEFAULT_METRICS
+    cache = RouteTableCache()
+    memo: dict = {}
+    results = tuple(
+        evaluate_scenario(
+            s, metrics=names, engine=engine, config=config, cache=cache, crossbar_memo=memo
+        )
+        for s in scenarios
+    )
+    return Comparison(results=results, metrics=names)

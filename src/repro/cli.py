@@ -10,18 +10,23 @@
     repro table1 --topology "XGFT(2;16,16;1,10)"
     repro equivalence --permutations 500
     repro info --topology "XGFT(3;4,4,4;1,4,2)"
+    repro eval --topology "xgft:2;16,16;1,8" --pattern bit-reversal \\
+               --algorithms d-mod-k "r-nca-d" --faults "links:rate=0.05"
     repro sweep --jobs 4 -o sweep_results.json
     repro sweep --spec benchmarks/smoke_spec.json --baseline benchmarks/baseline_smoke.json
     repro sweep --faults none "links:rate=0.05" --patterns shift-1
     repro compare baseline.json current.json --tolerance 0.1
     repro faults --topology "XGFT(3;4,4,4;1,4,2)" --rates 0 0.01 0.05
 
-The ``sweep`` subcommand runs a declarative {topology x pattern x
-algorithm x seed x faults} grid through :mod:`repro.experiments.sweep`
-— by default the paper's full Fig. 2-5 evaluation grid — and writes the
-schema-versioned JSON artifact CI regression-gates on.  ``faults``
-sweeps failure rates over a degraded topology with local route repair
-(:mod:`repro.faults`) and reports slowdown and flow-loss curves.
+``eval`` evaluates single :class:`repro.api.Scenario` s and prints a
+cross-algorithm comparison table; every axis is a registry spec string
+(:mod:`repro.registry`).  The ``sweep`` subcommand runs a declarative
+{topology x pattern x algorithm x seed x faults} grid through
+:mod:`repro.experiments.sweep` — by default the paper's full Fig. 2-5
+evaluation grid — and writes the schema-versioned JSON artifact CI
+regression-gates on.  ``faults`` sweeps failure rates over a degraded
+topology with local route repair (:mod:`repro.faults`) and reports
+slowdown and flow-loss curves.
 """
 
 from __future__ import annotations
@@ -33,9 +38,23 @@ from pathlib import Path
 from typing import Sequence
 
 from . import experiments
+from .api import Scenario, compare
+from .metrics import available_metrics
 from .topology import ascii_art, cost_summary, parse_xgft, slimmed_two_level
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
+
+
+def package_version() -> str:
+    """The installed distribution version, or the in-tree fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-xgft")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
 
 #: the paper's full evaluation grid (Figs. 2 and 5): both applications,
 #: every algorithm, the whole progressive-slimming topology family
@@ -52,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the figures/tables of 'Oblivious Routing "
         "Schemes in Extended Generalized Fat Tree Networks' (CLUSTER 2009).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -84,6 +106,33 @@ def build_parser() -> argparse.ArgumentParser:
     pi = sub.add_parser("info", help="structural summary of a topology")
     pi.add_argument("--topology", default="XGFT(2;16,16;1,16)")
 
+    pv = sub.add_parser(
+        "eval",
+        help="evaluate scenarios through the repro.api facade and "
+        "print a cross-algorithm comparison table",
+    )
+    pv.add_argument(
+        "--topology",
+        default="XGFT(2;16,16;1,8)",
+        help="topology spec: raw XGFT, xgft:..., or a registered family "
+        "('slimmed-two-level(w2=10)')",
+    )
+    pv.add_argument(
+        "--pattern", default="bit-reversal", help="pattern spec ('shift(d=3)', 'wrf-256', ...)"
+    )
+    pv.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["s-mod-k", "d-mod-k", "random", "r-nca-u", "r-nca-d"],
+        help="algorithm specs to compare ('d-mod-k', 'r-nca-u(r=2)', ...)",
+    )
+    pv.add_argument("--faults", default="none", help="fault spec ('links:rate=0.05', ...)")
+    pv.add_argument("--seed", type=int, default=0)
+    pv.add_argument(
+        "--metrics", nargs="+", default=None, help="registered metric names"
+    )
+    pv.add_argument("--engine", choices=("fluid", "replay"), default="fluid")
+
     ps = sub.add_parser(
         "sweep",
         help="run a {topology x pattern x algorithm x seed} grid "
@@ -112,7 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="algorithm names, optionally parameterized: 'r-nca-d(map_kind=mod)'",
     )
     ps.add_argument("--seeds", type=int, default=None, help="seeds per randomized algorithm")
-    ps.add_argument("--metrics", nargs="+", default=None, choices=list(experiments.KNOWN_METRICS))
+    ps.add_argument("--metrics", nargs="+", default=None, choices=list(available_metrics()))
     ps.add_argument(
         "--faults",
         nargs="+",
@@ -268,6 +317,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_eval(args: argparse.Namespace) -> int:
+    scenarios = [
+        Scenario(args.topology, args.pattern, algorithm, faults=args.faults, seed=args.seed)
+        for algorithm in args.algorithms
+    ]
+    comparison = compare(scenarios, metrics=args.metrics, engine=args.engine)
+    print(comparison.format())
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     spec = experiments.fault_grid_spec(
         topology=args.topology,
@@ -321,6 +380,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(ascii_art(topo))
         for key, value in cost_summary(topo).items():
             print(f"  {key:>22}: {value}")
+    elif args.command == "eval":
+        return _cmd_eval(args)
     elif args.command == "sweep":
         return _cmd_sweep(args)
     elif args.command == "faults":

@@ -31,9 +31,15 @@ def link_flow_counts(table: RouteTable, weights: np.ndarray | None = None) -> np
 
 
 def busiest_links(table: RouteTable, top: int = 5) -> list[tuple[int, int, tuple]]:
-    """The ``top`` most loaded links as ``(count, link_idx, description)``."""
+    """The ``top`` most loaded links as ``(count, link_idx, description)``.
+
+    Ordering is fully deterministic: descending by count, ties broken by
+    ascending link index (``np.argsort(counts)[::-1]`` would order tied
+    counts by *reversed* memory position — an implementation accident,
+    not a contract).
+    """
     counts = link_flow_counts(table)
-    order = np.argsort(counts)[::-1][:top]
+    order = np.lexsort((np.arange(len(counts)), -counts))[:top]
     return [
         (int(counts[i]), int(i), table.topo.describe_link(int(i)))
         for i in order

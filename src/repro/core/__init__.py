@@ -19,6 +19,7 @@ from .base import RouteTable, RoutingAlgorithm
 from .colored import Colored, bipartite_edge_coloring
 from .dmodk import DModK
 from .factory import (
+    ALGORITHMS,
     DETERMINISTIC_ALGORITHMS,
     RANDOMIZED_ALGORITHMS,
     SINGLE_SEED_ALGORITHMS,
@@ -55,6 +56,7 @@ __all__ = [
     "ForwardingTables",
     "build_forwarding_tables",
     "InconsistentRouteError",
+    "ALGORITHMS",
     "make_algorithm",
     "available_algorithms",
     "register_algorithm",

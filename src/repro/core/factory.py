@@ -2,14 +2,19 @@
 
 The experiment harness, CLI and benchmarks refer to algorithms by the
 names used in the paper's plots (``s-mod-k``, ``d-mod-k``, ``random``,
-``r-nca-u``, ``r-nca-d``, ``colored``); this registry turns those names
-into configured instances.
+``r-nca-u``, ``r-nca-d``, ``colored``); the :data:`ALGORITHMS` registry
+(a :class:`repro.registry.Registry`) turns those names — optionally
+parameterized via the shared spec DSL, ``"r-nca-d(map_kind=mod)"`` —
+into configured instances.  :func:`make_algorithm` is the thin
+construction shim every consumer (sweep engine, CLI, ``repro.api``
+scenarios, benchmarks) goes through.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable
 
+from ..registry import Registry, parse_spec
 from ..topology import XGFT
 from .base import RoutingAlgorithm
 from .colored import Colored
@@ -20,6 +25,7 @@ from .rnca import RNCADown, RNCAUp
 from .smodk import SModK
 
 __all__ = [
+    "ALGORITHMS",
     "make_algorithm",
     "available_algorithms",
     "register_algorithm",
@@ -29,16 +35,41 @@ __all__ = [
     "SINGLE_SEED_ALGORITHMS",
 ]
 
-_BUILDERS: Dict[str, Callable[..., RoutingAlgorithm]] = {
-    SModK.name: lambda topo, seed=0, **kw: SModK(topo),
-    DModK.name: lambda topo, seed=0, **kw: DModK(topo),
-    RandomNCA.name: lambda topo, seed=0, **kw: RandomNCA(topo, seed=seed),
-    RNCAUp.name: lambda topo, seed=0, **kw: RNCAUp(topo, seed=seed, **kw),
-    RNCADown.name: lambda topo, seed=0, **kw: RNCADown(topo, seed=seed, **kw),
-    Colored.name: lambda topo, seed=0, **kw: Colored(topo, seed=seed, **kw),
-    AutoModK.name: lambda topo, seed=0, **kw: AutoModK(topo),
-    BestOfKRNCA.name: lambda topo, seed=0, **kw: BestOfKRNCA(topo, seed=seed, **kw),
-}
+#: the algorithm registry: name -> ``builder(topo, seed=..., **kwargs)``
+ALGORITHMS: Registry[Callable[..., RoutingAlgorithm]] = Registry("algorithm")
+
+
+def _rnca_builder(cls, direction: str):
+    """r-NCA builder with the optional best-of-``r`` selection knob.
+
+    ``r`` draws that many candidate relabelings and installs the one
+    with the best worst-case probe contention (the conclusion's
+    future-work heuristic, :class:`~repro.core.heuristics.BestOfKRNCA`);
+    ``r=1`` (the default) is the plain single-draw scheme.
+    """
+
+    def build(topo, seed=0, r=1, **kw):
+        if r == 1:
+            return cls(topo, seed=seed, **kw)
+        return BestOfKRNCA(topo, seed=seed, k=int(r), direction=direction, **kw)
+
+    return build
+
+
+ALGORITHMS.register(SModK.name, lambda topo, seed=0, **kw: SModK(topo))
+ALGORITHMS.register(DModK.name, lambda topo, seed=0, **kw: DModK(topo))
+ALGORITHMS.register(RandomNCA.name, lambda topo, seed=0, **kw: RandomNCA(topo, seed=seed))
+ALGORITHMS.register(RNCAUp.name, _rnca_builder(RNCAUp, "up"))
+ALGORITHMS.register(RNCADown.name, _rnca_builder(RNCADown, "down"))
+ALGORITHMS.register(Colored.name, lambda topo, seed=0, **kw: Colored(topo, seed=seed, **kw))
+ALGORITHMS.register(AutoModK.name, lambda topo, seed=0, **kw: AutoModK(topo))
+ALGORITHMS.register(
+    BestOfKRNCA.name, lambda topo, seed=0, **kw: BestOfKRNCA(topo, seed=seed, **kw)
+)
+
+#: backwards-compatible alias: the registry's live name->builder map
+#: (pre-registry code mutated this dict directly; it is the same object)
+_BUILDERS = ALGORITHMS._items
 
 #: algorithms whose routes do not depend on a seed
 DETERMINISTIC_ALGORITHMS = (SModK.name, DModK.name)
@@ -71,28 +102,30 @@ def is_oblivious(algorithm: RoutingAlgorithm) -> bool:
     )
 
 
-def register_algorithm(name: str, builder: Callable[..., RoutingAlgorithm]) -> None:
+def register_algorithm(
+    name: str, builder: Callable[..., RoutingAlgorithm], *, override: bool = False
+) -> None:
     """Register a custom algorithm (see ``examples/custom_routing_algorithm.py``).
 
     ``builder(topo, seed=..., **kwargs)`` must return a
-    :class:`~repro.core.base.RoutingAlgorithm`.
+    :class:`~repro.core.base.RoutingAlgorithm`.  Thin shim over
+    ``ALGORITHMS.register``.
     """
-    if name in _BUILDERS:
-        raise ValueError(f"algorithm {name!r} is already registered")
-    _BUILDERS[name] = builder
+    ALGORITHMS.register(name, builder, override=override)
 
 
 def available_algorithms() -> tuple[str, ...]:
     """Registered algorithm names."""
-    return tuple(sorted(_BUILDERS))
+    return ALGORITHMS.names()
 
 
 def make_algorithm(name: str, topo: XGFT, seed: int = 0, **kwargs) -> RoutingAlgorithm:
-    """Instantiate an algorithm by its paper name."""
-    try:
-        builder = _BUILDERS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
-        ) from None
-    return builder(topo, seed=seed, **kwargs)
+    """Instantiate an algorithm by its paper name or full spec string.
+
+    ``name`` may carry spec-DSL parameters (``"r-nca-d(map_kind=mod)"``);
+    explicit ``**kwargs`` win over spec parameters on collision.
+    """
+    if "(" in name:
+        name, spec_kwargs = parse_spec(name)
+        kwargs = {**spec_kwargs, **kwargs}
+    return ALGORITHMS.get(name)(topo, seed=seed, **kwargs)

@@ -20,24 +20,21 @@ depends on plotting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from ..contention import (
-    max_network_contention,
-    nca_distribution_stats,
-    routes_per_nca,
-)
+from ..api import Scenario, compare
+from ..contention import max_network_contention, routes_per_nca
 from ..contention.nca import contention_spectrum
 from ..core.factory import make_algorithm
-from ..patterns.applications import cg_pattern, cg_transpose_exchange, wrf_pattern
+from ..patterns.applications import cg_pattern, cg_transpose_exchange
 from ..patterns.base import Pattern
 from ..patterns.permutations import Permutation
+from ..patterns.registry import resolve_pattern
 from ..sim.config import NetworkConfig, PAPER_CONFIG
 from ..topology import XGFT, level_summary, slimmed_two_level
-from .slowdown import crossbar_time, slowdown
 from .stats import BoxStats, box_stats
 
 __all__ = [
@@ -58,14 +55,24 @@ DETERMINISTIC = ("s-mod-k", "d-mod-k", "colored")
 RANDOMIZED = ("random", "r-nca-u", "r-nca-d")
 
 
-def application_pattern(app: str) -> Pattern:
-    """The paper's two applications by name (``"wrf"`` / ``"cg"``)."""
+def _application_spec(app: str) -> str:
+    """Canonical registry spec for the paper's application spellings."""
     key = app.lower()
     if key in ("wrf", "wrf-256"):
-        return wrf_pattern(256)
+        return "wrf-256"
     if key in ("cg", "cg.d", "cg.d-128", "cg-128"):
-        return cg_pattern(128)
+        return "cg-128"
     raise ValueError(f"unknown application {app!r}; expected 'wrf' or 'cg'")
+
+
+def application_pattern(app: str) -> Pattern:
+    """The paper's two applications by name (``"wrf"`` / ``"cg"``).
+
+    A thin alias layer over the pattern registry
+    (:func:`repro.patterns.registry.resolve_pattern`) accepting the
+    paper's spellings (``"cg.d"`` etc.) on a 256-leaf machine.
+    """
+    return resolve_pattern(_application_spec(app), 256)
 
 
 @dataclass(frozen=True)
@@ -101,29 +108,39 @@ def _sweep(
     config: NetworkConfig,
     engine: str,
 ) -> FigureSweep:
-    pattern = application_pattern(app)
-    series: list[SweepSeries] = []
-    # crossbar reference is topology-independent: compute once
-    t_ref = crossbar_time(pattern, 256, config, engine)  # 256-leaf machine
+    """The progressive-slimming figure grid, driven through the facade.
+
+    One :class:`repro.api.Scenario` per (algorithm, w2, seed) cell,
+    evaluated with shared caches: the crossbar reference is computed
+    once per application (every slimmed topology has 256 leaves) and
+    each oblivious scheme's all-pairs table once per (topology, seed).
+    """
+    app_spec = _application_spec(app)  # accept the paper's 'cg.d' spellings
+    cells: list[tuple[str, int, Scenario]] = []
     for name in algorithms:
-        values: dict[int, float | BoxStats] = {}
         for w2 in w2_values:
-            topo = slimmed_two_level(16, 16, w2)
-            if name in DETERMINISTIC:
-                values[w2] = slowdown(
-                    topo, name, pattern, seed=0, config=config,
-                    engine=engine, reference_time=t_ref,
-                )
-            else:
-                samples = [
-                    slowdown(
-                        topo, name, pattern, seed=s, config=config,
-                        engine=engine, reference_time=t_ref,
-                    )
-                    for s in range(seeds)
-                ]
-                values[w2] = box_stats(samples)
-        series.append(SweepSeries(name, values))
+            topo_spec = slimmed_two_level(16, 16, w2).spec()
+            cell_seeds = (0,) if name in DETERMINISTIC else tuple(range(seeds))
+            for s in cell_seeds:
+                cells.append((name, w2, Scenario(topo_spec, app_spec, name, seed=s)))
+    table = compare(
+        [c[2] for c in cells], metrics=("slowdown",), engine=engine, config=config
+    )
+    samples: dict[str, dict[int, list[float]]] = {}
+    for (name, w2, _), result in zip(cells, table.results):
+        samples.setdefault(name, {}).setdefault(w2, []).append(
+            result.metrics["slowdown"]
+        )
+    series = [
+        SweepSeries(
+            name,
+            {
+                w2: (vals[0] if name in DETERMINISTIC else box_stats(vals))
+                for w2, vals in samples[name].items()
+            },
+        )
+        for name in algorithms
+    ]
     return FigureSweep(app, tuple(w2_values), tuple(series))
 
 

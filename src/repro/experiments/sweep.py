@@ -6,19 +6,27 @@ seed} runs.  This module turns such a grid into a first-class object:
 * :class:`SweepSpec` — the declarative grid (JSON round-trippable);
 * :func:`plan_runs` — the cartesian product, with seed collapsing for
   deterministic algorithms;
-* :func:`run_sweep` — execution, serial or ``multiprocessing``-parallel,
-  with per-``(topology, algorithm, seed)`` route-table memoization: an
-  *oblivious* algorithm's all-pairs table is built once and every
-  pattern's per-phase tables are row subsets of it — the operational
-  payoff of obliviousness (cf. Räcke & Schmid, *Compact Oblivious
-  Routing*: one table, any pattern);
-* :func:`write_artifact` / :func:`load_artifact` — a deterministic,
-  schema-versioned JSON artifact (``docs/sweep_schema.md``) that CI jobs
-  cache, diff and regression-gate via
-  :func:`repro.experiments.report.sweep_compare`.
+* :func:`run_sweep` — execution, serial or ``multiprocessing``-parallel.
 
-All shipped metrics are *lower-is-better* (loads, contention, slowdown,
-simulated time), which is what the regression comparison assumes.
+Each grid cell is a :class:`repro.api.Scenario`: the sweep engine only
+plans, schedules and serializes — routing, degradation and measurement
+live behind the facade (:func:`repro.api.evaluate_scenario`), and every
+axis resolves through the unified registries (:mod:`repro.registry`),
+so new algorithms, patterns, topologies and metrics join a sweep by
+*registration*, not by editing this module.
+
+Per-``(topology, algorithm, seed)`` route tables are memoized across
+patterns and fault scenarios: an *oblivious* algorithm's all-pairs
+table is built once and every pattern's per-phase tables are row
+subsets of it — the operational payoff of obliviousness (cf. Räcke &
+Schmid, *Compact Oblivious Routing*: one table, any pattern).
+
+:func:`write_artifact` / :func:`load_artifact` give a deterministic,
+schema-versioned JSON artifact (``docs/sweep_schema.md``) that CI jobs
+cache, diff and regression-gate via
+:func:`repro.experiments.report.sweep_compare`.  All shipped metrics
+are *lower-is-better* (loads, contention, slowdown, simulated time),
+which is what the regression comparison assumes.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ import json
 import multiprocessing
 import platform
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
@@ -34,32 +43,21 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..contention import link_load_summary, max_network_contention, routes_per_nca
-from ..core.base import RouteTable, RoutingAlgorithm
-from ..core.factory import SINGLE_SEED_ALGORITHMS, is_oblivious, make_algorithm
-from ..faults import (
-    DegradedTopology,
-    RepairedRouting,
-    inflation_ratio,
-    parse_fault_spec,
-    repair_table,
+from ..api import (
+    RouteTableCache,
+    Scenario,
+    evaluate_scenario,
+    format_run_id,
+    subset_table,
 )
-from ..patterns import (
-    Pattern,
-    bit_complement,
-    bit_reversal,
-    cg_pattern,
-    cg_transpose_exchange,
-    neighbor_exchange,
-    shift,
-    tornado_groups,
-    transpose,
-    wrf_pattern,
-)
-from ..patterns.applications import CG_PHASE_MESSAGE
-from ..sim.config import PAPER_CONFIG, NetworkConfig
-from ..sim.network import crossbar_pattern_time, simulate_phase_fluid
-from ..topology import XGFT, parse_xgft, slimmed_two_level
+from ..core.factory import SINGLE_SEED_ALGORITHMS
+from ..faults import parse_fault_spec
+from ..metrics import DEFAULT_METRICS, KNOWN_METRICS, METRICS, RESILIENCE_METRICS
+from ..patterns import Pattern
+from ..patterns.registry import resolve_pattern as _resolve_pattern
+from ..registry import parse_spec
+from ..topology import slimmed_two_level
+from ..topology.registry import resolve_topology
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -77,6 +75,7 @@ __all__ = [
     "execute_run",
     "resolve_pattern",
     "parse_algorithm_spec",
+    "subset_table",
     "write_artifact",
     "load_artifact",
     "figure_grid_spec",
@@ -88,26 +87,6 @@ __all__ = [
 #: v2 added the ``faults`` axis and the resilience metrics
 SCHEMA_VERSION = 2
 
-#: metrics computed when a spec does not name its own
-DEFAULT_METRICS = (
-    "max_link_load",
-    "mean_link_load",
-    "max_network_contention",
-    "sim_time",
-    "slowdown",
-)
-
-#: resilience metrics, meaningful on the ``faults`` axis (all
-#: lower-is-better; trivially 0 / 1 / 1 on the pristine topology)
-RESILIENCE_METRICS = (
-    "disconnected_fraction",
-    "max_load_inflation",
-    "mean_load_inflation",
-)
-
-#: every metric name the engine knows how to compute
-KNOWN_METRICS = DEFAULT_METRICS + RESILIENCE_METRICS + ("routes_per_nca",)
-
 
 # ----------------------------------------------------------------------
 # Grid specification
@@ -116,14 +95,18 @@ KNOWN_METRICS = DEFAULT_METRICS + RESILIENCE_METRICS + ("routes_per_nca",)
 class SweepSpec:
     """A declarative sweep grid.
 
-    ``algorithms`` entries are factory names, optionally parameterized:
-    ``"r-nca-d(map_kind=mod)"`` passes ``map_kind="mod"`` to the builder
-    (the ablation grids rely on this).  ``seeds`` is the number of seeds
-    per *randomized* algorithm; deterministic and single-series schemes
-    (see :data:`repro.core.factory.SINGLE_SEED_ALGORITHMS`) are planned
-    with seed 0 only.  ``faults`` is the degraded-topology axis: fault
-    spec strings per :func:`repro.faults.parse_fault_spec` (``"none"``
-    keeps the topology pristine).
+    Every axis entry is a registry spec string: ``algorithms`` are
+    algorithm specs, optionally parameterized (``"r-nca-d(map_kind=mod)"``
+    passes ``map_kind="mod"`` to the builder — the ablation grids rely
+    on this); ``topologies`` are raw XGFT specs or registered family
+    specs; ``patterns`` are registered pattern specs.  ``seeds`` is the
+    number of seeds per *randomized* algorithm; deterministic and
+    single-series schemes (see
+    :data:`repro.core.factory.SINGLE_SEED_ALGORITHMS`) are planned with
+    seed 0 only.  ``faults`` is the degraded-topology axis: fault spec
+    strings per :func:`repro.faults.parse_fault_spec` (``"none"`` keeps
+    the topology pristine).  ``metrics`` may name any registered metric
+    (:data:`repro.metrics.METRICS`), including third-party ones.
     """
 
     topologies: tuple[str, ...]
@@ -144,15 +127,15 @@ class SweepSpec:
             raise ValueError("seeds must be >= 1")
         if self.engine not in ("fluid", "replay"):
             raise ValueError(f"unknown engine {self.engine!r}")
-        unknown = set(self.metrics) - set(KNOWN_METRICS)
+        unknown = set(self.metrics) - set(METRICS.names())
         if unknown:
             raise ValueError(
-                f"unknown metrics {sorted(unknown)}; known: {', '.join(KNOWN_METRICS)}"
+                f"unknown metrics {sorted(unknown)}; known: {', '.join(METRICS.names())}"
             )
         for spec in self.topologies:
-            parse_xgft(spec)  # fail fast on malformed topology specs
+            resolve_topology(spec)  # fail fast on malformed topology specs
         for spec in self.algorithms:
-            parse_algorithm_spec(spec)
+            parse_spec(spec)
         for spec in self.faults:
             parse_fault_spec(spec)
 
@@ -182,21 +165,8 @@ class SweepSpec:
         )
 
 
-def format_run_id(
-    topology: str, pattern: str, algorithm: str, seed: int, faults: str = "none"
-) -> str:
-    """The canonical run identity — the key ``sweep_compare`` matches on.
-
-    Single source of truth: :attr:`RunSpec.run_id` and the artifact
-    record ids are both derived from here, so the format cannot drift
-    apart and silently break the baseline matching.
-    """
-    base = f"{topology}/{pattern}/{algorithm}@{seed}"
-    return base if faults == "none" else f"{base}+{faults}"
-
-
 def record_id(record: dict) -> str:
-    """:func:`format_run_id` applied to an artifact run record."""
+    """:func:`repro.api.format_run_id` applied to an artifact run record."""
     return format_run_id(
         record["topology"],
         record["pattern"],
@@ -228,100 +198,44 @@ class RunSpec:
         (repair filters the *pristine* table), never across these."""
         return (self.topology, self.algorithm, self.seed)
 
+    def scenario(self) -> Scenario:
+        """This grid cell as a :class:`repro.api.Scenario`."""
+        return Scenario(
+            self.topology, self.pattern, self.algorithm, faults=self.faults, seed=self.seed
+        )
 
+
+# ----------------------------------------------------------------------
+# Deprecated pre-registry entry points
+# ----------------------------------------------------------------------
 def parse_algorithm_spec(spec: str) -> tuple[str, dict]:
-    """Split ``"name(key=value,...)"`` into a factory name and kwargs.
+    """Deprecated: use :func:`repro.registry.parse_spec`.
 
-    Values parse as int when possible, ``true``/``false`` as bool,
-    anything else stays a string.
+    The algorithm-spec mini-parser grew into the registry-wide spec DSL;
+    this shim delegates and warns.
     """
-    spec = spec.strip()
-    if "(" not in spec:
-        return spec, {}
-    if not spec.endswith(")"):
-        raise ValueError(f"malformed algorithm spec {spec!r}")
-    name, _, arglist = spec[:-1].partition("(")
-    kwargs: dict = {}
-    for item in filter(None, (s.strip() for s in arglist.split(","))):
-        key, sep, value = item.partition("=")
-        if not sep or not key.strip():
-            raise ValueError(f"malformed parameter {item!r} in {spec!r}")
-        kwargs[key.strip()] = _parse_value(value.strip())
-    return name.strip(), kwargs
+    warnings.warn(
+        "repro.experiments.sweep.parse_algorithm_spec is deprecated; "
+        "use repro.registry.parse_spec",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return parse_spec(spec)
 
 
-def _parse_value(text: str):
-    lowered = text.lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        return text
-
-
-def _make_run_algorithm(spec: str, topo: XGFT, seed: int) -> RoutingAlgorithm:
-    name, kwargs = parse_algorithm_spec(spec)
-    return make_algorithm(name, topo, seed=seed, **kwargs)
-
-
-# ----------------------------------------------------------------------
-# Pattern registry
-# ----------------------------------------------------------------------
 def resolve_pattern(name: str, num_leaves: int) -> Pattern:
-    """Instantiate a pattern by name for a machine of ``num_leaves``.
+    """Deprecated: use :func:`repro.patterns.registry.resolve_pattern`.
 
-    Application patterns carry their rank count in the name (``wrf-256``,
-    ``cg-128``; bare ``wrf`` / ``cg`` use the paper's sizes) and must fit
-    on the topology.  Synthetic patterns (``shift-1``, ``bit-reversal``,
-    ``bit-complement``, ``transpose``, ``tornado-4``, ``neighbor-1``,
-    ``all-pairs``) scale with the machine.
+    Pattern resolution moved out of the sweep engine into the pattern
+    registry; this shim delegates and warns.
     """
-    key = name.lower().strip()
-    head, _, tail = key.partition("-")
-    if key in ("wrf", "cg") or (head in ("wrf", "cg") and tail.isdigit()):
-        n = int(tail) if tail.isdigit() else (256 if head == "wrf" else 128)
-        pattern = wrf_pattern(n) if head == "wrf" else cg_pattern(n)
-    elif key == "cg-transpose" or (key.startswith("cg-transpose-") and key[13:].isdigit()):
-        n = int(key[13:]) if len(key) > 13 else 128
-        pattern = Pattern.single_phase(
-            cg_transpose_exchange(n), size=CG_PHASE_MESSAGE, name=key, num_ranks=n
-        )
-    elif key == "all-pairs":
-        src, dst = np.divmod(np.arange(num_leaves * num_leaves, dtype=np.int64), num_leaves)
-        keep = src != dst
-        pattern = Pattern.single_phase(
-            zip(src[keep].tolist(), dst[keep].tolist()), name=key, num_ranks=num_leaves
-        )
-    elif head == "shift" and tail.isdigit():
-        pattern = shift(num_leaves, int(tail)).pattern(name=key)
-    elif key == "bit-reversal":
-        pattern = bit_reversal(num_leaves).pattern(name=key)
-    elif key == "bit-complement":
-        pattern = bit_complement(num_leaves).pattern(name=key)
-    elif key == "transpose":
-        side = int(round(num_leaves**0.5))
-        if side * side != num_leaves:
-            raise ValueError(f"transpose needs a square leaf count, got {num_leaves}")
-        pattern = transpose(side, side).pattern(name=key)
-    elif head == "tornado" and tail.isdigit():
-        pattern = tornado_groups(num_leaves, int(tail)).pattern(name=key)
-    elif head == "neighbor" and tail.isdigit():
-        pattern = Pattern.single_phase(
-            neighbor_exchange(num_leaves, int(tail)), name=key, num_ranks=num_leaves
-        )
-    else:
-        raise ValueError(f"unknown pattern {name!r}")
-    if pattern.num_ranks > num_leaves:
-        raise ValueError(
-            f"pattern {name!r} needs {pattern.num_ranks} ranks but the "
-            f"topology only has {num_leaves} leaves"
-        )
-    return pattern
+    warnings.warn(
+        "repro.experiments.sweep.resolve_pattern is deprecated; "
+        "use repro.patterns.registry.resolve_pattern",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _resolve_pattern(name, num_leaves)
 
 
 # ----------------------------------------------------------------------
@@ -340,14 +254,14 @@ def plan_runs(spec: SweepSpec, run_filter: str | None = None) -> tuple[RunSpec, 
     (substring match when it has no wildcards).
     """
     for topo_spec in spec.topologies:
-        topo = parse_xgft(topo_spec)
+        topo = resolve_topology(topo_spec)
         for pattern in spec.patterns:
-            resolve_pattern(pattern, topo.num_leaves)  # validate fit
+            _resolve_pattern(pattern, topo.num_leaves)  # validate fit
     runs: list[RunSpec] = []
     fault_kinds = {faults: parse_fault_spec(faults).kind for faults in spec.faults}
     for topo_spec in spec.topologies:
         for algorithm in spec.algorithms:
-            name, _ = parse_algorithm_spec(algorithm)
+            name, _ = parse_spec(algorithm)
             single = name in SINGLE_SEED_ALGORITHMS
             for seed in range(spec.seeds):
                 for faults in spec.faults:
@@ -362,292 +276,28 @@ def plan_runs(spec: SweepSpec, run_filter: str | None = None) -> tuple[RunSpec, 
 
 
 # ----------------------------------------------------------------------
-# Route-table memoization
-# ----------------------------------------------------------------------
-class RouteTableCache:
-    """All-pairs route tables keyed by ``(topology, algorithm, seed)``.
-
-    Holds one table per oblivious scheme instance; per-pattern tables are
-    row subsets (:func:`subset_table`).  ``builds``/``hits`` feed the
-    artifact's cache section, which the memoization tests assert on.
-    """
-
-    def __init__(self):
-        self._tables: dict[tuple, RouteTable] = {}
-        self._rows: dict[tuple, np.ndarray] = {}
-        self.builds = 0
-        self.hits = 0
-
-    def all_pairs_table(self, key: tuple, algorithm: RoutingAlgorithm) -> RouteTable:
-        table = self._tables.get(key)
-        if table is None:
-            table = self._tables[key] = algorithm.all_pairs_table()
-            self.builds += 1
-        else:
-            self.hits += 1
-        return table
-
-    def row_index(self, key: tuple) -> np.ndarray:
-        """``(n*n,)`` flat-pair -> row lookup for the cached table."""
-        rows = self._rows.get(key)
-        if rows is None:
-            table = self._tables[key]
-            n = table.topo.num_leaves
-            rows = np.full(n * n, -1, dtype=np.int64)
-            rows[table.src * n + table.dst] = np.arange(len(table), dtype=np.int64)
-            self._rows[key] = rows
-        return rows
-
-    def stats(self) -> dict:
-        return {"table_builds": self.builds, "table_hits": self.hits}
-
-
-def subset_table(
-    full: RouteTable, rows: np.ndarray, pairs: Sequence[tuple[int, int]]
-) -> RouteTable:
-    """The rows of an all-pairs table covering ``pairs`` (order kept)."""
-    n = full.topo.num_leaves
-    arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
-    idx = rows[arr[:, 0] * n + arr[:, 1]]
-    if (idx < 0).any():
-        raise ValueError("pair outside the all-pairs table (self-pair?)")
-    return RouteTable(
-        full.topo, full.src[idx], full.dst[idx], full.nca_level[idx], full.ports[idx]
-    )
-
-
-# ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def _phase_pairs(pattern: Pattern) -> list[tuple[list[tuple[int, int]], list[int]]]:
-    """Per-phase (pairs, sizes) with self-flows dropped (they use no links)."""
-    out = []
-    for phase in pattern.phases:
-        kept = [(f.pair, f.size) for f in phase.flows if f.src != f.dst]
-        if kept:
-            out.append(([p for p, _ in kept], [s for _, s in kept]))
-    return out
-
-
 def execute_run(
     run: RunSpec,
     metrics: Sequence[str],
     engine: str = "fluid",
     cache: RouteTableCache | None = None,
-    config: NetworkConfig = PAPER_CONFIG,
+    config=None,
     _crossbar_memo: dict | None = None,
 ) -> dict:
-    """Execute one grid cell and return its artifact record."""
-    t0 = time.perf_counter()
-    topo = parse_xgft(run.topology)
-    pattern = resolve_pattern(run.pattern, topo.num_leaves)
-    algorithm = _make_run_algorithm(run.algorithm, topo, run.seed)
-    cache = cache if cache is not None else RouteTableCache()
+    """Execute one grid cell through the facade and return its record."""
+    from ..sim.config import PAPER_CONFIG
 
-    phases = _phase_pairs(pattern)
-    tables: list[RouteTable] = []
-    if is_oblivious(algorithm):
-        full = cache.all_pairs_table(run.memo_key, algorithm)
-        rows = cache.row_index(run.memo_key)
-        tables = [subset_table(full, rows, pairs) for pairs, _ in phases]
-    else:
-        tables = [algorithm.build_table(pairs) for pairs, _ in phases]
-
-    # degrade-and-repair: faults are realized against the *routed*
-    # traffic (adversarial specs cut the most loaded cables of this very
-    # pattern), the pristine tables become the resilience baseline, and
-    # every downstream metric sees only surviving, repaired flows
-    fault_spec = parse_fault_spec(run.faults)
-    degraded = None
-    fault_info: dict[str, int] = {}
-    baseline_agg = None
-    if fault_spec.kind != "none":
-        # seeded random draws depend only on the fault spec (not the run
-        # seed), so every algorithm and routing seed of a row faces the
-        # *same* degraded fabric; sweep several draws by listing several
-        # specs ("links:rate=0.05,seed=0", "links:rate=0.05,seed=1", ...).
-        # adversarial "worst-links" specs are the deliberate exception:
-        # each cell's adversary watches that cell's own routes, so every
-        # scheme faces *its own* worst case (per-cell fabrics, see
-        # fault_info for what was actually cut)
-        traffic = _concat_all(tables) if tables else None
-        fault_set = fault_spec.realize(topo, table=traffic)
-        degraded = DegradedTopology(topo, fault_set)
-        repairs = [repair_table(t, degraded, seed=run.seed) for t in tables]
-        baseline_agg = _load_aggregate(tables)
-        tables = [r.table for r in repairs]
-        phases = [
-            (
-                [pairs[i] for i in r.surviving_rows()],
-                [sizes[i] for i in r.surviving_rows()],
-            )
-            for (pairs, sizes), r in zip(phases, repairs)
-        ]
-        fault_info = {
-            "failed_cables": degraded.num_failed_cables,
-            "failed_switches": degraded.num_failed_switches,
-            "broken_flows": sum(r.num_broken for r in repairs),
-            "repaired_flows": sum(r.num_repaired for r in repairs),
-            "disconnected_flows": sum(r.num_disconnected for r in repairs),
-            "total_flows": sum(len(r.broken) for r in repairs),
-        }
-
-    values: dict[str, object] = {}
-    # the used-link histogram is always part of the record (phases are
-    # aggregated; idle links are omitted so multi-phase runs don't count
-    # the same idle link once per phase)
-    max_load, mean_load, histogram = _load_aggregate(tables)
-    if "max_link_load" in metrics:
-        values["max_link_load"] = max_load
-    if "mean_link_load" in metrics:
-        values["mean_link_load"] = mean_load
-    if "max_network_contention" in metrics:
-        values["max_network_contention"] = max(
-            (max_network_contention(t) for t in tables), default=0
-        )
-    if "routes_per_nca" in metrics and tables:
-        merged = _concat_all(tables)
-        values["routes_per_nca"] = [int(x) for x in routes_per_nca(merged)]
-    if "disconnected_fraction" in metrics:
-        total = fault_info.get("total_flows", 0)
-        values["disconnected_fraction"] = (
-            fault_info["disconnected_flows"] / total if total else 0.0
-        )
-    if "max_load_inflation" in metrics:
-        values["max_load_inflation"] = (
-            inflation_ratio(max_load, baseline_agg[0]) if baseline_agg else 1.0
-        )
-    if "mean_load_inflation" in metrics:
-        values["mean_load_inflation"] = (
-            inflation_ratio(mean_load, baseline_agg[1]) if baseline_agg else 1.0
-        )
-    if "sim_time" in metrics or "slowdown" in metrics:
-        sim_time = _simulate(
-            run, topo, pattern, algorithm, tables, phases, engine, config, degraded
-        )
-        if "sim_time" in metrics:
-            values["sim_time"] = sim_time
-        if "slowdown" in metrics:
-            if fault_info.get("disconnected_flows", 0) > 0:
-                # lossy scenario: the reference must cover the *same*
-                # surviving flows as the numerator, or losing traffic
-                # would drive slowdown below the 1.0 floor and the
-                # lower-is-better gate would reward disconnection;
-                # flow loss itself is disconnected_fraction's job
-                t_ref = _crossbar_time_of_phases(phases, topo.num_leaves, config)
-                values["slowdown"] = sim_time / t_ref if t_ref > 0 else 1.0
-            else:
-                memo = _crossbar_memo if _crossbar_memo is not None else {}
-                ref_key = (run.pattern, topo.num_leaves, engine)
-                t_ref = memo.get(ref_key)
-                if t_ref is None:
-                    t_ref = memo[ref_key] = _crossbar_reference(
-                        pattern, topo, engine, config
-                    )
-                values["slowdown"] = sim_time / t_ref
-    record = {
-        "topology": run.topology,
-        "pattern": run.pattern,
-        "algorithm": run.algorithm,
-        "seed": run.seed,
-        "faults": run.faults,
-        "metrics": {k: _round(v) for k, v in values.items()},
-        "load_histogram": {str(k): v for k, v in sorted(histogram.items())},
-        "wall_time_s": round(time.perf_counter() - t0, 6),
-    }
-    if fault_info:
-        record["fault_info"] = fault_info
-    return record
-
-
-def _round(value):
-    return round(value, 10) if isinstance(value, float) else value
-
-
-def _concat_all(tables: list[RouteTable]) -> RouteTable:
-    merged = tables[0]
-    for t in tables[1:]:
-        merged = merged.concat(t)
-    return merged
-
-
-def _load_aggregate(tables: list[RouteTable]) -> tuple[int, float, dict[int, int]]:
-    """Across-phase (max_load, mean_load_over_used_links, histogram)."""
-    histogram: dict[int, int] = {}
-    max_load, used_sum, used_links = 0, 0.0, 0
-    for table in tables:
-        summary = link_load_summary(table)
-        max_load = max(max_load, summary.max_load)
-        used_sum += summary.mean_load * summary.num_used_links
-        used_links += summary.num_used_links
-        for load, count in summary.histogram.items():
-            if load > 0:
-                histogram[load] = histogram.get(load, 0) + count
-    return max_load, used_sum / used_links if used_links else 0.0, histogram
-
-
-def _simulate(
-    run, topo, pattern, algorithm, tables, phases, engine, config, degraded=None
-) -> float:
-    if engine == "fluid":
-        return sum(
-            simulate_phase_fluid(table, sizes, config, degraded=degraded).duration
-            for table, (_, sizes) in zip(tables, phases)
-        )
-    from ..dimemas import pattern_trace, replay_on_xgft
-
-    if degraded is not None:
-        # replay cannot drop flows: an MPI trace with a disconnected pair
-        # would simply deadlock, so reject early with a diagnostic
-        routed = sum(len(t) for t in tables)
-        offered = sum(len(p) for p, _ in _phase_pairs(pattern))
-        if routed < offered:
-            raise ValueError(
-                f"{run.run_id}: {offered - routed} flow(s) disconnected by "
-                f"{run.faults!r}; the replay engine cannot drop flows — use "
-                "the fluid engine for lossy fault scenarios"
-            )
-        algorithm = RepairedRouting(algorithm, degraded, seed=run.seed)
-    algorithm.prepare(sorted({(s, d) for s, d in pattern.pairs() if s != d}))
-    return replay_on_xgft(pattern_trace(pattern), topo, algorithm, config).total_time
-
-
-def _crossbar_time_of_phases(
-    phases: list[tuple[list[tuple[int, int]], list[int]]],
-    num_leaves: int,
-    config: NetworkConfig,
-) -> float:
-    """Full-Crossbar time of explicit per-phase (pairs, sizes) lists.
-
-    The lossy-fault slowdown reference: unlike
-    :func:`_crossbar_reference` it times exactly the flows given (the
-    survivors), not the whole pattern.
-    """
-    from ..sim.fluid import FluidSimulator
-    from ..sim.network import crossbar_link_space
-
-    total = 0.0
-    for pairs, sizes in phases:
-        if not pairs:
-            continue
-        space = crossbar_link_space(num_leaves)
-        sim = FluidSimulator(space.num_links, config.link_bandwidth)
-        for fid, ((src, dst), size) in enumerate(zip(pairs, sizes)):
-            sim.add_flow(fid, [space.injection(src), space.ejection(dst)], float(size))
-        total += sim.run_until_idle()
-    return total
-
-
-def _crossbar_reference(pattern, topo, engine, config) -> float:
-    if engine == "fluid":
-        t_ref = crossbar_pattern_time(pattern, topo.num_leaves, config)
-    else:
-        from ..dimemas import pattern_trace, replay_on_crossbar
-
-        t_ref = replay_on_crossbar(pattern_trace(pattern), topo.num_leaves, config).total_time
-    if t_ref <= 0:
-        raise ValueError("crossbar reference time must be positive (empty pattern?)")
-    return t_ref
+    result = evaluate_scenario(
+        run.scenario(),
+        metrics=metrics,
+        engine=engine,
+        config=config if config is not None else PAPER_CONFIG,
+        cache=cache,
+        crossbar_memo=_crossbar_memo,
+    )
+    return result.to_record()
 
 
 # ----------------------------------------------------------------------
@@ -886,7 +536,7 @@ def sweep_to_figure(result: SweepResult):
     from .figures import FigureSweep, SweepSeries
     from .stats import box_stats
 
-    w2_of = {spec: parse_xgft(spec).w[-1] for spec in result.spec.topologies}
+    w2_of = {spec: resolve_topology(spec).w[-1] for spec in result.spec.topologies}
     samples: dict[str, dict[int, list[float]]] = {}
     for record in result.runs:
         w2 = w2_of[record["topology"]]
@@ -895,7 +545,7 @@ def sweep_to_figure(result: SweepResult):
         )
     series = []
     for algorithm in result.spec.algorithms:
-        name, _ = parse_algorithm_spec(algorithm)
+        name, _ = parse_spec(algorithm)
         single = name in SINGLE_SEED_ALGORITHMS
         per_w2 = samples.get(algorithm, {})
         values = {

@@ -187,6 +187,9 @@ class RepairedRouting(RoutingAlgorithm):
     Routes of ``base`` that survive the degradation are returned
     unchanged; broken ones are repaired per the chosen policy (module
     docstring).  Disconnected pairs raise :class:`UnreachablePairError`.
+    ``base`` accepts a live algorithm or a registry spec string
+    (``"d-mod-k"``, ``"r-nca-d(map_kind=mod)"``), instantiated on the
+    degraded fabric's underlying topology with ``seed``.
 
     The wrapper stays oblivious iff ``base`` is: the pattern hook is
     delegated only when ``base`` overrides it (as an instance attribute,
@@ -197,11 +200,15 @@ class RepairedRouting(RoutingAlgorithm):
 
     def __init__(
         self,
-        base: RoutingAlgorithm,
+        base: RoutingAlgorithm | str,
         degraded: DegradedTopology,
         seed: int = 0,
         policy: str = "rerandomize",
     ):
+        if isinstance(base, str):
+            from ..core.factory import make_algorithm
+
+            base = make_algorithm(base, degraded.topo, seed=seed)
         if degraded.topo != base.topo:
             raise ValueError("degraded topology does not match the base algorithm")
         if policy not in REPAIR_POLICIES:
@@ -285,12 +292,14 @@ class RepairedRouting(RoutingAlgorithm):
 
 
 def export_repaired_lfts(
-    base: RoutingAlgorithm,
+    base: RoutingAlgorithm | str,
     degraded: DegradedTopology,
     seed: int = 0,
 ):
     """Re-export per-switch LFTs for a repaired destination-deterministic scheme.
 
+    ``base`` accepts a live algorithm or a registry spec string (see
+    :class:`RepairedRouting`).
     Repairs ``base`` with the ``greedy-dst`` policy and materializes the
     surviving routes as linear forwarding tables via
     :func:`repro.core.forwarding.build_forwarding_tables`.  Pairs the

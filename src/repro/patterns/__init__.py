@@ -25,12 +25,17 @@ from .generators import (
     uniform_random_pairs,
 )
 from .permutations import Permutation
+from .registry import PATTERNS, available_patterns, register_pattern, resolve_pattern
 
 __all__ = [
     "Flow",
     "Phase",
     "Pattern",
     "Permutation",
+    "PATTERNS",
+    "register_pattern",
+    "resolve_pattern",
+    "available_patterns",
     "shift",
     "transpose",
     "bit_reversal",

@@ -1,0 +1,220 @@
+"""The unified component registry and its shared spec DSL.
+
+Every pluggable component family in the package — routing algorithms
+(:data:`repro.core.factory.ALGORITHMS`), traffic patterns
+(:data:`repro.patterns.registry.PATTERNS`), topology families
+(:data:`repro.topology.registry.TOPOLOGIES`) and evaluation metrics
+(:data:`repro.metrics.METRICS`) — is a :class:`Registry`: a named map
+from component names to builders, extended by registration instead of
+by editing engine internals.  Räcke & Schmid's *Compact Oblivious
+Routing* frames an oblivious scheme as a reusable, pattern-independent
+artifact; the registries make every such artifact (and everything it is
+evaluated against) addressable by name.
+
+All registries share one textual **spec DSL**::
+
+    name                    a bare component name
+    name(key=value, ...)    a parameterized component
+
+``value`` parses as ``int`` when possible, then ``float``;
+``true``/``false`` parse as ``bool``; anything else stays a string.
+:func:`parse_spec` and :func:`format_spec` are exact inverses on
+canonical specs (``parse_spec(format_spec(n, kw)) == (n, kw)``), which
+is what lets run identities round-trip through JSON artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+__all__ = [
+    "Registry",
+    "parse_spec",
+    "format_spec",
+    "canonical_spec",
+]
+
+T = TypeVar("T")
+
+_MISSING = object()
+
+
+class Registry(Generic[T]):
+    """A named component registry with decorator registration.
+
+    ``kind`` is the human-readable component family name used in every
+    diagnostic (``"unknown algorithm 'dijkstra'; available: ..."``).
+    Registration collisions raise unless ``override=True`` is passed —
+    overriding is deliberate (e.g. a study swapping a builder), never
+    an accident.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._items: dict[str, T] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(
+        self, name: str, obj: T = _MISSING, *, override: bool = False
+    ) -> T | Callable[[T], T]:
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        ::
+
+            @PATTERNS.register("shift")
+            def build_shift(num_leaves, d=1): ...
+
+            ALGORITHMS.register("s-mod-k", builder)
+        """
+        if obj is _MISSING:
+
+            def decorator(target: T) -> T:
+                self.register(name, target, override=override)
+                return target
+
+            return decorator
+        if not name or not isinstance(name, str):
+            raise ValueError(f"a {self.kind} name must be a non-empty string")
+        if name in self._items and not override:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered "
+                "(pass override=True to replace it)"
+            )
+        self._items[name] = obj
+        return obj
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (missing names raise ``ValueError``)."""
+        try:
+            del self._items[name]
+        except KeyError:
+            raise ValueError(f"{self.kind} {name!r} is not registered") from None
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, name: str) -> T:
+        """The registered component, or ``ValueError`` naming the options."""
+        try:
+            return self._items[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, sorted."""
+        return tuple(sorted(self._items))
+
+    def build(self, spec: str, *args, **extra) -> object:
+        """Parse ``spec`` and call its builder: ``builder(*args, **kwargs, **extra)``.
+
+        Spec parameters and ``extra`` must not collide — a duplicate
+        keyword is a caller error, not something to silently resolve.
+        """
+        name, kwargs = parse_spec(spec)
+        clash = sorted(set(kwargs) & set(extra))
+        if clash:
+            raise ValueError(
+                f"parameter(s) {', '.join(clash)} of {spec!r} collide with "
+                "caller-supplied keyword(s)"
+            )
+        return self.get(name)(*args, **kwargs, **extra)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._items
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._items))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {len(self)} entries)"
+
+
+# ----------------------------------------------------------------------
+# The shared spec DSL
+# ----------------------------------------------------------------------
+def parse_spec(spec: str) -> tuple[str, dict]:
+    """Split ``"name(key=value,...)"`` into ``(name, kwargs)``.
+
+    The one spec parser behind every registry (algorithms, patterns,
+    topology families, metrics).  Bare names parse to ``(name, {})``.
+    Values parse as int when possible, then float; ``true``/``false``
+    become bool; anything else stays a string.
+    """
+    spec = spec.strip()
+    if "(" not in spec:
+        if not spec:
+            raise ValueError("empty component spec")
+        return spec, {}
+    if not spec.endswith(")"):
+        raise ValueError(f"malformed spec {spec!r} (missing closing parenthesis)")
+    name, _, arglist = spec[:-1].partition("(")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"malformed spec {spec!r} (missing component name)")
+    kwargs: dict = {}
+    for item in filter(None, (s.strip() for s in arglist.split(","))):
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip():
+            raise ValueError(f"malformed parameter {item!r} in {spec!r}")
+        kwargs[key.strip()] = _parse_value(value.strip())
+    return name, kwargs
+
+
+def _parse_value(text: str):
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _format_value(key: str, value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)  # repr round-trips floats exactly
+    if isinstance(value, str):
+        text = value.strip()
+        if text != value or not text:
+            raise ValueError(f"string value {value!r} for {key!r} is not spec-safe")
+        if any(c in text for c in "(),=") or any(c.isspace() for c in text):
+            raise ValueError(f"string value {value!r} for {key!r} is not spec-safe")
+        if _parse_value(text) != text:
+            raise ValueError(
+                f"string value {value!r} for {key!r} would re-parse as "
+                f"{type(_parse_value(text)).__name__}"
+            )
+        return text
+    raise ValueError(f"unsupported spec value type {type(value).__name__} for {key!r}")
+
+
+def format_spec(name: str, kwargs: dict | None = None) -> str:
+    """The canonical spec string for ``(name, kwargs)``.
+
+    Parameters are emitted in sorted key order, so equal components
+    always format identically; :func:`parse_spec` inverts the result
+    exactly.
+    """
+    name = name.strip()
+    if not name or any(c in name for c in "(),=") or any(c.isspace() for c in name):
+        raise ValueError(f"component name {name!r} is not spec-safe")
+    if not kwargs:
+        return name
+    args = ",".join(f"{k}={_format_value(k, kwargs[k])}" for k in sorted(kwargs))
+    return f"{name}({args})"
+
+
+def canonical_spec(spec: str) -> str:
+    """Normalize a spec string (``parse_spec`` then :func:`format_spec`)."""
+    return format_spec(*parse_spec(spec))

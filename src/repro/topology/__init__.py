@@ -29,11 +29,21 @@ from .properties import (
     level_summary,
     total_ports,
 )
+from .registry import (
+    TOPOLOGIES,
+    available_topologies,
+    register_topology,
+    resolve_topology,
+)
 from .xgft import XGFT, parse_xgft
 
 __all__ = [
     "XGFT",
     "parse_xgft",
+    "TOPOLOGIES",
+    "register_topology",
+    "resolve_topology",
+    "available_topologies",
     "MixedRadix",
     "digits_to_int",
     "int_to_digits",

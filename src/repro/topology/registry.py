@@ -1,0 +1,64 @@
+"""The topology registry: named XGFT families plus raw specs.
+
+Three spellings resolve to a live :class:`~repro.topology.xgft.XGFT`:
+
+* the paper's raw spec, ``"XGFT(2;16,16;1,8)"`` (and the compact
+  ``"xgft:2;16,16;1,8"`` form, convenient where parentheses are
+  awkward — shells, URLs, run ids);
+* a registered family name with spec-DSL parameters, e.g.
+  ``"kary-ntree(k=4,n=2)"`` or ``"slimmed-two-level(w2=10)"`` — the
+  named sub-families of :mod:`repro.topology.families`;
+* a live :class:`XGFT` instance (returned as-is).
+
+New families register like any other component::
+
+    @register_topology("my-family")
+    def build(k=4):
+        return XGFT((k, k), (1, k // 2))
+"""
+
+from __future__ import annotations
+
+from ..registry import Registry, parse_spec
+from .families import kary_ntree, mary_complete_tree, slimmed_two_level
+from .xgft import XGFT, parse_xgft
+
+__all__ = [
+    "TOPOLOGIES",
+    "register_topology",
+    "resolve_topology",
+    "available_topologies",
+]
+
+#: the topology-family registry: name -> ``builder(**params) -> XGFT``
+TOPOLOGIES: Registry = Registry("topology family")
+
+
+def register_topology(name: str, *, override: bool = False):
+    """Decorator registering ``builder(**params) -> XGFT``."""
+    return TOPOLOGIES.register(name, override=override)
+
+
+def available_topologies() -> tuple[str, ...]:
+    """Registered family names."""
+    return TOPOLOGIES.names()
+
+
+TOPOLOGIES.register("kary-ntree", kary_ntree)
+TOPOLOGIES.register("mary-complete-tree", mary_complete_tree)
+TOPOLOGIES.register("slimmed-two-level", slimmed_two_level)
+
+
+def resolve_topology(spec: str | XGFT) -> XGFT:
+    """Resolve a topology spec (string or live instance) to an :class:`XGFT`."""
+    if isinstance(spec, XGFT):
+        return spec
+    text = str(spec).strip()
+    lowered = text.lower()
+    if lowered.startswith("xgft("):
+        return parse_xgft(text)
+    if lowered.startswith("xgft:"):
+        return parse_xgft(f"XGFT({text[5:]})")
+    name, kwargs = parse_spec(text)
+    builder = TOPOLOGIES.get(name)
+    return builder(**kwargs)

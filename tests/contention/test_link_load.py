@@ -70,3 +70,41 @@ class TestUnweightedEdgeCases:
     def test_histogram_and_busiest_on_empty(self, topo):
         assert load_histogram(empty_table(topo)) == {0: topo.num_directed_links}
         assert busiest_links(empty_table(topo)) == []
+
+
+class TestBusiestLinksOrdering:
+    def test_ties_break_by_ascending_link_index(self, topo):
+        """Regression: np.argsort(counts)[::-1] ordered tied counts by
+        *reversed* memory position, so equally loaded links came out in
+        descending index order and the cut-off at ``top`` picked an
+        arbitrary subset of a tie class.  The census of any permutation
+        is all-ties (every used link carries exactly one flow)."""
+        alg = make_algorithm("d-mod-k", topo)
+        table = alg.build_table([(i, (i + 4) % 16) for i in range(16)])
+        counts = link_flow_counts(table)
+        used = np.nonzero(counts)[0]
+        assert len(set(counts[used])) == 1  # all-ties census
+        top = busiest_links(table, top=len(used))
+        assert [idx for _, idx, _ in top] == sorted(int(i) for i in used)
+
+    def test_mixed_loads_sort_by_count_then_index(self, topo):
+        alg = make_algorithm("d-mod-k", topo)
+        # two cross-switch flows share dst 8's down-path; one is alone
+        table = alg.build_table([(0, 8), (1, 8), (2, 12)])
+        counts = link_flow_counts(table)
+        expected = sorted(
+            (int(i) for i in np.nonzero(counts)[0]),
+            key=lambda i: (-counts[i], i),
+        )
+        got = busiest_links(table, top=len(expected))
+        assert [idx for _, idx, _ in got] == expected
+        # counts are non-increasing and each entry is consistent
+        loads = [c for c, _, _ in got]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_top_truncates_after_deterministic_sort(self, topo):
+        alg = make_algorithm("d-mod-k", topo)
+        table = alg.build_table([(i, (i + 4) % 16) for i in range(16)])
+        counts = link_flow_counts(table)
+        used = sorted(int(i) for i in np.nonzero(counts)[0])
+        assert [idx for _, idx, _ in busiest_links(table, top=3)] == used[:3]

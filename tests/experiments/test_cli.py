@@ -3,16 +3,43 @@
 from __future__ import annotations
 
 import json
+import subprocess
+import sys
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, package_version
 
 
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {package_version()}"
+
+    def test_python_dash_m_entry_point(self):
+        import os
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.startswith("repro ")
 
     def test_fig2_args(self):
         args = build_parser().parse_args(["fig2", "--app", "cg", "--w2", "16", "8"])
@@ -60,6 +87,31 @@ class TestCommands:
     def test_bad_topology_spec(self):
         with pytest.raises(ValueError):
             main(["info", "--topology", "not-a-spec"])
+
+    def test_eval_compares_algorithms(self, capsys):
+        assert main([
+            "eval",
+            "--topology", "xgft:2;4,4;1,2",
+            "--pattern", "bit-reversal",
+            "--algorithms", "d-mod-k", "s-mod-k",
+            "--metrics", "max_link_load", "max_network_contention",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "d-mod-k" in out and "s-mod-k" in out
+        assert "max_link_load" in out
+
+    def test_eval_with_faults_and_registry_specs(self, capsys):
+        assert main([
+            "eval",
+            "--topology", "slimmed-two-level(m1=4,m2=4,w2=2)",
+            "--pattern", "shift(d=1)",
+            "--algorithms", "d-mod-k",
+            "--faults", "links:count=1",
+            "--metrics", "max_link_load", "disconnected_fraction",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "+links:count=1" in out
+        assert "disconnected_fraction" in out
 
 
 SWEEP_ARGS = [

@@ -42,6 +42,15 @@ class TestApplicationPatterns:
         with pytest.raises(ValueError):
             application_pattern("linpack")
 
+    def test_paper_spellings_reach_the_figure_grid(self):
+        """Regression: the Scenario-driven _sweep must keep accepting the
+        paper's 'cg.d' spellings, not just registry pattern specs."""
+        from repro.experiments import fig2
+
+        sweep = fig2("cg.d", w2_values=(16,), seeds=1)
+        assert sweep.application == "cg.d"
+        assert sweep.series_by_name("d-mod-k").values[16] >= 1.0
+
 
 class TestFig2Shapes:
     @pytest.fixture(scope="class")

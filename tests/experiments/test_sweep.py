@@ -18,15 +18,15 @@ from repro.experiments import (
     execute_run,
     figure_grid_spec,
     load_artifact,
-    parse_algorithm_spec,
     plan_runs,
-    resolve_pattern,
     run_sweep,
     sweep_compare,
     sweep_to_figure,
     write_artifact,
 )
 from repro.experiments.sweep import subset_table
+from repro.patterns.registry import resolve_pattern
+from repro.registry import parse_spec
 from repro.topology import parse_xgft
 
 SMALL_SPEC = SweepSpec(
@@ -72,16 +72,16 @@ class TestSpec:
 
 class TestAlgorithmSpec:
     def test_plain_name(self):
-        assert parse_algorithm_spec("r-nca-d") == ("r-nca-d", {})
+        assert parse_spec("r-nca-d") == ("r-nca-d", {})
 
     def test_parameters(self):
-        name, kwargs = parse_algorithm_spec("r-nca-d(map_kind=mod, k=8, fast=true)")
+        name, kwargs = parse_spec("r-nca-d(map_kind=mod, k=8, fast=true)")
         assert name == "r-nca-d"
         assert kwargs == {"map_kind": "mod", "k": 8, "fast": True}
 
     def test_malformed(self):
         with pytest.raises(ValueError):
-            parse_algorithm_spec("r-nca-d(map_kind)")
+            parse_spec("r-nca-d(map_kind)")
 
 
 class TestPatterns:

@@ -156,3 +156,34 @@ class TestGreedyDstPolicy:
         assert all(0 in (s, d) for s, d, _ in skipped)
         # the surviving pairs still walk correctly
         assert tables.walk(4, 9)[-1] == (0, 9)
+
+
+class TestRegistrySpecAcceptance:
+    """The facade rewiring: repair entry points accept algorithm specs."""
+
+    def test_repaired_routing_from_spec_string(self, topo, deg):
+        def outcome(wrapper, src, dst):
+            try:
+                return wrapper.up_ports(src, dst)
+            except UnreachablePairError as exc:
+                return ("unreachable", exc.reason)
+
+        from_spec = RepairedRouting("d-mod-k", deg, seed=4)
+        from_instance = RepairedRouting(make_algorithm("d-mod-k", topo), deg, seed=4)
+        assert from_spec.base.name == "d-mod-k"
+        for src in range(0, topo.num_leaves, 3):
+            for dst in range(topo.num_leaves):
+                if src != dst:
+                    assert outcome(from_spec, src, dst) == outcome(from_instance, src, dst)
+
+    def test_parameterized_spec_string(self, topo, deg):
+        wrapper = RepairedRouting("r-nca-d(map_kind=mod)", deg, seed=2)
+        assert wrapper.base.map_kind == "mod"
+        assert is_oblivious(wrapper)
+
+    def test_export_repaired_lfts_from_spec(self, topo):
+        deg = DegradedTopology(topo, random_switch_faults(topo, count=1, seed=1, level=2))
+        by_spec, skipped_a = export_repaired_lfts("d-mod-k", deg)
+        by_obj, skipped_b = export_repaired_lfts(make_algorithm("d-mod-k", topo), deg)
+        assert skipped_a == skipped_b == ()
+        assert by_spec.walk(0, 9) == by_obj.walk(0, 9)
