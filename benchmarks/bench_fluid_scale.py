@@ -1,0 +1,72 @@
+"""Fluid-engine scaling benchmark (the reduced grid of ``repro scale``).
+
+Runs the smoke preset of :mod:`repro.experiments.scale` under
+pytest-benchmark timing, asserts the vectorized engine's speedup and
+the scalar/vectorized equivalence, and records the rendered curve to
+``benchmarks/results/``.  The committed repository-root
+``BENCH_fluid.json`` holds the *full* preset (10k+ flows, frontier
+topologies); refresh it with ``repro scale --preset full -o
+BENCH_fluid.json`` — see ``docs/performance.md``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE_PRESET`` — ``smoke`` (default) or ``full``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.experiments.scale import (
+    check_agreement,
+    format_scale_results,
+    run_scale,
+    scale_workload,
+)
+from repro.sim.config import PAPER_CONFIG
+from repro.sim.engines import make_fluid_simulator
+from repro.sim.network import flow_incidence, xgft_link_space
+from repro.topology.registry import resolve_topology
+
+
+def _preset() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE_PRESET", "smoke")
+
+
+def test_scale_grid_agreement_and_speedup(record_result):
+    """The reduced scaling curve: equivalence plus a wall-time win."""
+    data = run_scale(preset=_preset())
+    problems = check_agreement(data)
+    assert not problems, "\n".join(problems)
+    assert data["speedups"], "no scalar/vectorized pairs ran"
+    for pair in data["speedups"]:
+        assert pair["speedup"] > 1.0, (
+            f"vectorized engine slower than scalar at {pair['topology']} "
+            f"@ {pair['flows']} {pair['sizes']} flows"
+        )
+    # the largest paired cell is where vectorization pays; smoke caps at
+    # 1000 flows where the win is already severalfold
+    biggest = max(data["speedups"], key=lambda p: p["flows"])
+    assert biggest["speedup"] > 2.0
+    record_result("fluid_scale", format_scale_results(data))
+
+
+def test_vectorized_phase_wall_time(benchmark):
+    """pytest-benchmark timing of one vectorized 4000-flow phase."""
+    topo = resolve_topology("XGFT(2;8,8;1,4)")
+    table, sizes = scale_workload(topo, 4000, sizes="uniform")
+    space = xgft_link_space(table.topo)
+    coo_flow, coo_link = flow_incidence(table, space)
+    ids = np.arange(len(table), dtype=np.int64)
+
+    def run():
+        sim = make_fluid_simulator(
+            "fluid-vec", space.num_links, PAPER_CONFIG.link_bandwidth
+        )
+        sim.add_flows(ids, sizes, coo_flow, coo_link)
+        return sim.run_until_idle()
+
+    duration = benchmark(run)
+    assert duration > 0

@@ -52,6 +52,7 @@ from .metrics import (
 from .patterns.base import Pattern
 from .patterns.registry import resolve_pattern
 from .sim.config import PAPER_CONFIG, NetworkConfig
+from .sim.engines import DEFAULT_ENGINE, resolve_engine
 from .topology.registry import resolve_topology
 from .topology.xgft import XGFT
 
@@ -319,13 +320,14 @@ class Scenario:
     def evaluate(
         self,
         metrics: Sequence[str] | None = None,
-        engine: str = "fluid",
+        engine: str = DEFAULT_ENGINE,
         config: NetworkConfig = PAPER_CONFIG,
     ) -> "ScenarioResult":
         """Route, degrade-and-repair, simulate, measure.
 
         ``metrics`` defaults to :data:`repro.metrics.DEFAULT_METRICS`;
-        any registered metric name is accepted.
+        any registered metric name is accepted.  ``engine`` names a
+        registered backend (:data:`repro.sim.engines.ENGINES`).
         """
         return evaluate_scenario(
             self,
@@ -384,7 +386,7 @@ def _round(value):
 def evaluate_scenario(
     scenario: Scenario,
     metrics: Sequence[str] | None = None,
-    engine: str = "fluid",
+    engine: str = DEFAULT_ENGINE,
     config: NetworkConfig = PAPER_CONFIG,
     cache: RouteTableCache | None = None,
     crossbar_memo: dict | None = None,
@@ -398,8 +400,7 @@ def evaluate_scenario(
     :class:`repro.metrics.EvalContext`.
     """
     t0 = time.perf_counter()
-    if engine not in ("fluid", "replay"):
-        raise ValueError(f"unknown engine {engine!r} (expected fluid or replay)")
+    resolve_engine(engine)  # fail fast on unknown engine names
     metric_fns = resolve_metrics(tuple(metrics) if metrics is not None else DEFAULT_METRICS)
     topo = scenario.topo
     pattern = scenario.traffic
@@ -540,7 +541,7 @@ def _format_cell(value) -> str:
 def compare(
     scenarios: Sequence[Scenario],
     metrics: Sequence[str] | None = None,
-    engine: str = "fluid",
+    engine: str = DEFAULT_ENGINE,
     config: NetworkConfig = PAPER_CONFIG,
 ) -> Comparison:
     """Evaluate scenarios with shared caches and tabulate the metrics.

@@ -17,6 +17,8 @@
     repro sweep --faults none "links:rate=0.05" --patterns shift-1
     repro compare baseline.json current.json --tolerance 0.1
     repro faults --topology "XGFT(3;4,4,4;1,4,2)" --rates 0 0.01 0.05
+    repro scale --preset smoke --check
+    repro scale --preset full -o BENCH_fluid.json
 
 ``eval`` evaluates single :class:`repro.api.Scenario` s and prints a
 cross-algorithm comparison table; every axis is a registry spec string
@@ -40,6 +42,7 @@ from typing import Sequence
 from . import experiments
 from .api import Scenario, compare
 from .metrics import available_metrics
+from .sim.engines import DEFAULT_ENGINE, available_engines, fluid_engine_names
 from .topology import ascii_art, cost_summary, parse_xgft, slimmed_two_level
 
 __all__ = ["main", "build_parser", "package_version"]
@@ -85,7 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--seeds", type=int, default=default_seeds, help="seeds per randomized algorithm"
         )
-        p.add_argument("--engine", choices=("fluid", "replay"), default="fluid")
+        p.add_argument("--engine", choices=available_engines(), default=DEFAULT_ENGINE)
 
     add_sweep_args(sub.add_parser("fig2", help="Fig. 2: classic oblivious schemes"), 5)
     add_sweep_args(sub.add_parser("fig5", help="Fig. 5: + r-NCA-u / r-NCA-d"), 40)
@@ -131,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument(
         "--metrics", nargs="+", default=None, help="registered metric names"
     )
-    pv.add_argument("--engine", choices=("fluid", "replay"), default="fluid")
+    pv.add_argument("--engine", choices=available_engines(), default=DEFAULT_ENGINE)
 
     ps = sub.add_parser(
         "sweep",
@@ -170,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault scenarios per run ('none', 'links:rate=0.05', "
         "'switches:count=1', 'worst-links:count=4')",
     )
-    ps.add_argument("--engine", choices=("fluid", "replay"), default=None)
+    ps.add_argument("--engine", choices=available_engines(), default=None)
     ps.add_argument(
         "--jobs",
         "-j",
@@ -240,10 +243,60 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="routing/repair seeds per algorithm (the fault draw is fixed per rate)",
     )
-    pff.add_argument("--engine", choices=("fluid", "replay"), default="fluid")
+    pff.add_argument("--engine", choices=available_engines(), default=DEFAULT_ENGINE)
     pff.add_argument("--jobs", "-j", type=int, default=1)
     pff.add_argument(
         "--output", "-o", type=Path, default=None, help="also write the sweep artifact JSON"
+    )
+
+    psc = sub.add_parser(
+        "scale",
+        help="fluid-engine scaling benchmark: scalar vs vectorized wall "
+        "time over a (topology x flow-count) grid, with an equivalence check",
+    )
+    psc.add_argument(
+        "--preset",
+        choices=tuple(experiments.PRESETS),
+        default="smoke",
+        help="grid preset: 'smoke' (CI, seconds) or 'full' (the committed "
+        "BENCH_fluid.json trajectory)",
+    )
+    psc.add_argument(
+        "--topologies", nargs="+", default=None, metavar="XGFT", help="override the preset grid"
+    )
+    psc.add_argument(
+        "--flows", type=int, nargs="+", default=None, help="concurrent flow counts to sweep"
+    )
+    psc.add_argument(
+        "--sizes",
+        nargs="+",
+        default=None,
+        choices=("uniform", "mixed"),
+        help="message-size modes: uniform (phase-like batch completions) "
+        "and/or mixed (every completion distinct)",
+    )
+    psc.add_argument(
+        "--engines",
+        nargs="+",
+        default=None,
+        choices=fluid_engine_names(),
+        help="fluid backends to time (default: all registered)",
+    )
+    psc.add_argument(
+        "--scalar-cap",
+        type=int,
+        default=None,
+        help="largest flow count the scalar engine is asked to run",
+    )
+    psc.add_argument("--repeats", type=int, default=None, help="best-of-N wall timing")
+    psc.add_argument("--seed", type=int, default=0)
+    psc.add_argument(
+        "--check",
+        action="store_true",
+        help="nonzero exit if scalar and vectorized sim times disagree",
+    )
+    psc.add_argument(
+        "--output", "-o", type=Path, default=None, help="write the BENCH_fluid JSON document"
     )
     return parser
 
@@ -345,6 +398,41 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    data = experiments.run_scale(
+        topologies=args.topologies,
+        flow_counts=args.flows,
+        size_modes=args.sizes,
+        engines=args.engines,
+        preset=args.preset,
+        scalar_cap=args.scalar_cap,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(experiments.format_scale_results(data))
+    if args.output is not None:
+        path = experiments.write_bench(data, args.output)
+        print(f"\nbench document written to {path}")
+    if args.check:
+        if not data["speedups"]:
+            # an empty pairing means the gate compared nothing — e.g.
+            # every scalar row fell past the cap; that must not pass
+            print(
+                "CHECK INEFFECTIVE: no scalar/vectorized row pair ran — "
+                "raise --scalar-cap or lower --flows so both engines share "
+                "at least one grid cell",
+                file=sys.stderr,
+            )
+            return 1
+        problems = experiments.check_agreement(data)
+        if problems:
+            for problem in problems:
+                print(f"DISAGREEMENT: {problem}", file=sys.stderr)
+            return 1
+        print("scalar and vectorized engines agree on every paired grid cell")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     comparison = experiments.sweep_compare(
         experiments.load_artifact(args.baseline),
@@ -386,6 +474,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     elif args.command == "faults":
         return _cmd_faults(args)
+    elif args.command == "scale":
+        return _cmd_scale(args)
     elif args.command == "compare":
         return _cmd_compare(args)
     else:  # pragma: no cover - argparse enforces choices

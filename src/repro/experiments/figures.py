@@ -34,6 +34,7 @@ from ..patterns.base import Pattern
 from ..patterns.permutations import Permutation
 from ..patterns.registry import resolve_pattern
 from ..sim.config import NetworkConfig, PAPER_CONFIG
+from ..sim.engines import DEFAULT_ENGINE
 from ..topology import XGFT, level_summary, slimmed_two_level
 from .stats import BoxStats, box_stats
 
@@ -149,7 +150,7 @@ def fig2(
     w2_values: Sequence[int] | None = None,
     seeds: int = 5,
     config: NetworkConfig = PAPER_CONFIG,
-    engine: str = "fluid",
+    engine: str = DEFAULT_ENGINE,
 ) -> FigureSweep:
     """Fig. 2: slowdown of Random / S-mod-k / D-mod-k / Colored vs w2.
 
@@ -169,7 +170,7 @@ def fig5(
     w2_values: Sequence[int] | None = None,
     seeds: int = 40,
     config: NetworkConfig = PAPER_CONFIG,
-    engine: str = "fluid",
+    engine: str = DEFAULT_ENGINE,
 ) -> FigureSweep:
     """Fig. 5: Fig. 2's algorithms plus r-NCA-u and r-NCA-d (boxplots).
 

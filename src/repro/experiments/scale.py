@@ -1,0 +1,355 @@
+"""The fluid-engine scaling benchmark (``repro scale`` / ``BENCH_fluid.json``).
+
+Times the registered fluid backends — the scalar ``fluid`` reference
+and the vectorized ``fluid-vec`` default — on one contended
+bulk-synchronous phase of ``N`` uniformly random flows over an XGFT,
+across a (topology × flow-count) grid.  The committed
+``BENCH_fluid.json`` at the repository root is the perf trajectory the
+ROADMAP's "fast as the hardware allows" north star is measured against;
+``benchmarks/bench_fluid_scale.py`` runs a reduced grid of the same
+harness under pytest, and CI regenerates that reduced grid on every
+push (agreement-checked, artifact uploaded).
+
+Beyond wall time, every scalar/vectorized row pair is an *equivalence
+check*: the max-min allocation is unique, so the two engines must
+agree on the simulated phase time to float precision
+(:func:`check_agreement`), and the grid extends past the scalar
+engine's feasibility horizon (``scalar_cap``) into vectorized-only
+territory — the configurations the paper's evaluation could not reach.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..core.factory import make_algorithm
+from ..patterns.generators import uniform_random_pairs
+from ..sim.config import PAPER_CONFIG, NetworkConfig
+from ..sim.engines import fluid_engine_names, make_fluid_simulator, resolve_engine
+from ..sim.network import flow_incidence, xgft_link_space
+from ..topology.registry import resolve_topology
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "PRESETS",
+    "check_agreement",
+    "format_scale_results",
+    "load_bench",
+    "run_scale",
+    "scale_workload",
+    "write_bench",
+]
+
+#: version stamp of the BENCH_fluid.json layout
+BENCH_SCHEMA_VERSION = 1
+
+#: the two workload shapes: ``uniform`` message sizes are the sweep
+#: production case (a pattern phase sends equal-size messages, so flows
+#: complete in large batches — few recomputes); ``mixed`` sizes make
+#: every completion distinct — the recompute-per-event worst case
+SIZE_MODES = ("uniform", "mixed")
+
+#: named grids: ``smoke`` is the CI job (seconds); ``full`` is the
+#: committed ``BENCH_fluid.json`` trajectory (minutes — the scalar rows
+#: at 10k+ flows dominate, which is exactly the point).  Each case is a
+#: (topology x flow-count x size-mode) block; ``scalar_caps`` bounds the
+#: flow count the scalar engine is asked to run per size mode (its
+#: per-completion recompute makes mixed sizes brutally slower).
+PRESETS: dict[str, dict] = {
+    "smoke": {
+        "cases": (
+            {
+                "topology": "XGFT(2;8,8;1,4)",
+                "flows": (200, 1000),
+                "sizes": ("uniform", "mixed"),
+            },
+        ),
+        "scalar_caps": {"uniform": 1000, "mixed": 1000},
+        "repeats": 1,
+    },
+    "full": {
+        "cases": (
+            {
+                # the paper's 256-leaf machine, moderately slimmed
+                "topology": "XGFT(2;16,16;1,8)",
+                "flows": (1000, 4000, 10000),
+                "sizes": ("uniform", "mixed"),
+            },
+            {
+                # a 512-leaf three-level tree: longer paths, more links
+                "topology": "XGFT(3;8,8,8;1,4,4)",
+                "flows": (10000, 20000),
+                "sizes": ("uniform",),
+            },
+            {
+                # an order of magnitude beyond the paper: 2048 leaves,
+                # vectorized-only territory
+                "topology": "XGFT(2;32,64;1,16)",
+                "flows": (50000,),
+                "sizes": ("uniform",),
+            },
+        ),
+        "scalar_caps": {"uniform": 20000, "mixed": 10000},
+        "repeats": 1,
+    },
+}
+
+
+def scale_workload(topo, num_flows: int, seed: int = 0, sizes: str = "uniform"):
+    """One contended phase: ``num_flows`` random flows.
+
+    Pairs are uniformly random (src != dst, repeats allowed — multiple
+    concurrent flows per pair model multi-message phases), routed by
+    d-mod-k (deterministic, so the workload is identical for every
+    engine and machine).  ``sizes="uniform"`` sends the segment-aligned
+    64 KB base everywhere (flows complete in rate-class batches, like a
+    real pattern phase); ``sizes="mixed"`` spreads sizes ±50% so every
+    completion is a distinct event — the recompute-heavy worst case.
+    """
+    if sizes not in SIZE_MODES:
+        raise ValueError(f"unknown size mode {sizes!r}; known: {', '.join(SIZE_MODES)}")
+    rng = np.random.default_rng(seed)
+    pairs = uniform_random_pairs(topo.num_leaves, num_flows, rng)
+    table = make_algorithm("d-mod-k", topo).build_table(pairs)
+    base = 64 * 1024.0
+    if sizes == "uniform":
+        flow_sizes = np.full(num_flows, base)
+    else:
+        flow_sizes = base * (1.0 + 0.5 * (2.0 * rng.random(num_flows) - 1.0))
+    return table, flow_sizes
+
+
+def _time_engine(
+    engine: str,
+    table,
+    sizes: np.ndarray,
+    config: NetworkConfig,
+    repeats: int,
+) -> dict:
+    """Best-of-``repeats`` wall time of one engine on one phase."""
+    space = xgft_link_space(table.topo)
+    coo_flow, coo_link = flow_incidence(table, space)
+    ids = np.arange(len(table), dtype=np.int64)
+    best = float("inf")
+    sim_time = recomputes = None
+    for _ in range(repeats):
+        sim = make_fluid_simulator(engine, space.num_links, config.link_bandwidth)
+        t0 = time.perf_counter()
+        sim.add_flows(ids, sizes, coo_flow, coo_link)
+        duration = sim.run_until_idle()
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best = wall
+        sim_time, recomputes = duration, sim.recomputes
+    return {
+        "engine": engine,
+        "wall_s": round(best, 6),
+        "sim_time": sim_time,
+        "recomputes": recomputes,
+        "nnz": int(len(coo_flow)),
+    }
+
+
+def run_scale(
+    topologies: Sequence[str] | None = None,
+    flow_counts: Sequence[int] | None = None,
+    size_modes: Sequence[str] | None = None,
+    engines: Sequence[str] | None = None,
+    preset: str = "smoke",
+    scalar_cap: int | None = None,
+    repeats: int | None = None,
+    seed: int = 0,
+    config: NetworkConfig = PAPER_CONFIG,
+) -> dict:
+    """Run the scaling grid and return the BENCH_fluid document.
+
+    With no explicit axes the chosen preset's case list runs; passing
+    any of ``topologies`` / ``flow_counts`` / ``size_modes`` replaces
+    the case list with the single custom (topologies × flows × sizes)
+    block, filling unspecified axes from the preset's first case.
+    ``scalar_cap`` bounds the flow count the scalar engine is asked to
+    run in *every* size mode (its progressive-filling loop is O(links ×
+    flows) per bottleneck round, re-run after every completion — past
+    the cap only the vectorized engines run, and the row records why).
+    """
+    if preset not in PRESETS:
+        raise ValueError(f"unknown preset {preset!r}; known: {', '.join(PRESETS)}")
+    chosen = PRESETS[preset]
+    first = chosen["cases"][0]
+    if topologies or flow_counts or size_modes:
+        cases = tuple(
+            {
+                "topology": t,
+                "flows": tuple(flow_counts) if flow_counts else first["flows"],
+                "sizes": tuple(size_modes) if size_modes else first["sizes"],
+            }
+            for t in (tuple(topologies) if topologies else (first["topology"],))
+        )
+    else:
+        cases = tuple(chosen["cases"])
+    scalar_caps = (
+        {mode: scalar_cap for mode in SIZE_MODES}
+        if scalar_cap is not None
+        else dict(chosen["scalar_caps"])
+    )
+    repeats = repeats if repeats is not None else chosen["repeats"]
+    engines = tuple(engines) if engines else fluid_engine_names()
+    for name in engines:
+        if resolve_engine(name).kind != "fluid":
+            raise ValueError(f"engine {name!r} is not a fluid backend")
+
+    rows: list[dict] = []
+    for case in cases:
+        topo = resolve_topology(case["topology"])
+        space = xgft_link_space(topo)
+        for num_flows in case["flows"]:
+            for mode in case["sizes"]:
+                table, sizes = scale_workload(topo, num_flows, seed=seed, sizes=mode)
+                for engine in engines:
+                    base = {
+                        "topology": case["topology"],
+                        "num_leaves": topo.num_leaves,
+                        "num_links": space.num_links,
+                        "flows": num_flows,
+                        "sizes": mode,
+                    }
+                    cap = scalar_caps.get(mode, 0)
+                    if engine == "fluid" and num_flows > cap:
+                        rows.append(
+                            base
+                            | {
+                                "engine": engine,
+                                "skipped": f"beyond the {mode} scalar cap ({cap} flows)",
+                            }
+                        )
+                        continue
+                    rows.append(
+                        base | _time_engine(engine, table, sizes, config, repeats)
+                    )
+
+    return {
+        "kind": "repro-fluid-scale-bench",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "preset": preset,
+        "seed": seed,
+        "repeats": repeats,
+        "scalar_caps": scalar_caps,
+        "engines": list(engines),
+        "environment": _environment(),
+        "rows": rows,
+        "speedups": _speedups(rows),
+    }
+
+
+def _environment() -> dict:
+    from .sweep import _environment as sweep_environment
+
+    return sweep_environment()
+
+
+def _speedups(rows: Sequence[dict]) -> list[dict]:
+    """Scalar-vs-vectorized pairing per (topology, flows, sizes) cell."""
+    cells: dict[tuple, dict[str, dict]] = {}
+    for row in rows:
+        if "wall_s" in row:
+            key = (row["topology"], row["flows"], row["sizes"])
+            cells.setdefault(key, {})[row["engine"]] = row
+    out = []
+    for (topo_spec, flows, mode), by_engine in cells.items():
+        scalar, vec = by_engine.get("fluid"), by_engine.get("fluid-vec")
+        if not scalar or not vec:
+            continue
+        pair = max(abs(scalar["sim_time"]), abs(vec["sim_time"]))
+        out.append(
+            {
+                "topology": topo_spec,
+                "flows": flows,
+                "sizes": mode,
+                "scalar_wall_s": scalar["wall_s"],
+                "vec_wall_s": vec["wall_s"],
+                "speedup": round(scalar["wall_s"] / vec["wall_s"], 3),
+                "sim_time_rel_diff": (
+                    abs(scalar["sim_time"] - vec["sim_time"]) / pair if pair else 0.0
+                ),
+            }
+        )
+    return out
+
+
+def check_agreement(data: dict, rel_tol: float = 1e-6) -> list[str]:
+    """Scalar/vectorized sim-time disagreements beyond ``rel_tol``.
+
+    The max-min allocation is unique, so any real divergence is an
+    engine bug, not noise; an empty list means every paired grid cell
+    agrees.
+    """
+    problems = []
+    for pair in data.get("speedups", ()):
+        if pair["sim_time_rel_diff"] > rel_tol:
+            problems.append(
+                f"{pair['topology']} @ {pair['flows']} {pair['sizes']} flows: "
+                f"scalar and vectorized sim times differ by "
+                f"{pair['sim_time_rel_diff']:.3g} (tolerance {rel_tol:g})"
+            )
+    return problems
+
+
+def format_scale_results(data: dict) -> str:
+    """Plain-text rendering of a BENCH_fluid document."""
+    lines = [
+        f"fluid-engine scaling (preset={data['preset']}, seed={data['seed']}, "
+        f"repeats={data['repeats']})",
+        "",
+        f"{'topology':<22} {'flows':>7} {'sizes':<8} {'engine':<10} {'wall [s]':>10} "
+        f"{'recomputes':>10} {'sim time [s]':>13}",
+        "-" * 86,
+    ]
+    for row in data["rows"]:
+        if "skipped" in row:
+            lines.append(
+                f"{row['topology']:<22} {row['flows']:>7} {row['sizes']:<8} "
+                f"{row['engine']:<10} {'—':>10} {'—':>10}   skipped: {row['skipped']}"
+            )
+        else:
+            lines.append(
+                f"{row['topology']:<22} {row['flows']:>7} {row['sizes']:<8} "
+                f"{row['engine']:<10} {row['wall_s']:>10.4f} {row['recomputes']:>10} "
+                f"{row['sim_time']:>13.6g}"
+            )
+    if data["speedups"]:
+        lines += [
+            "",
+            f"{'topology':<22} {'flows':>7} {'sizes':<8} {'speedup':>9} {'rel diff':>10}",
+            "-" * 62,
+        ]
+        for pair in data["speedups"]:
+            lines.append(
+                f"{pair['topology']:<22} {pair['flows']:>7} {pair['sizes']:<8} "
+                f"{pair['speedup']:>8.1f}x {pair['sim_time_rel_diff']:>10.2e}"
+            )
+    return "\n".join(lines)
+
+
+def write_bench(data: dict, path: str | Path) -> Path:
+    """Serialize a BENCH_fluid document (deterministic layout)."""
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load and schema-check a BENCH_fluid document."""
+    data = json.loads(Path(path).read_text())
+    if data.get("kind") != "repro-fluid-scale-bench":
+        raise ValueError(f"{path}: not a fluid scale bench document")
+    if data.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: bench schema v{data.get('schema_version')} != "
+            f"supported v{BENCH_SCHEMA_VERSION}"
+        )
+    return data

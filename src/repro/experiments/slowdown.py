@@ -3,40 +3,42 @@
 "We have scaled the reported times against the time employed by a single
 ideal single-stage crossbar network connecting all the nodes" (Sec.
 VI-B).  The helpers here run a pattern on an XGFT under a routing scheme
-and on the crossbar, and report the ratio.  Two execution modes:
+and on the crossbar, and report the ratio.  ``engine`` names any
+registered backend (:data:`repro.sim.engines.ENGINES`):
 
-* ``engine="fluid"`` — bulk-synchronous phase model on the max-min fluid
-  engine (the sweep workhorse);
-* ``engine="replay"`` — full trace replay through the Dimemas-substitute
-  engine (slower, models the causal structure; cross-checked against the
-  phase model by the integration tests).
+* fluid-kind engines (``"fluid-vec"`` — the vectorized default — and
+  the scalar ``"fluid"`` reference) run the bulk-synchronous phase
+  model on the max-min fluid allocation (the sweep workhorse);
+* ``engine="replay"`` runs a full trace replay through the
+  Dimemas-substitute engine (slower, models the causal structure;
+  cross-checked against the phase model by the integration tests).
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Literal, Sequence
-
 from ..core.factory import make_algorithm
 from ..patterns.base import Pattern
 from ..sim.config import NetworkConfig, PAPER_CONFIG
+from ..sim.engines import DEFAULT_ENGINE, is_fluid_engine
 from ..sim.network import crossbar_pattern_time, simulate_pattern_fluid
 from ..topology import XGFT
 
 __all__ = ["slowdown", "crossbar_time", "Engine"]
 
-Engine = Literal["fluid", "replay"]
+#: engine names are registry keys now; kept as ``str`` for backwards
+#: compatibility with the pre-registry ``Literal`` alias
+Engine = str
 
 
 def crossbar_time(
     pattern: Pattern,
     num_leaves: int,
     config: NetworkConfig = PAPER_CONFIG,
-    engine: Engine = "fluid",
+    engine: Engine = DEFAULT_ENGINE,
 ) -> float:
     """Full-Crossbar reference time for a pattern."""
-    if engine == "fluid":
-        return crossbar_pattern_time(pattern, num_leaves, config)
+    if is_fluid_engine(engine):
+        return crossbar_pattern_time(pattern, num_leaves, config, engine=engine)
     from ..dimemas import pattern_trace, replay_on_crossbar
 
     return replay_on_crossbar(pattern_trace(pattern), num_leaves, config).total_time
@@ -48,7 +50,7 @@ def slowdown(
     pattern: Pattern,
     seed: int = 0,
     config: NetworkConfig = PAPER_CONFIG,
-    engine: Engine = "fluid",
+    engine: Engine = DEFAULT_ENGINE,
     reference_time: float | None = None,
     **algorithm_kwargs,
 ) -> float:
@@ -58,9 +60,9 @@ def slowdown(
     sweeps many topologies/algorithms over one pattern.
     """
     algorithm = make_algorithm(algorithm_name, topo, seed=seed, **algorithm_kwargs)
-    if engine == "fluid":
-        t_net = simulate_pattern_fluid(topo, algorithm, pattern, config)
-    elif engine == "replay":
+    if is_fluid_engine(engine):
+        t_net = simulate_pattern_fluid(topo, algorithm, pattern, config, engine=engine)
+    else:
         from ..dimemas import pattern_trace, replay_on_xgft
 
         # the replay network asks for routes pair by pair, so pattern-aware
@@ -70,8 +72,6 @@ def slowdown(
             sorted({(s, d) for s, d in pattern.pairs() if s != d})
         )
         t_net = replay_on_xgft(pattern_trace(pattern), topo, algorithm, config).total_time
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
     t_ref = (
         reference_time
         if reference_time is not None

@@ -56,6 +56,7 @@ from ..metrics import DEFAULT_METRICS, KNOWN_METRICS, METRICS, RESILIENCE_METRIC
 from ..patterns import Pattern
 from ..patterns.registry import resolve_pattern as _resolve_pattern
 from ..registry import parse_spec
+from ..sim.engines import DEFAULT_ENGINE, resolve_engine
 from ..topology import slimmed_two_level
 from ..topology.registry import resolve_topology
 
@@ -114,7 +115,7 @@ class SweepSpec:
     algorithms: tuple[str, ...]
     seeds: int = 1
     metrics: tuple[str, ...] = DEFAULT_METRICS
-    engine: str = "fluid"
+    engine: str = DEFAULT_ENGINE
     name: str = ""
     faults: tuple[str, ...] = ("none",)
 
@@ -125,8 +126,7 @@ class SweepSpec:
             raise ValueError("the faults axis needs at least one entry ('none')")
         if self.seeds < 1:
             raise ValueError("seeds must be >= 1")
-        if self.engine not in ("fluid", "replay"):
-            raise ValueError(f"unknown engine {self.engine!r}")
+        resolve_engine(self.engine)  # fail fast on unknown engine names
         unknown = set(self.metrics) - set(METRICS.names())
         if unknown:
             raise ValueError(
@@ -159,7 +159,7 @@ class SweepSpec:
             algorithms=tuple(d["algorithms"]),
             seeds=int(d.get("seeds", 1)),
             metrics=tuple(d.get("metrics", DEFAULT_METRICS)),
-            engine=d.get("engine", "fluid"),
+            engine=d.get("engine", DEFAULT_ENGINE),
             name=d.get("name", ""),
             faults=tuple(d.get("faults", ("none",))),
         )
@@ -281,7 +281,7 @@ def plan_runs(spec: SweepSpec, run_filter: str | None = None) -> tuple[RunSpec, 
 def execute_run(
     run: RunSpec,
     metrics: Sequence[str],
-    engine: str = "fluid",
+    engine: str = DEFAULT_ENGINE,
     cache: RouteTableCache | None = None,
     config=None,
     _crossbar_memo: dict | None = None,
@@ -490,7 +490,7 @@ def fault_grid_spec(
     rates: Sequence[float],
     kind: str = "links",
     seeds: int = 3,
-    engine: str = "fluid",
+    engine: str = DEFAULT_ENGINE,
     metrics: Sequence[str] | None = None,
 ) -> SweepSpec:
     """A failure-rate resilience grid (Fig.-2-style curves vs fault rate).

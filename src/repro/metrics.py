@@ -30,11 +30,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+import numpy as np
+
 from .contention import link_load_summary, max_network_contention, routes_per_nca
 from .core.base import RouteTable
 from .faults import inflation_ratio
 from .registry import Registry
 from .sim.config import PAPER_CONFIG, NetworkConfig
+from .sim.engines import DEFAULT_ENGINE, is_fluid_engine
 
 __all__ = [
     "DEFAULT_METRICS",
@@ -114,7 +117,7 @@ class EvalContext:
     algorithm: object
     tables: list[RouteTable]
     phases: list[tuple[list[tuple[int, int]], list[int]]]
-    engine: str = "fluid"
+    engine: str = DEFAULT_ENGINE
     config: NetworkConfig = PAPER_CONFIG
     seed: int = 0
     degraded: object = None
@@ -195,9 +198,11 @@ def load_aggregate(tables: list[RouteTable]) -> tuple[int, float, dict[int, int]
 def _simulate(ctx: EvalContext) -> float:
     from .sim.network import simulate_phase_fluid
 
-    if ctx.engine == "fluid":
+    if is_fluid_engine(ctx.engine):
         return sum(
-            simulate_phase_fluid(table, sizes, ctx.config, degraded=ctx.degraded).duration
+            simulate_phase_fluid(
+                table, sizes, ctx.config, degraded=ctx.degraded, engine=ctx.engine
+            ).duration
             for table, (_, sizes) in zip(ctx.tables, ctx.phases)
         )
     from .dimemas import pattern_trace, replay_on_xgft
@@ -224,6 +229,7 @@ def crossbar_time_of_phases(
     phases: list[tuple[list[tuple[int, int]], list[int]]],
     num_leaves: int,
     config: NetworkConfig,
+    engine: str = DEFAULT_ENGINE,
 ) -> float:
     """Full-Crossbar time of explicit per-phase (pairs, sizes) lists.
 
@@ -231,7 +237,7 @@ def crossbar_time_of_phases(
     :func:`crossbar_reference` it times exactly the flows given (the
     survivors), not the whole pattern.
     """
-    from .sim.fluid import FluidSimulator
+    from .sim.engines import make_fluid_simulator
     from .sim.network import crossbar_link_space
 
     total = 0.0
@@ -239,9 +245,17 @@ def crossbar_time_of_phases(
         if not pairs:
             continue
         space = crossbar_link_space(num_leaves)
-        sim = FluidSimulator(space.num_links, config.link_bandwidth)
-        for fid, ((src, dst), size) in enumerate(zip(pairs, sizes)):
-            sim.add_flow(fid, [space.injection(src), space.ejection(dst)], float(size))
+        sim = make_fluid_simulator(engine, space.num_links, config.link_bandwidth)
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        ids = np.arange(len(arr), dtype=np.int64)
+        sim.add_flows(
+            ids,
+            np.asarray(sizes, dtype=np.float64),
+            np.concatenate((ids, ids)),
+            np.concatenate(
+                (space.injection_base + arr[:, 0], space.ejection_base + arr[:, 1])
+            ),
+        )
         total += sim.run_until_idle()
     return total
 
@@ -249,8 +263,8 @@ def crossbar_time_of_phases(
 def crossbar_reference(pattern, topo, engine: str, config: NetworkConfig) -> float:
     from .sim.network import crossbar_pattern_time
 
-    if engine == "fluid":
-        t_ref = crossbar_pattern_time(pattern, topo.num_leaves, config)
+    if is_fluid_engine(engine):
+        t_ref = crossbar_pattern_time(pattern, topo.num_leaves, config, engine=engine)
     else:
         from .dimemas import pattern_trace, replay_on_crossbar
 
@@ -336,7 +350,9 @@ def _slowdown(ctx: EvalContext):
         # flows as the numerator, or losing traffic would drive slowdown
         # below the 1.0 floor and the lower-is-better gate would reward
         # disconnection; flow loss itself is disconnected_fraction's job
-        t_ref = crossbar_time_of_phases(ctx.phases, ctx.topo.num_leaves, ctx.config)
+        t_ref = crossbar_time_of_phases(
+            ctx.phases, ctx.topo.num_leaves, ctx.config, engine=ctx.engine
+        )
         return sim_time / t_ref if t_ref > 0 else 1.0
     memo = ctx.crossbar_memo if ctx.crossbar_memo is not None else {}
     # the config is part of the key: a Scenario's memo outlives a single

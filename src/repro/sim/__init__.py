@@ -1,7 +1,11 @@
 """Network simulation engines (paper Sec. VI-B).
 
-* :mod:`repro.sim.fluid` — max-min fair fluid model (fast path for the
-  figure sweeps);
+* :mod:`repro.sim.fluid` — scalar max-min fair fluid model (the
+  reference implementation);
+* :mod:`repro.sim.fluid_vec` — vectorized batch fluid engine (the
+  default sweep workhorse; same allocation, struct-of-arrays + CSR);
+* :mod:`repro.sim.engines` — the engine registry every backend
+  selection resolves through (``fluid`` / ``fluid-vec`` / ``replay``);
 * :mod:`repro.sim.venus` — flit-level event-driven engine (the Venus
   substitute; used for validation and latency-sensitive studies);
 * :mod:`repro.sim.network` — the link-space glue and the Full-Crossbar
@@ -10,8 +14,20 @@
 """
 
 from .config import PAPER_CONFIG, NetworkConfig
+from .engines import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    Engine,
+    available_engines,
+    fluid_engine_names,
+    is_fluid_engine,
+    make_fluid_simulator,
+    register_engine,
+    resolve_engine,
+)
 from .events import EventQueue
 from .fluid import FlowResult, FluidSimulator
+from .fluid_vec import VecFluidSimulator
 from .network import (
     LinkSpace,
     PhaseResult,
@@ -29,7 +45,17 @@ __all__ = [
     "PAPER_CONFIG",
     "EventQueue",
     "FluidSimulator",
+    "VecFluidSimulator",
     "FlowResult",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "Engine",
+    "available_engines",
+    "fluid_engine_names",
+    "is_fluid_engine",
+    "make_fluid_simulator",
+    "register_engine",
+    "resolve_engine",
     "LinkSpace",
     "xgft_link_space",
     "crossbar_link_space",

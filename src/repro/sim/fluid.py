@@ -96,19 +96,53 @@ class FluidSimulator:
     # Flow management
     # ------------------------------------------------------------------
     def add_flow(self, flow_id: int, links: Sequence[int], size: float) -> None:
-        """Inject a flow at the current time."""
+        """Inject a flow at the current time.
+
+        Zero-size flows carry no bytes: they complete immediately at the
+        current time (their :class:`FlowResult` has ``start == finish``)
+        without ever joining the active set.
+        """
         if flow_id in self._flows:
             raise ValueError(f"flow id {flow_id} already active")
-        links = tuple(int(l) for l in links)
+        # a repeated link would double-count the flow against that
+        # link's capacity; routes never produce one, so collapse them
+        links = tuple(dict.fromkeys(int(l) for l in links))
         if not links:
             raise ValueError("a flow must traverse at least one link")
         for l in links:
             if not 0 <= l < self.num_links:
                 raise ValueError(f"link {l} out of range")
-        if size <= 0:
-            raise ValueError("flow size must be positive")
+        if size < 0:
+            raise ValueError("flow size must be non-negative")
+        if size == 0:
+            self._results.append(FlowResult(flow_id, self.now, self.now, 0.0))
+            return
         self._flows[flow_id] = _ActiveFlow(flow_id, links, size, self.now)
         self._rates_valid = False
+
+    def add_flows(
+        self,
+        flow_ids: Sequence[int] | np.ndarray,
+        sizes: Sequence[float] | np.ndarray,
+        coo_flow: np.ndarray,
+        coo_link: np.ndarray,
+    ) -> None:
+        """Batch :meth:`add_flow` from a COO incidence.
+
+        Same contract as :meth:`VecFluidSimulator.add_flows
+        <repro.sim.fluid_vec.VecFluidSimulator.add_flows>`: ``coo_flow``
+        indexes into ``flow_ids`` and ``coo_link`` lists the traversed
+        links.  The scalar engine simply unpacks the batch.
+        """
+        coo_flow = np.asarray(coo_flow, dtype=np.int64)
+        coo_link = np.asarray(coo_link, dtype=np.int64)
+        if len(coo_flow) and (coo_flow.min() < 0 or coo_flow.max() >= len(flow_ids)):
+            raise ValueError("coo_flow indexes outside the batch")
+        per_flow: list[list[int]] = [[] for _ in range(len(flow_ids))]
+        for f, l in zip(coo_flow.tolist(), coo_link.tolist()):
+            per_flow[f].append(l)
+        for fid, size, links in zip(flow_ids, sizes, per_flow):
+            self.add_flow(int(fid), links, float(size))
 
     @property
     def active_flows(self) -> int:

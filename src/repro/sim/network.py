@@ -29,13 +29,14 @@ from ..core.base import RouteTable
 from ..patterns.base import Pattern, Phase
 from ..topology import XGFT
 from .config import NetworkConfig, PAPER_CONFIG
-from .fluid import FluidSimulator
+from .engines import DEFAULT_ENGINE, make_fluid_simulator
 
 __all__ = [
     "LinkSpace",
     "xgft_link_space",
     "crossbar_link_space",
     "PhaseResult",
+    "flow_incidence",
     "simulate_phase_fluid",
     "simulate_pattern_fluid",
     "crossbar_phase_time",
@@ -90,18 +91,23 @@ class PhaseResult:
     flow_finish: dict[int, float]  # flow index within the phase -> finish time
 
 
-def _flow_link_lists(
+def flow_incidence(
     table: RouteTable, space: LinkSpace
-) -> list[list[int]]:
-    """Per-flow directed-link lists: tree links + adapter links."""
+) -> tuple[np.ndarray, np.ndarray]:
+    """COO flow↔link incidence: tree links plus adapter links.
+
+    Fully vectorized — :meth:`RouteTable.flow_links` already yields the
+    tree-link expansion as arrays, and the injection/ejection links are
+    plain offsets of the src/dst columns.
+    """
     flows, links = table.flow_links()
-    per_flow: list[list[int]] = [[] for _ in range(len(table))]
-    for f, l in zip(flows.tolist(), links.tolist()):
-        per_flow[f].append(l)
-    for f in range(len(table)):
-        per_flow[f].append(space.injection(int(table.src[f])))
-        per_flow[f].append(space.ejection(int(table.dst[f])))
-    return per_flow
+    n = len(table)
+    ids = np.arange(n, dtype=np.int64)
+    coo_flow = np.concatenate((flows, ids, ids))
+    coo_link = np.concatenate(
+        (links, space.injection_base + table.src, space.ejection_base + table.dst)
+    )
+    return coo_flow, coo_link
 
 
 def simulate_phase_fluid(
@@ -109,11 +115,16 @@ def simulate_phase_fluid(
     sizes: Sequence[float],
     config: NetworkConfig = PAPER_CONFIG,
     degraded=None,
+    engine: str = DEFAULT_ENGINE,
 ) -> PhaseResult:
-    """Simulate one bulk-synchronous phase on an XGFT with the fluid engine.
+    """Simulate one bulk-synchronous phase on an XGFT with a fluid engine.
 
     ``table`` routes the phase's flows; ``sizes`` gives per-flow bytes.
     All flows start at t=0; the phase ends when the last one drains.
+
+    ``engine`` names a registered fluid-kind backend
+    (:data:`repro.sim.engines.ENGINES`): the vectorized ``fluid-vec``
+    default, or the scalar ``fluid`` reference.
 
     ``degraded`` (a :class:`repro.faults.DegradedTopology`) asserts the
     table was repaired against that failure mask: a flow routed over a
@@ -132,9 +143,15 @@ def simulate_phase_fluid(
                 "the table against the degraded topology first"
             )
     space = xgft_link_space(table.topo)
-    sim = FluidSimulator(space.num_links, config.link_bandwidth)
-    for f, links in enumerate(_flow_link_lists(table, space)):
-        sim.add_flow(f, links, float(sizes[f]))
+    sim = make_fluid_simulator(engine, space.num_links, config.link_bandwidth)
+    n = len(table)
+    coo_flow, coo_link = flow_incidence(table, space)
+    sim.add_flows(
+        np.arange(n, dtype=np.int64),
+        np.asarray(sizes, dtype=np.float64),
+        coo_flow,
+        coo_link,
+    )
     duration = sim.run_until_idle()
     return PhaseResult(duration, {r.flow_id: r.finish for r in sim.results})
 
@@ -145,6 +162,7 @@ def simulate_pattern_fluid(
     pattern: Pattern,
     config: NetworkConfig = PAPER_CONFIG,
     mapping: Sequence[int] | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> float:
     """Total time of a multi-phase pattern (barrier between phases).
 
@@ -164,7 +182,9 @@ def simulate_pattern_fluid(
         if not keep:
             continue
         table = algorithm.build_table([p for p, _ in keep])
-        total += simulate_phase_fluid(table, [s for _, s in keep], config).duration
+        total += simulate_phase_fluid(
+            table, [s for _, s in keep], config, engine=engine
+        ).duration
     return total
 
 
@@ -173,6 +193,7 @@ def crossbar_phase_time(
     num_leaves: int,
     config: NetworkConfig = PAPER_CONFIG,
     mapping: Sequence[int] | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> float:
     """Completion time of a phase on the ideal Full-Crossbar.
 
@@ -183,16 +204,25 @@ def crossbar_phase_time(
         mapping = range(num_leaves)
     mapping = list(mapping)
     space = crossbar_link_space(num_leaves)
-    sim = FluidSimulator(space.num_links, config.link_bandwidth)
-    fid = 0
-    for f in phase.flows:
-        src, dst = mapping[f.src], mapping[f.dst]
-        if src == dst:
-            continue
-        sim.add_flow(fid, [space.injection(src), space.ejection(dst)], float(f.size))
-        fid += 1
-    if fid == 0:
+    keep = [
+        (mapping[f.src], mapping[f.dst], float(f.size))
+        for f in phase.flows
+        if mapping[f.src] != mapping[f.dst]
+    ]
+    if not keep:
         return 0.0
+    src = np.asarray([s for s, _, _ in keep], dtype=np.int64)
+    dst = np.asarray([d for _, d, _ in keep], dtype=np.int64)
+    sizes = np.asarray([z for _, _, z in keep], dtype=np.float64)
+    n = len(keep)
+    ids = np.arange(n, dtype=np.int64)
+    sim = make_fluid_simulator(engine, space.num_links, config.link_bandwidth)
+    sim.add_flows(
+        ids,
+        sizes,
+        np.concatenate((ids, ids)),
+        np.concatenate((space.injection_base + src, space.ejection_base + dst)),
+    )
     return sim.run_until_idle()
 
 
@@ -201,9 +231,10 @@ def crossbar_pattern_time(
     num_leaves: int,
     config: NetworkConfig = PAPER_CONFIG,
     mapping: Sequence[int] | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> float:
     """Total Full-Crossbar time of a multi-phase pattern."""
     return sum(
-        crossbar_phase_time(phase, num_leaves, config, mapping)
+        crossbar_phase_time(phase, num_leaves, config, mapping, engine=engine)
         for phase in pattern.phases
     )

@@ -9,6 +9,7 @@ import sys
 import pytest
 
 from repro.cli import build_parser, main, package_version
+from repro.sim.engines import DEFAULT_ENGINE
 
 
 class TestParser:
@@ -45,7 +46,7 @@ class TestParser:
         args = build_parser().parse_args(["fig2", "--app", "cg", "--w2", "16", "8"])
         assert args.app == "cg"
         assert args.w2 == [16, 8]
-        assert args.engine == "fluid"
+        assert args.engine == DEFAULT_ENGINE
 
     def test_app_choices(self):
         with pytest.raises(SystemExit):

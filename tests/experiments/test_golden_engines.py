@@ -1,0 +1,90 @@
+"""Golden engine regression: both fluid engines reproduce the committed
+smoke baseline.
+
+``benchmarks/baseline_smoke.json`` pins the CI smoke sweep's metric
+values (computed by the scalar engine when the baseline was recorded).
+Re-evaluating a slice of those runs through ``repro.api`` with the
+scalar ``fluid`` engine *and* the vectorized ``fluid-vec`` engine must
+reproduce the committed numbers — this is the proof that swapping the
+default engine is behaviour-preserving, independent of the equivalence
+property suite's synthetic instances.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Scenario
+from repro.experiments.sweep import record_id
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+#: metrics whose committed values both engines must reproduce; the
+#: timing metrics prove the engines allocate identically, the load
+#: metrics that the routing side is untouched by the engine choice
+PINNED_METRICS = ("max_link_load", "mean_link_load", "sim_time", "slowdown")
+
+#: representative slice of the smoke grid: every algorithm family, both
+#: a two-level and a three-level topology, pristine and faulted rows
+GOLDEN_RUNS = (
+    "XGFT(2;4,4;1,4)/shift-1/s-mod-k@0",
+    "XGFT(2;4,4;1,4)/bit-reversal/d-mod-k@0",
+    "XGFT(2;4,4;1,4)/transpose/random@1",
+    "XGFT(2;4,4;1,2)/bit-reversal/r-nca-u@0",
+    "XGFT(2;4,4;1,2)/transpose/r-nca-d@1",
+    "XGFT(3;4,4,4;1,4,4)/shift-1/d-mod-k@0",
+    "XGFT(3;4,4,4;1,4,4)/bit-reversal/r-nca-d@0",
+    "XGFT(2;4,4;1,4)/shift-1/d-mod-k@0+links:rate=0.05,seed=1",
+    "XGFT(3;4,4,4;1,4,4)/transpose/random@0+links:rate=0.05,seed=1",
+)
+
+
+@pytest.fixture(scope="module")
+def baseline_runs() -> dict[str, dict]:
+    data = json.loads((BENCH_DIR / "baseline_smoke.json").read_text())
+    return {record_id(r): r for r in data["runs"]}
+
+
+@pytest.fixture(scope="module")
+def smoke_metrics() -> tuple[str, ...]:
+    spec = json.loads((BENCH_DIR / "smoke_spec.json").read_text())
+    return tuple(spec["metrics"])
+
+
+def _scenario_of(run_id: str) -> Scenario:
+    base, _, faults = run_id.partition("+")
+    head, _, seed = base.rpartition("@")
+    topology, pattern, algorithm = head.split("/")
+    return Scenario(
+        topology, pattern, algorithm, faults=faults or "none", seed=int(seed)
+    )
+
+
+@pytest.mark.parametrize("engine", ["fluid", "fluid-vec"])
+@pytest.mark.parametrize("run_id", GOLDEN_RUNS)
+def test_engine_reproduces_committed_baseline(
+    engine, run_id, baseline_runs, smoke_metrics
+):
+    assert run_id in baseline_runs, f"golden run {run_id} missing from the baseline"
+    expected = baseline_runs[run_id]["metrics"]
+    result = _scenario_of(run_id).evaluate(metrics=smoke_metrics, engine=engine)
+    for metric in PINNED_METRICS:
+        # the baseline rounds to 10 decimals; sim times are ~1e-9 s, so
+        # allow that absolute quantum on top of float-noise tolerance
+        assert result.metrics[metric] == pytest.approx(
+            expected[metric], rel=1e-6, abs=2e-10
+        ), f"{run_id} [{engine}] {metric}"
+
+
+@pytest.mark.parametrize("run_id", GOLDEN_RUNS)
+def test_engines_agree_beyond_baseline_rounding(run_id, smoke_metrics):
+    """Scalar vs vectorized on the same scenario, at full precision."""
+    fluid = _scenario_of(run_id).evaluate(metrics=smoke_metrics, engine="fluid")
+    vec = _scenario_of(run_id).evaluate(metrics=smoke_metrics, engine="fluid-vec")
+    for metric in PINNED_METRICS:
+        assert vec.metrics[metric] == pytest.approx(
+            fluid.metrics[metric], rel=1e-9, abs=1e-15
+        ), f"{run_id} {metric}"

@@ -1,0 +1,219 @@
+"""The fluid-engine scaling harness (``repro scale`` / BENCH_fluid)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments.scale import (
+    BENCH_SCHEMA_VERSION,
+    PRESETS,
+    check_agreement,
+    format_scale_results,
+    load_bench,
+    run_scale,
+    scale_workload,
+    write_bench,
+)
+from repro.topology.registry import resolve_topology
+
+TINY = dict(
+    topologies=("XGFT(2;4,4;1,2)",),
+    flow_counts=(40,),
+    size_modes=("uniform", "mixed"),
+    repeats=1,
+)
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        topo = resolve_topology("XGFT(2;4,4;1,2)")
+        t1, s1 = scale_workload(topo, 50, seed=3, sizes="mixed")
+        t2, s2 = scale_workload(topo, 50, seed=3, sizes="mixed")
+        assert np.array_equal(t1.src, t2.src) and np.array_equal(t1.dst, t2.dst)
+        assert np.array_equal(s1, s2)
+
+    def test_uniform_vs_mixed(self):
+        topo = resolve_topology("XGFT(2;4,4;1,2)")
+        _, uniform = scale_workload(topo, 50, sizes="uniform")
+        _, mixed = scale_workload(topo, 50, sizes="mixed")
+        assert len(set(uniform.tolist())) == 1
+        assert len(set(mixed.tolist())) > 1
+
+    def test_unknown_size_mode(self):
+        topo = resolve_topology("XGFT(2;4,4;1,2)")
+        with pytest.raises(ValueError, match="size mode"):
+            scale_workload(topo, 10, sizes="gaussian")
+
+
+class TestRunScale:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_scale(**TINY)
+
+    def test_document_shape(self, data):
+        assert data["kind"] == "repro-fluid-scale-bench"
+        assert data["schema_version"] == BENCH_SCHEMA_VERSION
+        # 1 topology x 1 flow count x 2 size modes x 2 engines
+        assert len(data["rows"]) == 4
+        for row in data["rows"]:
+            assert row["flows"] == 40
+            assert "skipped" not in row
+            assert row["recomputes"] >= 1
+            assert row["wall_s"] >= 0
+        assert len(data["speedups"]) == 2
+
+    def test_engines_agree(self, data):
+        assert check_agreement(data) == []
+        for pair in data["speedups"]:
+            assert pair["sim_time_rel_diff"] <= 1e-6
+
+    def test_uniform_batches_completions(self, data):
+        """Uniform sizes complete in rate-class batches: strictly fewer
+        recomputes than the one-event-per-flow mixed workload."""
+        by_mode = {
+            (r["sizes"], r["engine"]): r for r in data["rows"] if "wall_s" in r
+        }
+        assert (
+            by_mode[("uniform", "fluid-vec")]["recomputes"]
+            < by_mode[("mixed", "fluid-vec")]["recomputes"]
+        )
+        # and the engines agree on the recompute schedule
+        for mode in ("uniform", "mixed"):
+            assert (
+                by_mode[(mode, "fluid")]["recomputes"]
+                == by_mode[(mode, "fluid-vec")]["recomputes"]
+            )
+
+    def test_scalar_cap_skips(self):
+        data = run_scale(
+            topologies=("XGFT(2;4,4;1,2)",),
+            flow_counts=(40,),
+            size_modes=("uniform",),
+            scalar_cap=10,
+            repeats=1,
+        )
+        skipped = [r for r in data["rows"] if "skipped" in r]
+        assert len(skipped) == 1
+        assert skipped[0]["engine"] == "fluid"
+        assert "scalar cap" in skipped[0]["skipped"]
+        # no pair -> no speedup row, and the check passes vacuously
+        assert data["speedups"] == []
+        assert check_agreement(data) == []
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="preset"):
+            run_scale(preset="galactic")
+
+    def test_replay_engine_rejected(self):
+        with pytest.raises(ValueError, match="not a fluid backend"):
+            run_scale(engines=("replay",), **TINY)
+
+    def test_presets_resolve(self):
+        for preset in PRESETS.values():
+            for case in preset["cases"]:
+                resolve_topology(case["topology"])  # specs must parse
+                assert case["flows"] and case["sizes"]
+
+    def test_format_renders_all_rows(self, data):
+        text = format_scale_results(data)
+        assert "XGFT(2;4,4;1,2)" in text
+        assert "fluid-vec" in text and "speedup" in text
+
+    def test_check_agreement_flags_divergence(self, data):
+        doctored = dict(data)
+        doctored["speedups"] = [
+            dict(data["speedups"][0], sim_time_rel_diff=0.5)
+        ]
+        problems = check_agreement(doctored)
+        assert len(problems) == 1 and "differ" in problems[0]
+
+
+class TestBenchIO:
+    def test_round_trip(self, tmp_path):
+        data = run_scale(
+            topologies=("XGFT(2;4,4;1,2)",),
+            flow_counts=(20,),
+            size_modes=("uniform",),
+            repeats=1,
+        )
+        path = write_bench(data, tmp_path / "bench.json")
+        assert load_bench(path)["rows"] == json.loads(path.read_text())["rows"]
+
+    def test_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"kind": "something-else"}')
+        with pytest.raises(ValueError, match="not a fluid scale bench"):
+            load_bench(path)
+        path.write_text('{"kind": "repro-fluid-scale-bench", "schema_version": 99}')
+        with pytest.raises(ValueError, match="schema"):
+            load_bench(path)
+
+
+class TestCli:
+    def test_scale_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(
+            [
+                "scale",
+                "--topologies",
+                "XGFT(2;4,4;1,2)",
+                "--flows",
+                "30",
+                "--sizes",
+                "uniform",
+                "--check",
+                "-o",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        data = load_bench(out)
+        assert len(data["rows"]) == 2
+        captured = capsys.readouterr().out
+        assert "agree on every paired grid cell" in captured
+
+    def test_check_with_no_pairs_is_an_error(self, capsys):
+        """--check must not pass vacuously when the cap skipped every
+        scalar row — the gate would have compared nothing."""
+        rc = main(
+            [
+                "scale",
+                "--topologies",
+                "XGFT(2;4,4;1,2)",
+                "--flows",
+                "30",
+                "--sizes",
+                "uniform",
+                "--scalar-cap",
+                "10",
+                "--check",
+            ]
+        )
+        assert rc == 1
+        assert "CHECK INEFFECTIVE" in capsys.readouterr().err
+
+    def test_scale_check_failure_exit_code(self, monkeypatch, capsys):
+        from repro import cli as cli_mod
+
+        def fake_check(data, rel_tol=1e-6):
+            return ["synthetic divergence"]
+
+        monkeypatch.setattr(cli_mod.experiments, "check_agreement", fake_check)
+        rc = main(
+            [
+                "scale",
+                "--topologies",
+                "XGFT(2;4,4;1,2)",
+                "--flows",
+                "20",
+                "--sizes",
+                "uniform",
+                "--check",
+            ]
+        )
+        assert rc == 1
+        assert "DISAGREEMENT" in capsys.readouterr().err

@@ -1,0 +1,164 @@
+"""The simulation-engine registry and its integration points."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import FluidSimulator, VecFluidSimulator
+from repro.sim.engines import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    Engine,
+    available_engines,
+    fluid_engine_names,
+    is_fluid_engine,
+    make_fluid_simulator,
+    register_engine,
+    resolve_engine,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(available_engines()) >= {"fluid", "fluid-vec", "replay"}
+        assert set(fluid_engine_names()) >= {"fluid", "fluid-vec"}
+        assert "replay" not in fluid_engine_names()
+
+    def test_default_is_the_vectorized_engine(self):
+        assert DEFAULT_ENGINE == "fluid-vec"
+        assert is_fluid_engine(DEFAULT_ENGINE)
+
+    def test_resolve(self):
+        assert resolve_engine("fluid").factory is FluidSimulator
+        assert resolve_engine("fluid-vec").factory is VecFluidSimulator
+        assert resolve_engine("replay").kind == "replay"
+        # resolving a live Engine is the identity
+        engine = resolve_engine("fluid")
+        assert resolve_engine(engine) is engine
+
+    def test_unknown_engine_diagnostic(self):
+        with pytest.raises(ValueError, match="unknown engine 'telepathy'"):
+            resolve_engine("telepathy")
+
+    def test_make_fluid_simulator(self):
+        sim = make_fluid_simulator("fluid-vec", 4, 1.0)
+        assert isinstance(sim, VecFluidSimulator)
+        sim = make_fluid_simulator("fluid", 4, 1.0)
+        assert isinstance(sim, FluidSimulator)
+        with pytest.raises(ValueError, match="not a fluid backend"):
+            make_fluid_simulator("replay", 4, 1.0)
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            Engine(name="x", kind="quantum")
+        with pytest.raises(ValueError, match="factory"):
+            Engine(name="x", kind="fluid")
+
+    def test_third_party_registration(self):
+        class TracingSim(VecFluidSimulator):
+            pass
+
+        engine = Engine(name="fluid-traced", kind="fluid", factory=TracingSim)
+        register_engine(engine)
+        try:
+            assert "fluid-traced" in fluid_engine_names()
+            sim = make_fluid_simulator("fluid-traced", 2, 1.0)
+            assert isinstance(sim, TracingSim)
+            # and the whole evaluation stack accepts it by name
+            from repro.api import Scenario
+
+            result = Scenario("XGFT(2;4,4;1,4)", "shift-1", "d-mod-k").evaluate(
+                metrics=("sim_time",), engine="fluid-traced"
+            )
+            assert result.metrics["sim_time"] > 0
+        finally:
+            ENGINES.unregister("fluid-traced")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine(Engine(name="fluid", kind="fluid", factory=FluidSimulator))
+
+
+class TestPhaseDriverSelection:
+    def test_simulate_phase_fluid_engines_agree(self):
+        from repro.core import DModK
+        from repro.sim import simulate_phase_fluid
+        from repro.topology import XGFT
+
+        topo = XGFT((4, 4), (1, 2))
+        table = DModK(topo).build_table([(s, (s + 4) % 16) for s in range(16)])
+        sizes = [float(1024 * (1 + i % 3)) for i in range(len(table))]
+        scalar = simulate_phase_fluid(table, sizes, engine="fluid")
+        vec = simulate_phase_fluid(table, sizes, engine="fluid-vec")
+        assert vec.duration == pytest.approx(scalar.duration, rel=1e-9)
+        assert vec.flow_finish.keys() == scalar.flow_finish.keys()
+        for f, t in scalar.flow_finish.items():
+            assert vec.flow_finish[f] == pytest.approx(t, rel=1e-9)
+
+    def test_simulate_phase_fluid_rejects_replay(self):
+        from repro.core import DModK
+        from repro.sim import simulate_phase_fluid
+        from repro.topology import XGFT
+
+        topo = XGFT((4, 4), (1, 2))
+        table = DModK(topo).build_table([(0, 5)])
+        with pytest.raises(ValueError, match="not a fluid backend"):
+            simulate_phase_fluid(table, [1024.0], engine="replay")
+
+    def test_crossbar_times_agree_across_engines(self):
+        from repro.patterns.registry import resolve_pattern
+        from repro.sim import crossbar_pattern_time
+
+        pattern = resolve_pattern("bit-reversal", 16)
+        scalar = crossbar_pattern_time(pattern, 16, engine="fluid")
+        vec = crossbar_pattern_time(pattern, 16, engine="fluid-vec")
+        assert vec == pytest.approx(scalar, rel=1e-9)
+
+    def test_scenario_rejects_unknown_engine(self):
+        from repro.api import Scenario
+
+        scenario = Scenario("XGFT(2;4,4;1,4)", "shift-1", "d-mod-k")
+        with pytest.raises(ValueError, match="unknown engine"):
+            scenario.evaluate(metrics=("sim_time",), engine="fluidd")
+
+    def test_sweep_spec_accepts_vec_engine(self):
+        from repro.experiments import SweepSpec
+
+        spec = SweepSpec(
+            topologies=("XGFT(2;4,4;1,4)",),
+            patterns=("shift-1",),
+            algorithms=("d-mod-k",),
+            engine="fluid-vec",
+        )
+        assert spec.engine == "fluid-vec"
+        # and the default is the vectorized engine
+        default = SweepSpec(
+            topologies=("XGFT(2;4,4;1,4)",),
+            patterns=("shift-1",),
+            algorithms=("d-mod-k",),
+        )
+        assert default.engine == DEFAULT_ENGINE
+
+    @pytest.mark.parametrize("engine", ["fluid", "fluid-vec"])
+    def test_slowdown_accepts_both_fluid_engines(self, engine):
+        from repro.experiments import slowdown
+        from repro.patterns.registry import resolve_pattern
+        from repro.topology import slimmed_two_level
+
+        topo = slimmed_two_level(4, 4, 2)
+        pattern = resolve_pattern("shift-1", topo.num_leaves)
+        value = slowdown(topo, "d-mod-k", pattern, engine=engine)
+        assert value >= 1.0 - 1e-9
+
+    def test_numpy_sizes_accepted_by_both(self):
+        """The batch path hands numpy arrays straight through."""
+        for engine in ("fluid", "fluid-vec"):
+            sim = make_fluid_simulator(engine, 2, 10.0)
+            sim.add_flows(
+                np.asarray([0, 1]),
+                np.asarray([10.0, 30.0]),
+                np.asarray([0, 0, 1]),
+                np.asarray([0, 1, 1]),
+            )
+            assert sim.run_until_idle() == pytest.approx(4.0)

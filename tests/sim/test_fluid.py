@@ -27,10 +27,54 @@ class TestValidation:
         with pytest.raises(ValueError):
             sim.add_flow(0, [5], 1.0)
         with pytest.raises(ValueError):
-            sim.add_flow(0, [0], 0.0)
+            sim.add_flow(0, [0], -1.0)
         sim.add_flow(0, [0], 1.0)
         with pytest.raises(ValueError):
             sim.add_flow(0, [1], 1.0)  # duplicate id
+
+
+class TestEdgeCases:
+    """Edge cases surfaced by the vectorized-engine property suite."""
+
+    def test_zero_size_flow_completes_immediately(self):
+        sim = FluidSimulator(1, 1.0)
+        sim.add_flow(0, [0], 0.0)
+        assert sim.active_flows == 0
+        (res,) = sim.results
+        assert res.start == res.finish == 0.0
+        assert res.size == 0.0
+
+    def test_zero_size_flow_completes_at_current_time(self):
+        sim = FluidSimulator(1, 1.0)
+        sim.add_flow(0, [0], 2.0)
+        sim.advance_to(1.5)
+        sim.add_flow(1, [0], 0.0)
+        res = next(r for r in sim.results if r.flow_id == 1)
+        assert res.start == res.finish == 1.5
+        # the ongoing flow is unaffected by the instant one
+        assert sim.run_until_idle() == pytest.approx(2.0)
+
+    def test_zero_size_flow_still_needs_a_route(self):
+        sim = FluidSimulator(1, 1.0)
+        with pytest.raises(ValueError):
+            sim.add_flow(0, [], 0.0)
+
+    def test_advance_to_on_idle_moves_clock(self):
+        sim = FluidSimulator(1, 1.0)
+        assert sim.advance_to(4.0) == []
+        assert sim.now == pytest.approx(4.0)
+        # and a flow injected afterwards starts at the advanced time
+        sim.add_flow(0, [0], 1.0)
+        sim.run_until_idle()
+        assert sim.results[0].start == pytest.approx(4.0)
+        assert sim.results[0].finish == pytest.approx(5.0)
+
+    def test_advance_to_on_drained_simulator_moves_clock(self):
+        sim = FluidSimulator(1, 1.0)
+        sim.add_flow(0, [0], 1.0)
+        sim.run_until_idle()
+        sim.advance_to(10.0)
+        assert sim.now == pytest.approx(10.0)
 
 
 class TestMaxMinAllocations:

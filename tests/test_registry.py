@@ -71,9 +71,20 @@ _names = st.text(
     alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz-_0123456789"), min_size=1, max_size=12
 ).filter(lambda s: not s.isdigit() and s.lower() not in ("true", "false"))
 _keys = st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz_"), min_size=1, max_size=8)
+def _floatlike(s: str) -> bool:
+    # "inf" / "infinity" / "nan" re-parse as floats, so format_spec
+    # rejects them as string values (by design) — keep them out of the
+    # string-value strategy
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
 _str_values = st.text(
     alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz-_"), min_size=1, max_size=8
-).filter(lambda s: s.lower() not in ("true", "false"))
+).filter(lambda s: s.lower() not in ("true", "false") and not _floatlike(s))
 _values = st.one_of(
     st.booleans(),
     st.integers(min_value=-(10**9), max_value=10**9),
