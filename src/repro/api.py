@@ -52,9 +52,10 @@ from .metrics import (
 from .patterns.base import Pattern
 from .patterns.registry import resolve_pattern
 from .sim.config import PAPER_CONFIG, NetworkConfig
-from .sim.engines import DEFAULT_ENGINE, resolve_engine
+from .sim.engines import DEFAULT_ENGINE, fluid_engine_names, resolve_engine
 from .topology.registry import resolve_topology
 from .topology.xgft import XGFT
+from .workloads import DynamicDriver, DynamicResult, Workload, resolve_workload
 
 __all__ = [
     "Scenario",
@@ -69,17 +70,25 @@ __all__ = [
 
 
 def format_run_id(
-    topology: str, pattern: str, algorithm: str, seed: int, faults: str = "none"
+    topology: str,
+    pattern: str,
+    algorithm: str,
+    seed: int,
+    faults: str = "none",
+    workload: str = "none",
 ) -> str:
     """The canonical run identity — the key ``sweep_compare`` matches on.
 
     Single source of truth: :attr:`Scenario.run_id`, the sweep planner's
     ``RunSpec.run_id`` and the artifact record ids all derive from here,
     so the format cannot drift apart and silently break the baseline
-    matching.
+    matching.  Dynamic cells append ``#<workload>`` (their ``pattern``
+    is the placeholder ``none``).
     """
     base = f"{topology}/{pattern}/{algorithm}@{seed}"
-    return base if faults == "none" else f"{base}+{faults}"
+    if faults != "none":
+        base = f"{base}+{faults}"
+    return base if workload == "none" else f"{base}#{workload}"
 
 
 # ----------------------------------------------------------------------
@@ -156,7 +165,17 @@ class Scenario:
     * ``algorithm`` — a registered algorithm spec (``"d-mod-k"``,
       ``"r-nca-u(r=2)"``) or a :class:`RoutingAlgorithm` instance;
     * ``faults`` — a fault spec string (``"links:rate=0.05"``) or a
-      :class:`FaultSpec`; ``"none"`` keeps the fabric pristine.
+      :class:`FaultSpec`; ``"none"`` keeps the fabric pristine;
+    * ``workload`` — a registered open-loop workload spec
+      (``"poisson(load=0.8)"``, ``"onoff(load=0.6,duty=0.25)"``,
+      ``"trace(path=arrivals.csv)"``) or a live
+      :class:`~repro.workloads.Workload`.  ``"none"`` (the default)
+      keeps the scenario phase-synchronized; anything else makes it
+      *dynamic*: ``pattern`` becomes the placeholder ``"none"`` and
+      :meth:`evaluate` drives the arrival stream through the
+      :class:`~repro.workloads.DynamicDriver`, returning a
+      :class:`ScenarioResult` whose ``dynamic`` field carries the typed
+      :class:`~repro.workloads.DynamicResult`.
 
     Resolution is lazy and cached; :meth:`route_table`,
     :meth:`degraded` and :meth:`evaluate` reuse each other's
@@ -168,8 +187,19 @@ class Scenario:
     algorithm: str | RoutingAlgorithm
     faults: str | FaultSpec = "none"
     seed: int = 0
+    workload: str | Workload = "none"
 
     def __post_init__(self):
+        if self._raw_workload != "none" and self.pattern_spec != "none":
+            # a dynamic scenario's traffic IS its workload; a real
+            # pattern here would be silently ignored while still naming
+            # the run — reject instead of mislabeling results
+            raise ValueError(
+                "a dynamic scenario (workload="
+                f"{self._raw_workload!r}) has no phase pattern; pass "
+                "pattern='none' instead of "
+                f"{self.pattern_spec!r}"
+            )
         self._cache = RouteTableCache()
         self._crossbar_memo: dict = {}
         self._degraded: DegradedTopology | None = None
@@ -198,10 +228,36 @@ class Scenario:
         )
 
     @property
+    def _raw_workload(self) -> str:
+        return (
+            self.workload.spec if isinstance(self.workload, Workload) else str(self.workload)
+        )
+
+    @property
+    def workload_spec(self) -> str:
+        """The canonical workload spec — the run-identity component.
+
+        The identity is the *resolved* :attr:`Workload.spec`, which
+        spells out every parameter (sorted, defaults included), so
+        equivalent spellings — ``poisson(load=0.8)`` vs
+        ``poisson(flows=20000,load=0.8,sizes=fixed)`` vs any parameter
+        order — produce matching run ids and never fail a regression
+        gate on spelling.
+        """
+        if self._raw_workload == "none":
+            return "none"
+        return self.dynamic_workload.spec
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Does this scenario run an open-loop workload instead of phases?"""
+        return self._raw_workload != "none"
+
+    @property
     def run_id(self) -> str:
         return format_run_id(
             self.topology_spec, self.pattern_spec, self.algorithm_spec,
-            self.seed, self.faults_spec,
+            self.seed, self.faults_spec, self.workload_spec,
         )
 
     @property
@@ -247,8 +303,25 @@ class Scenario:
     def traffic(self) -> Pattern:
         resolved = self.__dict__.get("_traffic")
         if resolved is None:
+            if not isinstance(self.pattern, Pattern) and self.pattern_spec == "none":
+                raise ValueError(
+                    "this scenario has no phase pattern (pattern='none'); "
+                    "dynamic scenarios run their workload axis instead"
+                )
             resolved = self.__dict__["_traffic"] = resolve_pattern(
                 self.pattern, self.topo.num_leaves
+            )
+        return resolved
+
+    @property
+    def dynamic_workload(self) -> Workload:
+        """The resolved live workload of a dynamic scenario."""
+        resolved = self.__dict__.get("_workload")
+        if resolved is None:
+            if not self.is_dynamic:
+                raise ValueError("this scenario has no workload axis (workload='none')")
+            resolved = self.__dict__["_workload"] = resolve_workload(
+                self.workload, self.topo.num_leaves
             )
         return resolved
 
@@ -287,11 +360,22 @@ class Scenario:
         return [algorithm.build_table(pairs) for pairs, _ in phases]
 
     def route_table(self) -> RouteTable:
-        """The pristine routes of this scenario's pattern, all phases merged.
+        """The pristine routes of this scenario's traffic, merged.
 
-        Cached; repeated calls (and :meth:`degraded` /
-        :meth:`evaluate`) reuse the same underlying all-pairs table.
+        Phase scenarios merge their per-phase tables; dynamic scenarios
+        return the oblivious scheme's *all-pairs* table — the artifact
+        that answers every future arrival (a pattern-aware scheme has no
+        such static table under churn, and raises).  Cached; repeated
+        calls (and :meth:`degraded` / :meth:`evaluate`) reuse the same
+        underlying all-pairs table.
         """
+        if self.is_dynamic:
+            if not is_oblivious(self.routing):
+                raise ValueError(
+                    f"{self.algorithm_spec!r} is pattern-aware: it has no "
+                    "static route table under an open-loop workload"
+                )
+            return self._cache.all_pairs_table(self.memo_key, self.routing)
         if self._pristine is None:
             self._pristine = self._pristine_tables()
         if not self._pristine:
@@ -303,15 +387,22 @@ class Scenario:
 
         Faults are realized against the *routed* traffic, so adversarial
         specs (``worst-links:...``) cut the most loaded cables of this
-        very scenario's routes.
+        very scenario's routes.  A dynamic scenario's routed traffic is
+        the oblivious all-pairs table (uniform arrivals exercise every
+        row); a pattern-aware dynamic scenario realizes traffic-blind.
         """
         if not self._degraded_done:
             spec = self.fault_spec
             if spec.kind == "none":
                 self._degraded = None
             else:
-                routed = self.route_table()
-                traffic = routed if len(routed) else None
+                if self.is_dynamic:
+                    routed = (
+                        self.route_table() if is_oblivious(self.routing) else None
+                    )
+                else:
+                    routed = self.route_table()
+                traffic = routed if routed is not None and len(routed) else None
                 self._degraded = DegradedTopology(self.topo, spec.realize(self.topo, table=traffic))
             self._degraded_done = True
         return self._degraded
@@ -328,6 +419,11 @@ class Scenario:
         ``metrics`` defaults to :data:`repro.metrics.DEFAULT_METRICS`;
         any registered metric name is accepted.  ``engine`` names a
         registered backend (:data:`repro.sim.engines.ENGINES`).
+
+        Dynamic scenarios record the fixed
+        :data:`repro.workloads.DYNAMIC_METRICS` set — ``metrics``
+        applies to phase scenarios only (a mixed sweep passes one
+        metric list to every cell, so dynamic cells cannot reject it).
         """
         return evaluate_scenario(
             self,
@@ -344,13 +440,20 @@ class Scenario:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ScenarioResult:
-    """A typed, metric-keyed evaluation outcome."""
+    """A typed, metric-keyed evaluation outcome.
+
+    ``dynamic`` carries the full typed
+    :class:`~repro.workloads.DynamicResult` when the scenario ran an
+    open-loop workload (``None`` for phase scenarios); its headline
+    statistics are flattened into ``metrics`` either way.
+    """
 
     scenario: Scenario
     metrics: Mapping[str, object]
     load_histogram: Mapping[int, int]
     fault_info: Mapping[str, int]
     wall_time_s: float
+    dynamic: DynamicResult | None = None
 
     @property
     def run_id(self) -> str:
@@ -371,6 +474,16 @@ class ScenarioResult:
             "load_histogram": {str(k): v for k, v in sorted(self.load_histogram.items())},
             "wall_time_s": round(self.wall_time_s, 6),
         }
+        if self.scenario.workload_spec != "none":
+            record["workload"] = self.scenario.workload_spec
+        if self.dynamic is not None:
+            detail = self.dynamic.to_record()
+            # identity fields live at the record top level, and the
+            # utilization timeseries stays in the `repro dynamic`
+            # document (bounded, but bulky for a many-cell artifact)
+            for key in ("topology", "algorithm", "workload", "engine", "seed", "faults", "util"):
+                detail.pop(key, None)
+            record["dynamic"] = detail
         if self.fault_info:
             record["fault_info"] = dict(self.fault_info)
         return record
@@ -397,10 +510,14 @@ def evaluate_scenario(
     and ``crossbar_memo``; :meth:`Scenario.evaluate` calls it with the
     scenario's own.  Metric values are computed by the registered
     :class:`repro.metrics.Metric` callables over one shared
-    :class:`repro.metrics.EvalContext`.
+    :class:`repro.metrics.EvalContext`.  Dynamic scenarios bypass the
+    metric registry and record :data:`repro.workloads.DYNAMIC_METRICS`
+    regardless of ``metrics`` (see :meth:`Scenario.evaluate`).
     """
     t0 = time.perf_counter()
     resolve_engine(engine)  # fail fast on unknown engine names
+    if scenario.is_dynamic:
+        return _evaluate_dynamic(scenario, engine=engine, config=config, cache=cache, t0=t0)
     metric_fns = resolve_metrics(tuple(metrics) if metrics is not None else DEFAULT_METRICS)
     topo = scenario.topo
     pattern = scenario.traffic
@@ -487,6 +604,82 @@ def evaluate_scenario(
         load_histogram=ctx.load_histogram,
         fault_info=fault_info,
         wall_time_s=time.perf_counter() - t0,
+    )
+
+
+def _evaluate_dynamic(
+    scenario: Scenario,
+    engine: str,
+    config: NetworkConfig,
+    cache: RouteTableCache | None,
+    t0: float,
+) -> ScenarioResult:
+    """The dynamic (open-loop) evaluation path behind the facade.
+
+    Oblivious schemes reuse the shared all-pairs table cache, so in a
+    sweep the same route table serves a ``(topology, algorithm, seed)``
+    group's phase cells *and* its dynamic cells.  The arrival stream is
+    seeded by the scenario seed: two engines (or two algorithms sharing
+    a seed) face the identical stream.
+    """
+    engine_obj = resolve_engine(engine)
+    if engine_obj.kind != "fluid":
+        # fail before any work starts (the driver would only discover
+        # this when instantiating the simulator, deep inside the run)
+        raise ValueError(
+            f"engine {engine_obj.name!r} is not a fluid backend; dynamic "
+            "workloads need an incremental fluid engine "
+            f"({', '.join(fluid_engine_names())})"
+        )
+    topo = scenario.topo
+    algorithm = scenario.routing
+    cache = cache if cache is not None else scenario._cache
+    workload = scenario.dynamic_workload
+    table = None
+    if is_oblivious(algorithm):
+        table = cache.all_pairs_table(scenario.memo_key, algorithm)
+
+    fault_spec = scenario.fault_spec
+    if scenario._degraded_done:
+        degraded = scenario._degraded
+    elif fault_spec.kind == "none":
+        degraded = None
+        scenario._degraded = None
+        scenario._degraded_done = True
+    else:
+        degraded = DegradedTopology(topo, fault_spec.realize(topo, table=table))
+        scenario._degraded = degraded
+        scenario._degraded_done = True
+
+    driver = DynamicDriver(
+        topo,
+        algorithm,
+        engine=engine,
+        config=config,
+        degraded=degraded,
+        repair_seed=scenario.seed,
+        all_pairs_table=table,
+        sample_seed=scenario.seed,
+    )
+    stream = workload.generate(seed=scenario.seed)
+    result = driver.run(
+        stream, workload=workload.spec, seed=scenario.seed, faults=scenario.faults_spec
+    )
+    fault_info: dict[str, int] = {}
+    if degraded is not None:
+        fault_info = {
+            "failed_cables": degraded.num_failed_cables,
+            "failed_switches": degraded.num_failed_switches,
+            "rejected_flows": result.num_rejected,
+            "total_flows": result.num_arrivals,
+        }
+    return ScenarioResult(
+        scenario=scenario,
+        metrics=result.metrics(),
+        load_histogram={},
+        fault_info=fault_info,
+        wall_time_s=time.perf_counter() - t0,
+        dynamic=result,
     )
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "format_sweep_compare",
     "format_sweep_results",
     "format_fault_sweep",
+    "format_dynamic_sweep",
 ]
 
 
@@ -128,7 +129,10 @@ def format_sweep_results(artifact, max_rows: int | None = None) -> str:
         return "empty sweep (no runs matched)"
     metric_names = sorted({m for r in records for m in r["metrics"]})
     show_faults = any(r.get("faults", "none") != "none" for r in records)
+    show_workloads = any(r.get("workload", "none") != "none" for r in records)
     header = ["topology", "pattern", "algorithm", "seed", *metric_names]
+    if show_workloads:
+        header.insert(4, "workload")
     if show_faults:
         header.insert(4, "faults")
     rows = [header]
@@ -137,6 +141,8 @@ def format_sweep_results(artifact, max_rows: int | None = None) -> str:
         cells = [r["topology"], r["pattern"], r["algorithm"], str(r["seed"])]
         if show_faults:
             cells.append(r.get("faults", "none"))
+        if show_workloads:
+            cells.append(r.get("workload", "none"))
         for name in metric_names:
             value = r["metrics"].get(name)
             if isinstance(value, float):
@@ -200,6 +206,73 @@ def format_fault_sweep(artifact) -> str:
     title = (
         f"{headline} vs fault scenario — {spec['patterns'][0]} on "
         f"{spec['topologies'][0]} (median over seeds; (-x%) = flows lost)"
+    )
+    lines = [title]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def format_dynamic_sweep(artifact) -> str:
+    """Render a dynamic sweep: one row per (workload, fault scenario),
+    one column per algorithm — the load-vs-FCT curve tables ``repro
+    dynamic`` prints.
+
+    Cells show the median-over-seeds p50/p99 flow-completion times
+    (ms); a trailing ``(-x%)`` marks rejected (disconnected) arrivals
+    under faults.  Fault scenarios get their own rows (suffix
+    ``+<faults>``), never pooled with pristine runs — the full
+    per-run detail (throughputs, counts) lives in the artifact's
+    ``dynamic`` objects.
+    """
+    if hasattr(artifact, "to_dict"):
+        artifact = artifact.to_dict()
+    spec = artifact["spec"]
+    records = [r for r in artifact["runs"] if r.get("workload", "none") != "none"]
+    if not records:
+        return "empty dynamic sweep (no dynamic runs matched)"
+    algorithms = list(spec["algorithms"])
+    # records carry the *resolved* workload identity (defaults spelled
+    # out), which may differ from the spec's input spelling — derive
+    # the row axis from the records, in first-appearance (plan) order
+    workload_axis = list(dict.fromkeys(r["workload"] for r in records))
+    fault_axis = list(spec.get("faults", ["none"]))
+    cells: dict[tuple[str, str, str], dict[str, list[float]]] = {}
+    for r in records:
+        bucket = cells.setdefault(
+            (r["workload"], r.get("faults", "none"), r["algorithm"]),
+            {"p50": [], "p99": [], "rejected": []},
+        )
+        bucket["p50"].append(r["metrics"]["fct_p50"])
+        bucket["p99"].append(r["metrics"]["fct_p99"])
+        bucket["rejected"].append(r["metrics"].get("rejected_fraction", 0.0))
+
+    def render(workload: str, faults: str, algorithm: str) -> str:
+        bucket = cells.get((workload, faults, algorithm))
+        if not bucket or not bucket["p50"]:
+            return "-"
+        p50 = float(np.median(bucket["p50"])) * 1e3
+        p99 = float(np.median(bucket["p99"])) * 1e3
+        text = f"{p50:.3f}/{p99:.3f}"
+        rejected = float(np.median(bucket["rejected"])) if bucket["rejected"] else 0.0
+        if rejected > 0:
+            text += f" (-{rejected:.1%})"
+        return text
+
+    header = ["workload"] + algorithms
+    rows = [header]
+    for workload in workload_axis:
+        for faults in fault_axis:
+            label = workload if faults == "none" else f"{workload}+{faults}"
+            rows.append(
+                [label] + [render(workload, faults, a) for a in algorithms]
+            )
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    title = (
+        f"FCT p50/p99 [ms] vs workload — {spec['topologies'][0]} "
+        f"(median over seeds; (-x%) = arrivals rejected)"
     )
     lines = [title]
     for i, row in enumerate(rows):

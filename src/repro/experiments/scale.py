@@ -286,8 +286,16 @@ def check_agreement(data: dict, rel_tol: float = 1e-6) -> list[str]:
 
     The max-min allocation is unique, so any real divergence is an
     engine bug, not noise; an empty list means every paired grid cell
-    agrees.
+    agrees.  A document with *zero* paired cells (e.g. a vec-only run
+    where every scalar row fell past the cap) is itself a problem: a
+    check that compared nothing must not green-light the run.
     """
+    if not data.get("speedups"):
+        return [
+            "no scalar/vectorized row pair ran — the agreement check "
+            "verified nothing; raise the scalar cap or lower the flow "
+            "counts so both engines share at least one grid cell"
+        ]
     problems = []
     for pair in data.get("speedups", ()):
         if pair["sim_time_rel_diff"] > rel_tol:

@@ -78,5 +78,13 @@ def slowdown(
         else crossbar_time(pattern, topo.num_leaves, config, engine)
     )
     if t_ref <= 0:
+        # a degenerate pattern whose flows all move zero network bytes
+        # (self-pairs, zero sizes) drains instantly on both fabrics
+        # (t_net == t_ref == 0): slowdown is 1.0 by convention — no
+        # bytes moved, so no contention was added.  A pattern with no
+        # flows at all, or a zero reference against a positive network
+        # time, is still a caller error, never a silent inf/nan
+        if t_net <= 0 and any(phase.flows for phase in pattern.phases):
+            return 1.0
         raise ValueError("reference time must be positive (empty pattern?)")
     return t_net / t_ref

@@ -59,6 +59,7 @@ from ..registry import parse_spec
 from ..sim.engines import DEFAULT_ENGINE, resolve_engine
 from ..topology import slimmed_two_level
 from ..topology.registry import resolve_topology
+from ..workloads import DYNAMIC_METRICS, WORKLOADS, resolve_workload
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -81,12 +82,15 @@ __all__ = [
     "load_artifact",
     "figure_grid_spec",
     "fault_grid_spec",
+    "dynamic_grid_spec",
+    "DYNAMIC_METRICS",
     "sweep_to_figure",
 ]
 
 #: version stamp of the JSON artifact layout (docs/sweep_schema.md);
-#: v2 added the ``faults`` axis and the resilience metrics
-SCHEMA_VERSION = 2
+#: v2 added the ``faults`` axis and the resilience metrics, v3 the
+#: ``workloads`` axis (dynamic open-loop cells with FCT metrics)
+SCHEMA_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -108,6 +112,20 @@ class SweepSpec:
     strings per :func:`repro.faults.parse_fault_spec` (``"none"`` keeps
     the topology pristine).  ``metrics`` may name any registered metric
     (:data:`repro.metrics.METRICS`), including third-party ones.
+
+    ``workloads`` (schema v3) is the dynamic open-loop axis: registered
+    workload specs (:data:`repro.workloads.WORKLOADS`, e.g.
+    ``"poisson(load=0.8)"``).  ``"none"`` plans the classic phase cells
+    over ``patterns``; every other entry plans one *dynamic* cell per
+    (topology, algorithm, seed, faults) combination — its ``pattern``
+    is the placeholder ``none``, it records the fixed FCT/slowdown
+    metric set (:data:`repro.workloads.DYNAMIC_METRICS`) instead of
+    ``metrics``, and its seed axis only collapses when nothing is
+    seeded — trace replay under a deterministic scheme on a pristine
+    fabric — since the seed otherwise drives the arrival stream even
+    for deterministic schemes.  A dynamic-only sweep may leave
+    ``patterns`` empty; patterns combined with an all-dynamic
+    workloads axis are rejected (they would silently never run).
     """
 
     topologies: tuple[str, ...]
@@ -118,10 +136,17 @@ class SweepSpec:
     engine: str = DEFAULT_ENGINE
     name: str = ""
     faults: tuple[str, ...] = ("none",)
+    workloads: tuple[str, ...] = ("none",)
 
     def __post_init__(self):
-        if not self.topologies or not self.patterns or not self.algorithms:
-            raise ValueError("a sweep needs at least one topology, pattern and algorithm")
+        if not self.topologies or not self.algorithms:
+            raise ValueError("a sweep needs at least one topology and algorithm")
+        if not self.workloads:
+            raise ValueError("the workloads axis needs at least one entry ('none')")
+        if not self.patterns and any(w == "none" for w in self.workloads):
+            raise ValueError(
+                "a sweep needs at least one pattern (or an all-dynamic workloads axis)"
+            )
         if not self.faults:
             raise ValueError("the faults axis needs at least one entry ('none')")
         if self.seeds < 1:
@@ -138,6 +163,31 @@ class SweepSpec:
             parse_spec(spec)
         for spec in self.faults:
             parse_fault_spec(spec)
+        canonical = []
+        n0 = None
+        for spec in self.workloads:
+            if spec != "none":
+                name, _ = parse_spec(spec)
+                WORKLOADS.get(name)  # fail fast on unknown workload names
+                # normalize to the *resolved* identity (sorted params,
+                # defaults spelled out) so plan ids, record ids and the
+                # baseline gate agree regardless of input spelling; the
+                # first topology stands in for num_leaves (the spec is
+                # machine-independent)
+                if n0 is None:
+                    n0 = resolve_topology(self.topologies[0]).num_leaves
+                spec = resolve_workload(spec, n0).spec
+            canonical.append(spec)
+        object.__setattr__(self, "workloads", tuple(canonical))
+        if self.patterns and all(w != "none" for w in self.workloads):
+            # phase cells are only planned under the "none" workload, so
+            # these patterns would silently never run — and a baseline
+            # gate over the artifact would stop covering them
+            raise ValueError(
+                "patterns were given but the workloads axis has no 'none' "
+                "entry, so no phase cells would be planned; add 'none' to "
+                "workloads or drop the patterns"
+            )
 
     def to_dict(self) -> dict:
         return {
@@ -149,19 +199,21 @@ class SweepSpec:
             "engine": self.engine,
             "name": self.name,
             "faults": list(self.faults),
+            "workloads": list(self.workloads),
         }
 
     @staticmethod
     def from_dict(d: dict) -> "SweepSpec":
         return SweepSpec(
             topologies=tuple(d["topologies"]),
-            patterns=tuple(d["patterns"]),
+            patterns=tuple(d.get("patterns", ())),
             algorithms=tuple(d["algorithms"]),
             seeds=int(d.get("seeds", 1)),
             metrics=tuple(d.get("metrics", DEFAULT_METRICS)),
             engine=d.get("engine", DEFAULT_ENGINE),
             name=d.get("name", ""),
             faults=tuple(d.get("faults", ("none",))),
+            workloads=tuple(d.get("workloads", ("none",))),
         )
 
 
@@ -173,6 +225,7 @@ def record_id(record: dict) -> str:
         record["algorithm"],
         record["seed"],
         record.get("faults", "none"),
+        record.get("workload", "none"),
     )
 
 
@@ -185,23 +238,27 @@ class RunSpec:
     algorithm: str
     seed: int
     faults: str = "none"
+    workload: str = "none"
 
     @property
     def run_id(self) -> str:
         return format_run_id(
-            self.topology, self.pattern, self.algorithm, self.seed, self.faults
+            self.topology, self.pattern, self.algorithm, self.seed,
+            self.faults, self.workload,
         )
 
     @property
     def memo_key(self) -> tuple[str, str, int]:
-        """Route tables are shared across patterns and fault scenarios
-        (repair filters the *pristine* table), never across these."""
+        """Route tables are shared across patterns, fault scenarios and
+        workloads (repair filters the *pristine* table; dynamic cells
+        subset the same all-pairs rows), never across these."""
         return (self.topology, self.algorithm, self.seed)
 
     def scenario(self) -> Scenario:
         """This grid cell as a :class:`repro.api.Scenario`."""
         return Scenario(
-            self.topology, self.pattern, self.algorithm, faults=self.faults, seed=self.seed
+            self.topology, self.pattern, self.algorithm, faults=self.faults,
+            seed=self.seed, workload=self.workload,
         )
 
 
@@ -248,15 +305,30 @@ def plan_runs(spec: SweepSpec, run_filter: str | None = None) -> tuple[RunSpec, 
     consecutive, so parallel chunking by memo key keeps each table build
     inside one worker.  Deterministic/single-series algorithms collapse
     the seed axis to ``{0}`` on the pristine topology; under a fault
-    scenario the seed still varies the *repair* draw, so the full seed
-    range is planned there even for deterministic schemes.
+    scenario the seed still varies the *repair* draw, and under a
+    *seeded* dynamic workload it seeds the arrival stream, so the full
+    seed range is planned in both cases even for deterministic schemes.
+    Seed-insensitive workloads (trace replay — ``Workload.seeded`` is
+    False) collapse like patterns do: re-simulating an identical stream
+    under a deterministic scheme on a pristine fabric is an inert seed.
+    Dynamic cells (``workload != "none"``) are planned once per
+    (topology, algorithm, seed, faults) with the placeholder pattern
+    ``"none"`` — an open-loop workload has no phase-pattern axis.
     ``run_filter`` is an ``fnmatch`` pattern applied to ``run_id``
     (substring match when it has no wildcards).
     """
+    workload_seeded: dict[str, bool] = {}
     for topo_spec in spec.topologies:
         topo = resolve_topology(topo_spec)
         for pattern in spec.patterns:
             _resolve_pattern(pattern, topo.num_leaves)  # validate fit
+        for workload in spec.workloads:
+            if workload != "none":
+                # validate fit; seed sensitivity is a property of the
+                # workload spec alone, identical across topologies
+                workload_seeded[workload] = resolve_workload(
+                    workload, topo.num_leaves
+                ).seeded
     runs: list[RunSpec] = []
     fault_kinds = {faults: parse_fault_spec(faults).kind for faults in spec.faults}
     for topo_spec in spec.topologies:
@@ -265,10 +337,19 @@ def plan_runs(spec: SweepSpec, run_filter: str | None = None) -> tuple[RunSpec, 
             single = name in SINGLE_SEED_ALGORITHMS
             for seed in range(spec.seeds):
                 for faults in spec.faults:
-                    if single and seed > 0 and fault_kinds[faults] == "none":
-                        continue  # deterministic scheme, pristine fabric: inert seed
-                    for pattern in spec.patterns:
-                        runs.append(RunSpec(topo_spec, pattern, algorithm, seed, faults))
+                    inert = single and seed > 0 and fault_kinds[faults] == "none"
+                    for workload in spec.workloads:
+                        if workload != "none":
+                            if inert and not workload_seeded[workload]:
+                                continue  # identical stream, scheme and fabric
+                            runs.append(
+                                RunSpec(topo_spec, "none", algorithm, seed, faults, workload)
+                            )
+                            continue
+                        if inert:
+                            continue  # deterministic scheme, pristine fabric
+                        for pattern in spec.patterns:
+                            runs.append(RunSpec(topo_spec, pattern, algorithm, seed, faults))
     if run_filter:
         glob = run_filter if any(c in run_filter for c in "*?[") else f"*{run_filter}*"
         runs = [r for r in runs if fnmatch(r.run_id, glob)]
@@ -522,6 +603,38 @@ def fault_grid_spec(
         engine=engine,
         name=f"faults-{kind}-{pattern}",
         faults=faults,
+    )
+
+
+def dynamic_grid_spec(
+    topology: str,
+    workloads: Sequence[str],
+    algorithms: Sequence[str],
+    seeds: int = 1,
+    engine: str = DEFAULT_ENGINE,
+    faults: Sequence[str] = ("none",),
+    name: str = "",
+) -> SweepSpec:
+    """A dynamic-only grid: load-vs-FCT curves per routing algorithm.
+
+    ``workloads`` are registered workload specs (the ``repro dynamic``
+    CLI builds a ``poisson(load=...)`` ladder from ``--loads``); the
+    grid has no phase patterns, so every cell is an open-loop run
+    recording :data:`repro.workloads.DYNAMIC_METRICS`.
+    """
+    if not workloads:
+        raise ValueError("need at least one workload spec")
+    if any(w == "none" for w in workloads):
+        raise ValueError("a dynamic grid takes real workload specs, not 'none'")
+    return SweepSpec(
+        topologies=(topology,),
+        patterns=(),
+        algorithms=tuple(algorithms),
+        seeds=seeds,
+        engine=engine,
+        faults=tuple(faults),
+        workloads=tuple(workloads),
+        name=name or "dynamic",
     )
 
 

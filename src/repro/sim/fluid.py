@@ -230,15 +230,22 @@ class FluidSimulator:
             for fl in self._flows.values():
                 fl.remaining -= fl.rate * dt
             self.now = t
-            finished = self._collect_finished()
+            # a t landing in (nc, nc + _EPS] is accepted above, but any
+            # flow draining dry in this step completed at nc, not t —
+            # stamp the true instant, or dense arrival streams (which
+            # advance in sub-_EPS hops) systematically inflate FCTs
+            finished = self._collect_finished(
+                at=nc if nc is not None and t > nc else None
+            )
         return finished
 
-    def _collect_finished(self) -> list[FlowResult]:
+    def _collect_finished(self, at: float | None = None) -> list[FlowResult]:
+        finish = self.now if at is None else at
         done = [fid for fid, fl in self._flows.items() if fl.remaining <= _EPS * fl.size + _EPS]
         results = []
         for fid in sorted(done):
             fl = self._flows.pop(fid)
-            res = FlowResult(fid, fl.start, self.now, fl.size)
+            res = FlowResult(fid, fl.start, finish, fl.size)
             results.append(res)
             self._results.append(res)
         if done:

@@ -378,10 +378,17 @@ class VecFluidSimulator:
             act = self._active
             self._remaining[act] -= self._rate[act] * dt
             self.now = t
-            finished = self._collect_finished()
+            # a t landing in (nc, nc + _EPS] is accepted above, but any
+            # flow draining dry in this step completed at nc, not t —
+            # stamp the true instant, or dense arrival streams (which
+            # advance in sub-_EPS hops) systematically inflate FCTs
+            finished = self._collect_finished(
+                at=nc if nc is not None and t > nc else None
+            )
         return finished
 
-    def _collect_finished(self) -> list[FlowResult]:
+    def _collect_finished(self, at: float | None = None) -> list[FlowResult]:
+        finish = self.now if at is None else at
         act = self._active
         done = act & (self._remaining <= _EPS * self._size + _EPS)
         slots = np.nonzero(done)[0]
@@ -392,7 +399,7 @@ class VecFluidSimulator:
         results = []
         for s in slots.tolist():
             fid = int(self._flow_id[s])
-            res = FlowResult(fid, float(self._start[s]), self.now, float(self._size[s]))
+            res = FlowResult(fid, float(self._start[s]), finish, float(self._size[s]))
             results.append(res)
             self._results.append(res)
             del self._id_to_slot[fid]

@@ -1,0 +1,405 @@
+"""The event-driven dynamic driver: arrivals onto a live fluid engine.
+
+:class:`DynamicDriver` merges an :class:`~repro.workloads.stream.ArrivalStream`
+with the completion stream of any registered fluid-kind engine
+(:data:`repro.sim.engines.ENGINES`), using exactly the incremental
+surface both engines already expose: ``advance_to`` up to the next
+arrival instant, ``advance_to_next_completion`` when a completion comes
+first, and batch ``add_flows`` for every arrival batch.  Routes are
+installed *before* the traffic exists — the all-pairs table of an
+oblivious scheme answers every arrival by row lookup, which is the
+operational meaning of obliviousness under churn (Räcke & Schmid,
+*Compact Oblivious Routing*).  Pattern-aware schemes still run (each
+arrival batch is routed as it appears), but what they "see" is only the
+batch — open-loop traffic is precisely the regime where their pattern
+knowledge evaporates.
+
+Faults compose: pass a :class:`~repro.faults.DegradedTopology` and the
+all-pairs table is locally repaired once (:func:`repro.faults.repair_table`);
+arrivals between disconnected pairs are *rejected* and counted — under
+churn, flow loss shows up as refused admissions, not broken phases.
+
+The measurement layer is online and O(1) in the stream length
+(:mod:`repro.workloads.online`): exact FCT/slowdown means plus
+reservoir-sampled percentiles, offered-vs-delivered throughput, and a
+bounded per-link utilization timeseries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.base import RouteTable, RoutingAlgorithm
+from ..core.factory import is_oblivious
+from ..sim.config import PAPER_CONFIG, NetworkConfig
+from ..sim.engines import DEFAULT_ENGINE, make_fluid_simulator
+from ..sim.network import flow_incidence, xgft_link_space
+from .online import OnlineStat, StatSummary, UtilSample, UtilSeries
+from .stream import ArrivalStream
+
+__all__ = ["DynamicDriver", "DynamicResult", "DYNAMIC_METRICS"]
+
+#: the metric names a dynamic run records (all lower-is-better, so the
+#: sweep regression gate's comparison convention carries over)
+DYNAMIC_METRICS = (
+    "fct_mean",
+    "fct_p50",
+    "fct_p99",
+    "slowdown_mean",
+    "slowdown_p50",
+    "slowdown_p99",
+    "rejected_fraction",
+    "makespan",
+)
+
+
+@dataclass(frozen=True)
+class DynamicResult:
+    """The typed outcome of one dynamic (open-loop) run.
+
+    Flow counts partition the stream: ``num_arrivals = num_self +
+    num_rejected + num_completed`` once the run drains (self-pairs never
+    enter the network; rejected pairs had no surviving route).
+    ``offered_bytes`` counts every byte asked of the *network* (self-
+    pairs excluded, rejected included); ``delivered_bytes`` the bytes
+    actually drained.
+    """
+
+    topology: str
+    algorithm: str
+    workload: str
+    engine: str
+    seed: int
+    faults: str
+    num_arrivals: int
+    num_self: int
+    num_rejected: int
+    num_completed: int
+    offered_bytes: float
+    delivered_bytes: float
+    #: last arrival instant (the open-loop demand horizon)
+    horizon: float
+    #: simulated instant the last flow drained
+    makespan: float
+    fct: StatSummary
+    slowdown: StatSummary
+    util: tuple[UtilSample, ...]
+    wall_time_s: float
+
+    @property
+    def offered_throughput(self) -> float:
+        """Offered network bytes per second over the arrival horizon.
+
+        A zero horizon (every arrival at t=0 — a pure burst trace)
+        falls back to the makespan: the burst's bytes were offered
+        within the run, not at an infinite rate and not at zero.
+        """
+        span = self.horizon if self.horizon > 0 else self.makespan
+        return self.offered_bytes / span if span > 0 else 0.0
+
+    @property
+    def delivered_throughput(self) -> float:
+        """Delivered bytes per second over the makespan."""
+        return self.delivered_bytes / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def rejected_fraction(self) -> float:
+        offered = self.num_rejected + self.num_completed
+        return self.num_rejected / offered if offered else 0.0
+
+    def metrics(self) -> dict[str, float]:
+        """The lower-is-better metric dict sweep records carry."""
+        fct, slow = self.fct, self.slowdown
+        return {
+            "fct_mean": fct.mean,
+            "fct_p50": fct.p50,
+            "fct_p99": fct.p99,
+            "slowdown_mean": slow.mean,
+            "slowdown_p50": slow.p50,
+            "slowdown_p99": slow.p99,
+            "rejected_fraction": self.rejected_fraction,
+            "makespan": self.makespan,
+        }
+
+    def to_record(self) -> dict:
+        """The JSON form (``repro dynamic`` documents, sweep records)."""
+        return {
+            "topology": self.topology,
+            "algorithm": self.algorithm,
+            "workload": self.workload,
+            "engine": self.engine,
+            "seed": self.seed,
+            "faults": self.faults,
+            "flows": {
+                "arrivals": self.num_arrivals,
+                "self": self.num_self,
+                "rejected": self.num_rejected,
+                "completed": self.num_completed,
+            },
+            "offered_bytes": self.offered_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "horizon": self.horizon,
+            "makespan": self.makespan,
+            "offered_throughput": self.offered_throughput,
+            "delivered_throughput": self.delivered_throughput,
+            "fct": self.fct.to_dict(),
+            "slowdown": self.slowdown.to_dict(),
+            "util": [s.to_dict() for s in self.util],
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
+
+class DynamicDriver:
+    """Drives one open-loop arrival stream through a fluid engine.
+
+    Parameters
+    ----------
+    topo, algorithm:
+        The machine and the routing scheme (a live
+        :class:`~repro.core.base.RoutingAlgorithm`).
+    engine:
+        A registered fluid-kind engine name (``fluid`` / ``fluid-vec`` /
+        third-party registrations).
+    degraded:
+        Optional :class:`~repro.faults.DegradedTopology`; routes are
+        locally repaired against it and disconnected pairs rejected.
+    all_pairs_table:
+        Optional prebuilt *pristine* all-pairs table for oblivious
+        schemes (the sweep's :class:`repro.api.RouteTableCache` passes
+        it so dynamic cells share tables with phase cells).
+    fct_reservoir / util_capacity:
+        Memory bounds of the online metrics layer.
+    """
+
+    def __init__(
+        self,
+        topo,
+        algorithm: RoutingAlgorithm,
+        engine: str = DEFAULT_ENGINE,
+        config: NetworkConfig = PAPER_CONFIG,
+        degraded=None,
+        repair_seed: int = 0,
+        all_pairs_table: RouteTable | None = None,
+        fct_reservoir: int = 8192,
+        util_capacity: int = 256,
+        sample_seed: int = 0,
+    ):
+        if algorithm.topo != topo:
+            raise ValueError("the algorithm routes a different topology")
+        if degraded is not None and degraded.topo != topo:
+            raise ValueError("the degraded topology does not match the machine")
+        self.topo = topo
+        self.algorithm = algorithm
+        self.engine = engine
+        self.config = config
+        self.degraded = degraded
+        self.repair_seed = int(repair_seed)
+        self.fct_reservoir = int(fct_reservoir)
+        self.util_capacity = int(util_capacity)
+        self.sample_seed = int(sample_seed)
+        self.space = xgft_link_space(topo)
+        self._rows: np.ndarray | None = None
+        self._full: RouteTable | None = None
+        if is_oblivious(algorithm):
+            full = (
+                all_pairs_table
+                if all_pairs_table is not None
+                else algorithm.all_pairs_table()
+            )
+            if degraded is not None:
+                from ..faults import repair_table
+
+                full = repair_table(full, degraded, seed=self.repair_seed).table
+            n = topo.num_leaves
+            rows = np.full(n * n, -1, dtype=np.int64)
+            rows[full.src * n + full.dst] = np.arange(len(full), dtype=np.int64)
+            self._full = full
+            self._rows = rows
+
+    # ------------------------------------------------------------------
+    # Per-batch routing
+    # ------------------------------------------------------------------
+    def _route_batch(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> tuple[RouteTable, np.ndarray]:
+        """Route one arrival batch; returns (table, kept-mask).
+
+        The mask is over the batch: ``False`` marks rejected arrivals
+        (no surviving route under the degradation).  The table rows are
+        the kept arrivals, in batch order.
+        """
+        if self._full is not None:
+            n = self.topo.num_leaves
+            idx = self._rows[src * n + dst]
+            kept = idx >= 0
+            idx = idx[kept]
+            full = self._full
+            table = RouteTable(
+                self.topo, full.src[idx], full.dst[idx], full.nca_level[idx], full.ports[idx]
+            )
+            return table, kept
+        table = self.algorithm.build_table(list(zip(src.tolist(), dst.tolist())))
+        if self.degraded is not None:
+            from ..faults import repair_table
+
+            result = repair_table(table, self.degraded, seed=self.repair_seed)
+            kept = ~result.disconnected
+            return result.table, kept
+        return table, np.ones(len(src), dtype=bool)
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stream: ArrivalStream,
+        workload: str = "",
+        seed: int = 0,
+        faults: str | None = None,
+    ) -> DynamicResult:
+        """Drain one arrival stream and return its :class:`DynamicResult`.
+
+        ``workload``/``seed``/``faults`` are identity labels carried
+        into the result record (``faults`` defaults to ``"none"`` or
+        ``"degraded"`` from the driver's fault state).
+        """
+        t0 = time.perf_counter()
+        stream.validate_leaves(self.topo.num_leaves)
+        sim = make_fluid_simulator(
+            self.engine, self.space.num_links, self.config.link_bandwidth
+        )
+        fct = OnlineStat(self.fct_reservoir, seed=self.sample_seed)
+        slow = OnlineStat(self.fct_reservoir, seed=self.sample_seed + 1)
+        util = UtilSeries(self.util_capacity, seed=self.sample_seed + 2)
+        links_of: dict[int, np.ndarray] = {}
+        bandwidth = self.config.link_bandwidth
+        capacity = np.full(self.space.num_links, bandwidth)
+
+        num_self = num_rejected = num_completed = 0
+        offered_bytes = delivered_bytes = 0.0
+
+        def snapshot() -> UtilSample:
+            link_rate = np.zeros(self.space.num_links)
+            rates = sim.rates()
+            for fid, rate in rates.items():
+                link_rate[links_of[fid]] += rate
+            busy = link_rate > 0
+            n_busy = int(busy.sum())
+            utilization = link_rate / capacity
+            return UtilSample(
+                time=sim.now,
+                active_flows=len(rates),
+                max_util=float(utilization.max()) if n_busy else 0.0,
+                mean_busy_util=float(utilization[busy].mean()) if n_busy else 0.0,
+                busy_fraction=n_busy / self.space.num_links,
+            )
+
+        def record(finished) -> None:
+            nonlocal num_completed, delivered_bytes
+            for res in finished:
+                num_completed += 1
+                delivered_bytes += res.size
+                duration = res.finish - res.start
+                fct.add(duration)
+                # unloaded reference: the flow alone runs at full link
+                # bandwidth; zero-byte flows finish instantly on both
+                # fabrics, so their slowdown is 1.0 by convention
+                ideal = res.size / bandwidth
+                slow.add(duration / ideal if ideal > 0 else 1.0)
+                links_of.pop(res.flow_id, None)
+
+        times = stream.times
+        n = len(stream)
+        i = 0
+        max_events = 4 * n + 64
+        for _ in range(max_events):
+            t_arr = times[i] if i < n else None
+            nc = sim.next_completion_time()
+            if t_arr is None and nc is None:
+                break
+            if t_arr is None or (nc is not None and nc <= t_arr):
+                record(sim.advance_to_next_completion())
+            else:
+                record(sim.advance_to(float(t_arr)))
+                j = int(np.searchsorted(times, t_arr, side="right"))
+                instant_base = len(sim.results)
+                batch_self, batch_rejected, batch_bytes = self._inject(
+                    sim, stream, i, j, links_of
+                )
+                num_self += batch_self
+                num_rejected += batch_rejected
+                offered_bytes += batch_bytes
+                # zero-byte flows complete inside add_flows and never
+                # surface as completion events — harvest them here
+                record(sim.results[instant_base:])
+                i = j
+            util.consider(snapshot)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("dynamic driver exceeded its event budget")
+
+        return DynamicResult(
+            topology=self.topo.spec(),
+            algorithm=getattr(self.algorithm, "name", str(self.algorithm)),
+            workload=workload,
+            engine=str(self.engine),
+            seed=int(seed),
+            faults=(
+                faults
+                if faults is not None
+                else ("none" if self.degraded is None else "degraded")
+            ),
+            num_arrivals=n,
+            num_self=num_self,
+            num_rejected=num_rejected,
+            num_completed=num_completed,
+            offered_bytes=offered_bytes,
+            delivered_bytes=delivered_bytes,
+            horizon=stream.horizon,
+            makespan=sim.now,
+            fct=fct.summary(),
+            slowdown=slow.summary(),
+            util=util.samples(),
+            wall_time_s=time.perf_counter() - t0,
+        )
+
+    def _inject(
+        self,
+        sim,
+        stream: ArrivalStream,
+        i: int,
+        j: int,
+        links_of: dict[int, np.ndarray],
+    ) -> tuple[int, int, float]:
+        """Route and add arrivals ``[i, j)`` at the engine's clock.
+
+        Returns ``(num_self, num_rejected, offered_bytes)`` for the
+        batch; self-pairs never reach the network, rejected pairs had no
+        surviving route under the degradation.
+        """
+        src = stream.src[i:j]
+        dst = stream.dst[i:j]
+        sizes = stream.sizes[i:j]
+        ids = np.arange(i, j, dtype=np.int64)
+        network = src != dst
+        n_self = int((~network).sum())
+        src, dst, sizes, ids = src[network], dst[network], sizes[network], ids[network]
+        offered = float(sizes.sum())
+        if not len(ids):
+            return n_self, 0, offered
+        table, kept = self._route_batch(src, dst)
+        n_rejected = int((~kept).sum())
+        sizes, ids = sizes[kept], ids[kept]
+        if not len(ids):
+            return n_self, n_rejected, offered
+        coo_flow, coo_link = flow_incidence(table, self.space)
+        # per-flow link arrays for the utilization snapshots
+        order = np.argsort(coo_flow, kind="stable")
+        counts = np.bincount(coo_flow, minlength=len(ids))
+        bounds = np.cumsum(counts)[:-1]
+        for fid, arr in zip(ids.tolist(), np.split(coo_link[order], bounds)):
+            links_of[fid] = arr
+        sim.add_flows(ids, sizes, coo_flow, coo_link)
+        return n_self, n_rejected, offered

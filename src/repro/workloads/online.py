@@ -1,0 +1,161 @@
+"""Online (single-pass, bounded-memory) metrics for dynamic runs.
+
+A 100k-flow arrival stream must not cost 100k stored samples: every
+collector here is O(1) in the stream length.
+
+* :class:`Reservoir` — classic Algorithm-R reservoir sampling with a
+  seeded RNG, so percentiles over the sampled values are repeatable and
+  the memory bound is the capacity, not the stream.  Mean/count/max are
+  tracked *exactly* alongside (they need no samples).
+* :class:`OnlineStat` — the (exact mean/max/count, sampled percentiles)
+  pair the FCT and slowdown summaries are built from.
+* :class:`UtilSeries` — a reservoir over *event-time snapshots* of link
+  utilization (each snapshot is a scalar summary, never the per-link
+  vector), giving a bounded utilization timeseries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Reservoir", "OnlineStat", "StatSummary", "UtilSample", "UtilSeries"]
+
+
+class Reservoir:
+    """Uniform fixed-capacity sample of an unbounded value stream."""
+
+    def __init__(self, capacity: int = 8192, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._rng = np.random.default_rng(seed)
+        self._values: list = []
+        self.seen = 0
+
+    def offer(self, value) -> bool:
+        """Offer one value; returns whether it was kept."""
+        return self.offer_lazy(lambda: value)
+
+    def offer_lazy(self, make) -> bool:
+        """One Algorithm-R step; ``make()`` only runs if the value is
+        kept — an unsampled offer costs a single RNG draw, so callers
+        with expensive values (utilization snapshots) pay for at most
+        ``capacity + O(capacity · log(n/capacity))`` of them."""
+        self.seen += 1
+        if len(self._values) < self.capacity:
+            self._values.append(make())
+            return True
+        j = int(self._rng.integers(0, self.seen))
+        if j < self.capacity:
+            self._values[j] = make()
+            return True
+        return False
+
+    def values(self) -> list:
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+@dataclass(frozen=True)
+class StatSummary:
+    """The serialized summary of one online statistic."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    max: float
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+class OnlineStat:
+    """Exact mean/max/count plus reservoir-sampled percentiles."""
+
+    def __init__(self, capacity: int = 8192, seed: int = 0):
+        self._reservoir = Reservoir(capacity, seed=seed)
+        self._sum = 0.0
+        self._max = 0.0
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self._sum += value
+        if value > self._max:
+            self._max = value
+        self._reservoir.offer(value)
+
+    def summary(self) -> StatSummary:
+        if not self.count:
+            return StatSummary(0, 0.0, 0.0, 0.0, 0.0)
+        sampled = np.asarray(self._reservoir.values(), dtype=np.float64)
+        p50, p99 = np.percentile(sampled, (50, 99))
+        return StatSummary(
+            count=self.count,
+            mean=self._sum / self.count,
+            p50=float(p50),
+            p99=float(p99),
+            max=self._max,
+        )
+
+
+@dataclass(frozen=True)
+class UtilSample:
+    """One sampled instant of the network's link utilization."""
+
+    time: float
+    active_flows: int
+    #: utilization of the single busiest link (1.0 = saturated)
+    max_util: float
+    #: mean utilization over the links carrying any traffic
+    mean_busy_util: float
+    #: fraction of links carrying any traffic
+    busy_fraction: float
+
+    def to_dict(self) -> dict:
+        return {
+            "time": round(self.time, 9),
+            "active_flows": self.active_flows,
+            "max_util": round(self.max_util, 6),
+            "mean_busy_util": round(self.mean_busy_util, 6),
+            "busy_fraction": round(self.busy_fraction, 6),
+        }
+
+
+class UtilSeries:
+    """Bounded reservoir of utilization snapshots over event times.
+
+    A thin wrapper over :meth:`Reservoir.offer_lazy`: the snapshot
+    factory only runs when the event is actually kept.  Samples are
+    re-sorted by time on read, since reservoir eviction scrambles
+    order.
+    """
+
+    def __init__(self, capacity: int = 256, seed: int = 0):
+        self._reservoir = Reservoir(capacity, seed=seed)
+
+    def consider(self, make_sample) -> bool:
+        """One reservoir step; ``make_sample()`` only runs if kept."""
+        return self._reservoir.offer_lazy(make_sample)
+
+    def samples(self) -> tuple[UtilSample, ...]:
+        return tuple(sorted(self._reservoir.values(), key=lambda s: s.time))
+
+    @property
+    def seen(self) -> int:
+        return self._reservoir.seen
+
+    def __len__(self) -> int:
+        return len(self._reservoir)

@@ -1,0 +1,123 @@
+"""Registered flow-size distributions for the open-loop workloads.
+
+Every dynamic workload draws per-flow message sizes from a *size
+distribution*, selected by name through :data:`SIZES` — a
+:class:`repro.registry.Registry` like the other component families.
+The spec DSL has no nested parentheses, so a workload spec flattens the
+distribution parameters into its own parameter list::
+
+    poisson(load=0.7)                              # fixed 64 KB default
+    poisson(load=0.7,sizes=uniform,spread=0.5)
+    poisson(load=0.7,sizes=pareto,alpha=1.5,mean_size=262144)
+
+All distributions are parameterized by their *mean* (``mean_size``,
+bytes) so the offered load of a workload is independent of the shape:
+``load`` fixes the byte arrival rate, the distribution only decides how
+those bytes clump into flows.  ``pareto`` is the heavy-tailed case
+(bounded Lomax, mean-normalized): most flows are mice, a vanishing
+fraction are elephants — the regime where FCT percentiles and mean
+diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..registry import Registry
+
+__all__ = [
+    "DEFAULT_MEAN_SIZE",
+    "SIZES",
+    "SizeDist",
+    "register_size_dist",
+    "resolve_size_dist",
+]
+
+#: the segment-aligned 64 KB base message every other harness uses
+DEFAULT_MEAN_SIZE = 64 * 1024.0
+
+#: the size-distribution registry: name -> builder(``**params``)
+SIZES: Registry = Registry("size distribution")
+
+
+@dataclass(frozen=True)
+class SizeDist:
+    """A named flow-size sampler with a known mean.
+
+    ``sample(rng, n)`` returns ``n`` i.i.d. sizes in bytes; ``mean`` is
+    the exact expectation the workload generators use to convert an
+    offered byte rate into a flow arrival rate.  ``params`` is the
+    *fully resolved* parameter dict (defaults spelled out) — workload
+    builders flatten it into their canonical spec, so two spellings of
+    the same distribution share one run identity.
+    """
+
+    name: str
+    mean: float
+    sample: Callable[[np.random.Generator, int], np.ndarray]
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.mean <= 0:
+            raise ValueError("size distribution mean must be positive")
+
+
+def register_size_dist(name: str, builder, *, override: bool = False):
+    """Register ``builder(**params) -> SizeDist`` under ``name``."""
+    return SIZES.register(name, builder, override=override)
+
+
+def resolve_size_dist(name: str, **params) -> SizeDist:
+    """Build a registered size distribution from flattened parameters."""
+    return SIZES.get(name)(**params)
+
+
+@SIZES.register("fixed")
+def _fixed(mean_size: float = DEFAULT_MEAN_SIZE) -> SizeDist:
+    """Every flow carries exactly ``mean_size`` bytes."""
+    mean = float(mean_size)
+    if mean <= 0:
+        raise ValueError("mean_size must be positive")
+    return SizeDist("fixed", mean, lambda rng, n: np.full(n, mean), {"mean_size": mean})
+
+
+@SIZES.register("uniform")
+def _uniform(mean_size: float = DEFAULT_MEAN_SIZE, spread: float = 0.5) -> SizeDist:
+    """Uniform on ``mean_size * [1 - spread, 1 + spread]``."""
+    mean = float(mean_size)
+    spread = float(spread)
+    if mean <= 0:
+        raise ValueError("mean_size must be positive")
+    if not 0 <= spread <= 1:
+        raise ValueError("spread must be within [0, 1]")
+
+    def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+        return mean * (1.0 + spread * (2.0 * rng.random(n) - 1.0))
+
+    return SizeDist("uniform", mean, sample, {"mean_size": mean, "spread": spread})
+
+
+@SIZES.register("pareto")
+def _pareto(mean_size: float = DEFAULT_MEAN_SIZE, alpha: float = 2.5) -> SizeDist:
+    """Heavy-tailed Lomax (Pareto-II) sizes normalized to ``mean_size``.
+
+    ``alpha`` is the tail index; smaller is heavier.  ``alpha > 1`` is
+    required so the mean exists (the load calculation needs it) — the
+    classic flow-size tail fit lands around ``alpha ~ 1.1 .. 2.5``.
+    """
+    mean = float(mean_size)
+    alpha = float(alpha)
+    if mean <= 0:
+        raise ValueError("mean_size must be positive")
+    if alpha <= 1:
+        raise ValueError("alpha must exceed 1 (the mean must exist)")
+    # Lomax(alpha, scale) has mean scale / (alpha - 1)
+    scale = mean * (alpha - 1.0)
+
+    def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+        return scale * (np.power(1.0 - rng.random(n), -1.0 / alpha) - 1.0)
+
+    return SizeDist("pareto", mean, sample, {"mean_size": mean, "alpha": alpha})

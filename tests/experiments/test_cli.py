@@ -218,7 +218,7 @@ class TestFaultsCommand:
         text = capsys.readouterr().out
         assert "fault scenario" in text and "links:rate=0.05" in text
         data = json.loads(out.read_text())
-        assert data["schema_version"] == 2
+        assert data["schema_version"] == 3
         assert data["spec"]["faults"] == ["none", "links:rate=0.05"]
 
     def test_defaults_run(self, capsys):

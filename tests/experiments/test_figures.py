@@ -250,6 +250,24 @@ class TestSlowdownHelper:
         with pytest.raises(ValueError):
             slowdown(slimmed_two_level(), "d-mod-k", cg_pattern(32), engine="bogus")
 
+    def test_degenerate_pattern_slowdown_is_one(self):
+        """Regression: a pattern whose every flow is a self-pair moves
+        no network bytes, so t_net == t_ref == 0 — slowdown is 1.0 by
+        convention, not a ZeroDivisionError/ValueError."""
+        from repro.patterns.base import Flow, Pattern, Phase
+
+        topo = slimmed_two_level(4, 4, 2)
+        degenerate = Pattern(
+            (Phase(tuple(Flow(i, i, 100) for i in range(4))),), name="self-only"
+        )
+        assert slowdown(topo, "d-mod-k", degenerate) == 1.0
+        # a pattern with no flows at all stays an error (caller bug)
+        with pytest.raises(ValueError, match="reference time"):
+            slowdown(topo, "d-mod-k", Pattern((Phase(()),), name="empty"))
+        # as does an explicit zero reference with real network time
+        with pytest.raises(ValueError, match="reference time"):
+            slowdown(slimmed_two_level(), "d-mod-k", cg_pattern(32), reference_time=0.0)
+
     def test_replay_engine_prepares_pattern_aware_schemes(self):
         """Regression: the replay path must hand the pattern to Colored
         before routing (otherwise it silently falls back to d-mod-k and

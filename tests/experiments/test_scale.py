@@ -100,9 +100,11 @@ class TestRunScale:
         assert len(skipped) == 1
         assert skipped[0]["engine"] == "fluid"
         assert "scalar cap" in skipped[0]["skipped"]
-        # no pair -> no speedup row, and the check passes vacuously
+        # no pair -> no speedup row, and the check must NOT pass
+        # vacuously: a gate that compared nothing verified nothing
         assert data["speedups"] == []
-        assert check_agreement(data) == []
+        problems = check_agreement(data)
+        assert len(problems) == 1 and "no scalar/vectorized row pair" in problems[0]
 
     def test_unknown_preset(self):
         with pytest.raises(ValueError, match="preset"):

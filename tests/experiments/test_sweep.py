@@ -456,11 +456,11 @@ class TestFaultsAxis:
             r["metrics"] for r in parallel.runs
         ]
 
-    def test_artifact_round_trip_v2(self, tmp_path):
+    def test_artifact_round_trip_v3(self, tmp_path):
         result = run_sweep(self.FAULT_SPEC, run_filter="rate=0.01")
         path = write_artifact(result, tmp_path / "faults.json")
         data = load_artifact(path)
-        assert data["schema_version"] == SCHEMA_VERSION == 2
+        assert data["schema_version"] == SCHEMA_VERSION == 3
         assert data["spec"]["faults"] == list(self.FAULT_SPEC.faults)
         # v1 artifacts are refused with a clear diagnostic
         data["schema_version"] = 1

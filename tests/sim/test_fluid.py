@@ -76,6 +76,26 @@ class TestEdgeCases:
         sim.advance_to(10.0)
         assert sim.now == pytest.approx(10.0)
 
+    def test_advance_into_epsilon_window_stamps_true_completion(self):
+        """Regression: a target inside (nc, nc + eps] used to record the
+        finished flow at the target instant instead of the true
+        completion nc, biasing FCTs under dense arrival streams."""
+        sim = FluidSimulator(1, 1.0)
+        sim.add_flow(0, [0], 1.0)  # completes exactly at t=1.0
+        t = 1.0 + 0.5e-9  # inside the accepted eps window past nc
+        finished = sim.advance_to(t)
+        assert [r.flow_id for r in finished] == [0]
+        assert finished[0].finish == 1.0  # clamped to nc, not t
+        assert sim.now == t  # the clock itself still lands on t
+
+    def test_advance_short_of_completion_keeps_target_stamp(self):
+        """Flows draining dry *before* the target (within tolerance)
+        keep the target stamp — only overshoot is clamped."""
+        sim = FluidSimulator(1, 1.0)
+        sim.add_flow(0, [0], 1.0)
+        finished = sim.advance_to(1.0)
+        assert finished and finished[0].finish == 1.0
+
 
 class TestMaxMinAllocations:
     def test_single_flow_full_rate(self):

@@ -85,6 +85,24 @@ class TestDropInParity:
         with pytest.raises(ValueError, match="rewind"):
             sim.advance_to(0.5)
 
+    def test_epsilon_window_completion_stamp_parity(self):
+        """Regression (both engines): advancing into (nc, nc + eps]
+        must stamp finished flows at the true completion instant nc,
+        not the overshot target — dense arrival streams advance in
+        sub-eps hops, and the skew biased every recorded FCT."""
+        for cls in (FluidSimulator, VecFluidSimulator):
+            sim = cls(2, 1.0)
+            sim.add_flow(0, [0], 1.0)  # nc = 1.0
+            sim.add_flow(1, [1], 5.0)  # still running past the window
+            t = 1.0 + 0.9e-9
+            finished = sim.advance_to(t)
+            assert [r.flow_id for r in finished] == [0]
+            assert finished[0].finish == 1.0
+            assert sim.now == t
+            # the still-active flow drains to t, not nc: no bytes lost
+            sim.run_until_idle()
+            assert sim.now == pytest.approx(5.0, rel=REL)
+
     def test_batch_equals_sequential(self):
         """add_flows (COO batch) and add_flow agree exactly."""
         caps, flows = _random_instance(3, 5, 20)

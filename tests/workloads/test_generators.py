@@ -1,0 +1,187 @@
+"""The workload registry: spec DSL, size distributions, arrival statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import PAPER_CONFIG
+from repro.workloads import (
+    SIZES,
+    WORKLOADS,
+    ArrivalStream,
+    Workload,
+    register_workload,
+    resolve_size_dist,
+    resolve_workload,
+)
+
+LEAVES = 16
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("poisson", "onoff", "trace"):
+            assert name in WORKLOADS
+        for name in ("fixed", "uniform", "pareto"):
+            assert name in SIZES
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            resolve_workload("tidal(load=0.5)", LEAVES)
+
+    def test_third_party_registration(self):
+        @register_workload("_test_burst")
+        def build(num_leaves, load=0.5):
+            return resolve_workload(f"poisson(load={load})", num_leaves)
+
+        try:
+            wl = resolve_workload("_test_burst(load=0.25)", LEAVES)
+            assert isinstance(wl, Workload)
+        finally:
+            WORKLOADS.unregister("_test_burst")
+
+    def test_canonical_spec_round_trip(self):
+        wl = resolve_workload("poisson(flows=100,load=0.5,sizes=pareto,alpha=1.5)", LEAVES)
+        again = resolve_workload(wl.spec, LEAVES)
+        assert again.spec == wl.spec
+
+    def test_non_default_bandwidth_round_trips(self):
+        """Regression: the canonical spec must carry a non-default
+        bandwidth — it changes the arrival rate, so dropping it would
+        re-resolve to a different workload under the same identity."""
+        wl = resolve_workload("poisson(load=0.5,flows=200,bandwidth=5e8)", LEAVES)
+        assert "bandwidth=500000000.0" in wl.spec
+        again = resolve_workload(wl.spec, LEAVES)
+        assert np.array_equal(again.generate(seed=1).times, wl.generate(seed=1).times)
+        # the default bandwidth stays out of the canonical form
+        assert "bandwidth" not in resolve_workload("poisson(load=0.5)", LEAVES).spec
+
+    def test_unknown_size_params_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_workload("poisson(load=0.5,sizes=fixed,alpha=2.0)", LEAVES)
+
+
+class TestSizeDistributions:
+    @pytest.mark.parametrize(
+        "spec_kwargs",
+        [
+            {},
+            {"sizes": "uniform", "spread": 0.3},
+            {"sizes": "pareto", "alpha": 1.8},
+        ],
+    )
+    def test_means_converge(self, spec_kwargs):
+        name = spec_kwargs.pop("sizes", "fixed")
+        dist = resolve_size_dist(name, mean_size=1000.0, **spec_kwargs)
+        rng = np.random.default_rng(0)
+        sample = dist.sample(rng, 200_000)
+        assert (sample >= 0).all()
+        assert sample.mean() == pytest.approx(1000.0, rel=0.05)
+
+    def test_pareto_is_heavy_tailed(self):
+        rng = np.random.default_rng(1)
+        pareto = resolve_size_dist("pareto", alpha=1.5).sample(rng, 100_000)
+        uniform = resolve_size_dist("uniform").sample(rng, 100_000)
+        assert pareto.max() / np.median(pareto) > uniform.max() / np.median(uniform) * 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="alpha"):
+            resolve_size_dist("pareto", alpha=1.0)
+        with pytest.raises(ValueError, match="spread"):
+            resolve_size_dist("uniform", spread=2.0)
+        with pytest.raises(ValueError, match="mean_size"):
+            resolve_size_dist("fixed", mean_size=0)
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        wl = resolve_workload("poisson(load=0.5,flows=500)", LEAVES)
+        a, b = wl.generate(seed=7), wl.generate(seed=7)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)
+        assert np.array_equal(a.sizes, b.sizes)
+        c = wl.generate(seed=8)
+        assert not np.array_equal(a.times, c.times)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        load=st.floats(0.1, 1.5),
+        seed=st.integers(0, 2**31),
+        mean_size=st.sampled_from([16 * 1024.0, 64 * 1024.0]),
+    )
+    def test_interarrival_statistics_match_rate(self, load, seed, mean_size):
+        """Poisson property: mean inter-arrival ~= 1/lambda with
+        lambda = load * leaves * bandwidth / mean_size, and the
+        inter-arrival CV ~= 1 (exponential)."""
+        n = 4000
+        wl = resolve_workload(
+            f"poisson(load={load!r},flows={n},mean_size={mean_size!r})", LEAVES
+        )
+        stream = wl.generate(seed=seed)
+        gaps = np.diff(np.concatenate(([0.0], stream.times)))
+        expected = mean_size / (load * LEAVES * PAPER_CONFIG.link_bandwidth)
+        assert gaps.mean() == pytest.approx(expected, rel=0.1)
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, rel=0.15)
+
+    def test_no_self_pairs_and_leaves_in_range(self):
+        stream = resolve_workload("poisson(load=0.5,flows=2000)", LEAVES).generate(seed=3)
+        assert (stream.src != stream.dst).all()
+        assert stream.src.min() >= 0 and stream.src.max() < LEAVES
+        assert stream.dst.min() >= 0 and stream.dst.max() < LEAVES
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError, match="load"):
+            resolve_workload("poisson(load=0)", LEAVES)
+
+
+class TestOnOff:
+    def test_same_average_load_burstier_arrivals(self):
+        """At equal average load, ON/OFF inter-arrivals have a higher
+        coefficient of variation than Poisson (the bursts)."""
+        n = 8000
+        poisson = resolve_workload(f"poisson(load=0.5,flows={n})", LEAVES).generate(0)
+        onoff = resolve_workload(
+            f"onoff(load=0.5,duty=0.2,burst=64,flows={n})", LEAVES
+        ).generate(0)
+        gp = np.diff(poisson.times)
+        go = np.diff(onoff.times)
+        assert go.std() / go.mean() > gp.std() / gp.mean() * 1.5
+        # ... while the average arrival rate stays comparable
+        assert onoff.horizon == pytest.approx(poisson.horizon, rel=0.35)
+
+    def test_times_sorted(self):
+        stream = resolve_workload("onoff(load=0.4,flows=1000)", LEAVES).generate(5)
+        assert (np.diff(stream.times) >= 0).all()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="duty"):
+            resolve_workload("onoff(load=0.5,duty=0)", LEAVES)
+        with pytest.raises(ValueError, match="burst"):
+            resolve_workload("onoff(load=0.5,burst=0)", LEAVES)
+
+
+class TestStream:
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ArrivalStream(np.asarray([1.0, 0.5]), [0, 1], [1, 0], [1.0, 1.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ArrivalStream(np.asarray([-1.0, 0.5]), [0, 1], [1, 0], [1.0, 1.0])
+        with pytest.raises(ValueError, match="sizes"):
+            ArrivalStream(np.asarray([0.0, 0.5]), [0, 1], [1, 0], [-1.0, 1.0])
+
+    def test_head_and_horizon(self):
+        stream = resolve_workload("poisson(load=0.5,flows=100)", LEAVES).generate(0)
+        head = stream.head(10)
+        assert len(head) == 10 and head.horizon == stream.times[9]
+        assert len(stream.head(1000)) == 100
+
+    def test_leaf_validation(self):
+        stream = ArrivalStream(np.asarray([0.0]), [0], [99], [1.0])
+        with pytest.raises(ValueError, match="outside"):
+            stream.validate_leaves(16)

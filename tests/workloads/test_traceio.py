@@ -1,0 +1,134 @@
+"""Trace serialization: CSV/JSONL writers round-trip bit-for-bit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    ArrivalStream,
+    read_trace,
+    resolve_workload,
+    trace_format,
+    write_trace,
+)
+
+
+def _stream(times, src, dst, sizes):
+    return ArrivalStream(
+        np.asarray(times, dtype=np.float64),
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(sizes, dtype=np.float64),
+    )
+
+
+@st.composite
+def streams(draw):
+    n = draw(st.integers(0, 40))
+    gaps = draw(
+        st.lists(
+            st.floats(0.0, 1e3, allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n,
+        )
+    )
+    times = np.cumsum(np.asarray(gaps, dtype=np.float64))
+    src = draw(st.lists(st.integers(0, 63), min_size=n, max_size=n))
+    dst = draw(st.lists(st.integers(0, 63), min_size=n, max_size=n))
+    sizes = draw(
+        st.lists(
+            st.floats(0.0, 1e9, allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n,
+        )
+    )
+    return _stream(times, src, dst, sizes)
+
+
+class TestRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(stream=streams(), fmt=st.sampled_from(["csv", "jsonl"]))
+    def test_exact_round_trip(self, tmp_path_factory, stream, fmt):
+        """write_trace / read_trace is the identity, bit for bit."""
+        path = tmp_path_factory.mktemp("traces") / f"t.{fmt}"
+        write_trace(stream, path)
+        back = read_trace(path)
+        assert np.array_equal(back.times, stream.times)
+        assert np.array_equal(back.src, stream.src)
+        assert np.array_equal(back.dst, stream.dst)
+        assert np.array_equal(back.sizes, stream.sizes)
+
+    def test_round_trips_through_the_trace_workload(self, tmp_path):
+        """A generated stream survives write -> trace(path=...) -> generate."""
+        original = resolve_workload("poisson(load=0.6,flows=200)", 16).generate(seed=4)
+        for suffix in ("csv", "jsonl"):
+            path = tmp_path / f"arrivals.{suffix}"
+            write_trace(original, path)
+            wl = resolve_workload(f"trace(path={path})", 16)
+            assert wl.flows == 200
+            replayed = wl.generate(seed=99)  # seeds are inert for traces
+            assert np.array_equal(replayed.times, original.times)
+            assert np.array_equal(replayed.sizes, original.sizes)
+
+
+class TestFormatHandling:
+    def test_sniffing(self, tmp_path):
+        assert trace_format("x.csv") == "csv"
+        assert trace_format("x.jsonl") == "jsonl"
+        assert trace_format("x.ndjson") == "jsonl"
+        assert trace_format("x.dat", format="csv") == "csv"
+        with pytest.raises(ValueError, match="cannot infer"):
+            trace_format("x.dat")
+        with pytest.raises(ValueError, match="unknown trace format"):
+            trace_format("x.csv", format="xml")
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,src\n0.0,1\n")
+        with pytest.raises(ValueError, match="missing column"):
+            read_trace(path)
+
+    def test_malformed_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 0.0, "src": 1, "dst": 2}\n')
+        with pytest.raises(ValueError, match="malformed trace record"):
+            read_trace(path)
+
+    def test_trace_workload_validates_leaves(self, tmp_path):
+        path = tmp_path / "big.csv"
+        write_trace(_stream([0.0], [0], [500], [1.0]), path)
+        with pytest.raises(ValueError, match="outside"):
+            resolve_workload(f"trace(path={path})", 16)
+
+    def test_trace_needs_path(self):
+        with pytest.raises(ValueError, match="path"):
+            resolve_workload("trace", 16)
+
+    def test_trace_cache_is_one_entry_per_path(self, tmp_path):
+        """Regression: rewriting a trace file must replace its cache
+        entry in place (O(#paths) memory), not accumulate one entry
+        per file version — while still invalidating the stale parse."""
+        from repro.workloads import generators
+
+        path = tmp_path / "t.csv"
+        write_trace(_stream([0.0], [0], [1], [64.0]), path)
+        generators._TRACE_CACHE.clear()
+        assert resolve_workload(f"trace(path={path})", 16).flows == 1
+        import os
+
+        write_trace(_stream([0.0, 1.0], [0, 1], [1, 2], [64.0, 64.0]), path)
+        os.utime(path, ns=(1, 1))  # force a distinct mtime signature
+        assert resolve_workload(f"trace(path={path})", 16).flows == 2
+        assert len(generators._TRACE_CACHE) == 1
+
+    def test_explicit_format_survives_in_spec(self, tmp_path):
+        """Regression: an explicit format= is part of the run identity —
+        without it the canonical spec would not re-resolve for files
+        whose suffix sniffing fails."""
+        path = tmp_path / "arrivals.dat"
+        write_trace(_stream([0.0], [0], [1], [64.0]), path, format="csv")
+        wl = resolve_workload(f"trace(format=csv,path={path})", 16)
+        assert "format=csv" in wl.spec
+        again = resolve_workload(wl.spec, 16)  # must not raise
+        assert np.array_equal(again.generate().times, wl.generate().times)
