@@ -51,8 +51,10 @@ from .metrics import (
 )
 from .patterns.base import Pattern
 from .patterns.registry import resolve_pattern
+from .serve import RouteServer
 from .sim.config import PAPER_CONFIG, NetworkConfig
 from .sim.engines import DEFAULT_ENGINE, fluid_engine_names, resolve_engine
+from .store import ArtifactStore, StoreKey, open_table, store_table
 from .topology.registry import resolve_topology
 from .topology.xgft import XGFT
 from .workloads import DynamicDriver, DynamicResult, Workload, resolve_workload
@@ -62,9 +64,14 @@ __all__ = [
     "ScenarioResult",
     "Comparison",
     "RouteTableCache",
+    "RouteServer",
+    "ArtifactStore",
+    "StoreKey",
     "compare",
     "evaluate_scenario",
     "format_run_id",
+    "open_table",
+    "store_table",
     "subset_table",
 ]
 
@@ -101,21 +108,45 @@ class RouteTableCache:
     row subsets (:func:`subset_table`).  ``builds``/``hits`` feed the
     sweep artifact's cache section, which the memoization tests assert
     on.
+
+    With a ``store`` (an :class:`~repro.store.ArtifactStore` or a root
+    path), the cache becomes persistent: an in-memory miss consults the
+    store before recomputing, and fresh builds are written back — a
+    sweep's tables become reusable ``repro serve`` artifacts, and a
+    rerun opens them in milliseconds.  The store is only consulted for
+    spec-addressed algorithms (``store_key is not None``): live
+    instances have no canonical cross-process identity, exactly as in
+    the in-memory keying.
     """
 
-    def __init__(self):
+    def __init__(self, store: "ArtifactStore | str | None" = None):
         self._tables: dict[tuple, RouteTable] = {}
         self._rows: dict[tuple, np.ndarray] = {}
+        self.store = ArtifactStore.ensure(store) if store is not None else None
         self.builds = 0
         self.hits = 0
+        self.store_hits = 0
+        self.store_puts = 0
 
-    def all_pairs_table(self, key: tuple, algorithm: RoutingAlgorithm) -> RouteTable:
+    def all_pairs_table(
+        self,
+        key: tuple,
+        algorithm: RoutingAlgorithm,
+        store_key: StoreKey | None = None,
+    ) -> RouteTable:
         table = self._tables.get(key)
-        if table is None:
-            table = self._tables[key] = algorithm.all_pairs_table()
-            self.builds += 1
-        else:
+        if table is not None:
             self.hits += 1
+            return table
+        if self.store is not None and store_key is not None and self.store.contains(store_key):
+            table = self._tables[key] = self.store.load(store_key)
+            self.store_hits += 1
+            return table
+        table = self._tables[key] = algorithm.all_pairs_table()
+        self.builds += 1
+        if self.store is not None and store_key is not None:
+            self.store.put(store_key, table)
+            self.store_puts += 1
         return table
 
     def row_index(self, key: tuple) -> np.ndarray:
@@ -130,7 +161,11 @@ class RouteTableCache:
         return rows
 
     def stats(self) -> dict:
-        return {"table_builds": self.builds, "table_hits": self.hits}
+        out = {"table_builds": self.builds, "table_hits": self.hits}
+        if self.store is not None:
+            out["store_hits"] = self.store_hits
+            out["store_puts"] = self.store_puts
+        return out
 
 
 def subset_table(
@@ -281,6 +316,30 @@ class Scenario:
         return str(self.algorithm)
 
     @property
+    def store_key(self) -> StoreKey | None:
+        """The persistent-artifact identity, or ``None`` if unstorable.
+
+        The compact-format mirror of the in-memory :attr:`memo_key`,
+        with two deliberate differences.  A live algorithm instance gets
+        ``None`` — its ``#id`` identity means nothing outside this
+        process, so serving it a store entry by bare name would repeat
+        the collision the PR-3 memo fix closed.  And where the memo key
+        keeps the topology spec *verbatim* (cross-worker memoization
+        matches the sweep grid's spelling), the store key canonicalizes
+        it — every spelling of one topology maps to one on-disk entry.
+        Cached tables are always pristine (repair filters the pristine
+        table), so the key's fault component stays ``none``.
+        """
+        if isinstance(self.algorithm, RoutingAlgorithm):
+            return None
+        cached = self.__dict__.get("_store_key")
+        if cached is None:
+            cached = self.__dict__["_store_key"] = StoreKey.make(
+                self.topo.spec(), str(self.algorithm), self.seed
+            )
+        return cached
+
+    @property
     def _pattern_key(self) -> str:
         """Crossbar-memo key: live patterns by identity (names can collide)."""
         if isinstance(self.pattern, Pattern):
@@ -354,12 +413,12 @@ class Scenario:
         phases = phase_pairs(self.traffic)
         algorithm = self.routing
         if is_oblivious(algorithm):
-            full = cache.all_pairs_table(self.memo_key, algorithm)
+            full = cache.all_pairs_table(self.memo_key, algorithm, store_key=self.store_key)
             rows = cache.row_index(self.memo_key)
             return [subset_table(full, rows, pairs) for pairs, _ in phases]
         return [algorithm.build_table(pairs) for pairs, _ in phases]
 
-    def route_table(self) -> RouteTable:
+    def route_table(self, store: "ArtifactStore | str | None" = None) -> RouteTable:
         """The pristine routes of this scenario's traffic, merged.
 
         Phase scenarios merge their per-phase tables; dynamic scenarios
@@ -368,14 +427,23 @@ class Scenario:
         such static table under churn, and raises).  Cached; repeated
         calls (and :meth:`degraded` / :meth:`evaluate`) reuse the same
         underlying all-pairs table.
+
+        ``store`` attaches a persistent :class:`~repro.store.ArtifactStore`
+        (instance or root path) to the scenario's table cache: the
+        all-pairs table is loaded from the store when present and
+        written back when built, for this and every later call.
         """
+        if store is not None:
+            self._cache.store = ArtifactStore.ensure(store)
         if self.is_dynamic:
             if not is_oblivious(self.routing):
                 raise ValueError(
                     f"{self.algorithm_spec!r} is pattern-aware: it has no "
                     "static route table under an open-loop workload"
                 )
-            return self._cache.all_pairs_table(self.memo_key, self.routing)
+            return self._cache.all_pairs_table(
+                self.memo_key, self.routing, store_key=self.store_key
+            )
         if self._pristine is None:
             self._pristine = self._pristine_tables()
         if not self._pristine:
@@ -637,7 +705,9 @@ def _evaluate_dynamic(
     workload = scenario.dynamic_workload
     table = None
     if is_oblivious(algorithm):
-        table = cache.all_pairs_table(scenario.memo_key, algorithm)
+        table = cache.all_pairs_table(
+            scenario.memo_key, algorithm, store_key=scenario.store_key
+        )
 
     fault_spec = scenario.fault_spec
     if scenario._degraded_done:

@@ -15,6 +15,11 @@
     repro sweep --jobs 4 -o sweep_results.json
     repro sweep --spec benchmarks/smoke_spec.json --baseline benchmarks/baseline_smoke.json
     repro sweep --faults none "links:rate=0.05" --patterns shift-1
+    repro sweep --store ./store          # persist tables as serve artifacts
+    repro serve --topology "XGFT(2;16,16;1,8)" --algorithm d-mod-k --store ./store
+    repro serve --batch queries.jsonl --store ./store
+    repro serve --listen 127.0.0.1:9000 --store ./store
+    repro serve --bench -o BENCH_serve.json --baseline benchmarks/baseline_serve.json
     repro compare baseline.json current.json --tolerance 0.1
     repro faults --topology "XGFT(3;4,4,4;1,4,2)" --rates 0 0.01 0.05
     repro scale --preset smoke --check
@@ -36,6 +41,14 @@ evaluation grid — and writes the schema-versioned JSON artifact CI
 regression-gates on.  ``faults`` sweeps failure rates over a degraded
 topology with local route repair (:mod:`repro.faults`) and reports
 slowdown and flow-loss curves.
+
+``serve`` is the production query side (:mod:`repro.serve`): it opens a
+compact all-pairs table from the persistent artifact store
+(:mod:`repro.store`, building on a miss), then answers JSON-lines route
+queries in batch mode (``--batch``), over an asyncio TCP endpoint
+(``--listen``), or measures bytes/route and lookups/sec (``--bench``,
+the ``BENCH_serve.json`` document CI gates on).  ``sweep --store``
+persists every table a sweep builds into the same store.
 """
 
 from __future__ import annotations
@@ -219,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--max-rows", type=int, default=40, help="run rows to print (artifact always holds all)"
     )
+    ps.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="artifact-store root: load prebuilt route tables from it and "
+        "persist fresh ones as reusable `repro serve` entries",
+    )
 
     pc = sub.add_parser(
         "compare", help="diff two sweep artifacts; nonzero exit on regression"
@@ -385,6 +405,67 @@ def build_parser() -> argparse.ArgumentParser:
     psc.add_argument(
         "--output", "-o", type=Path, default=None, help="write the BENCH_fluid JSON document"
     )
+
+    pv2 = sub.add_parser(
+        "serve",
+        help="query stored route tables: JSON-lines batch mode, an asyncio "
+        "TCP endpoint, or the serving benchmark",
+    )
+    pv2.add_argument("--topology", default="XGFT(2;16,16;1,8)", help="XGFT spec string")
+    pv2.add_argument("--algorithm", default="d-mod-k", help="registry algorithm spec")
+    pv2.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        help="(--bench) algorithms to measure (default: d-mod-k random)",
+    )
+    pv2.add_argument("--seed", type=int, default=0)
+    pv2.add_argument(
+        "--faults",
+        default="none",
+        help="serve the repaired table for this fault spec ('links:count=4,seed=1', ...)",
+    )
+    pv2.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="artifact-store root (default: $REPRO_STORE or ~/.cache/repro-xgft/store)",
+    )
+    pv2.add_argument(
+        "--no-build",
+        action="store_true",
+        help="fail on a store miss instead of building the entry",
+    )
+    mode = pv2.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--batch",
+        default=None,
+        metavar="FILE",
+        help="answer JSON-lines requests from FILE ('-' = stdin) on stdout",
+    )
+    mode.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="run the asyncio JSON-lines TCP endpoint (port 0 = ephemeral)",
+    )
+    mode.add_argument(
+        "--bench",
+        action="store_true",
+        help="measure bytes/route and lookups/sec (the BENCH_serve document)",
+    )
+    pv2.add_argument(
+        "--batch-size", type=int, default=65536, help="(--bench) lookups per batch"
+    )
+    pv2.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="(--bench) committed floors to gate on (nonzero exit on regression)",
+    )
+    pv2.add_argument(
+        "--output", "-o", type=Path, default=None, help="(--bench) write the BENCH_serve JSON"
+    )
     return parser
 
 
@@ -440,14 +521,22 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> experiments.SweepSpec:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _sweep_spec_from_args(args)
-    result = experiments.run_sweep(spec, jobs=args.jobs, run_filter=args.run_filter)
+    result = experiments.run_sweep(
+        spec, jobs=args.jobs, run_filter=args.run_filter, store=args.store
+    )
     path = experiments.write_artifact(result, args.output)
     print(experiments.format_sweep_results(result, max_rows=args.max_rows))
     cache = result.cache_stats
+    store_note = ""
+    if args.store is not None:
+        store_note = (
+            f", store: {cache.get('store_hits', 0)} loaded, "
+            f"{cache.get('store_puts', 0)} persisted"
+        )
     print(
         f"\n{len(result.runs)} runs in {result.total_wall_time_s:.1f}s "
         f"(jobs={args.jobs}; route tables: {cache.get('table_builds', 0)} built, "
-        f"{cache.get('table_hits', 0)} reused)"
+        f"{cache.get('table_hits', 0)} reused{store_note})"
     )
     print(f"artifact written to {path}")
     if args.baseline is not None:
@@ -457,6 +546,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         print(experiments.format_sweep_compare(comparison))
         return 0 if comparison.ok else 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import (
+        RouteServer,
+        check_baseline,
+        handle_request,
+        run_benchmark,
+        write_benchmark,
+    )
+
+    if args.bench:
+        algorithms = tuple(args.algorithms or ("d-mod-k", "random"))
+        results = run_benchmark(
+            topologies=(args.topology,),
+            algorithms=algorithms,
+            seed=args.seed,
+            store=args.store,
+            batch_size=args.batch_size,
+        )
+        for e in results["entries"]:
+            print(
+                f"{e['algorithm']:>10s} on {e['topology']}: {e['encoding']:11s} "
+                f"{e['compact_bytes_per_route']:.4f} B/route ({e['compression']}x vs "
+                f"{e['full_bytes_per_route']:.0f}), batch {e['batch_lookups_per_sec']:,}/s, "
+                f"async {e['async_lookups_per_sec']:,}/s, verified={e['verified']}"
+            )
+        if args.output is not None:
+            print(f"benchmark written to {write_benchmark(results, args.output)}")
+        if args.baseline is not None:
+            failures = check_baseline(results, json.loads(args.baseline.read_text()))
+            if failures:
+                for failure in failures:
+                    print(f"FAIL: {failure}", file=sys.stderr)
+                return 1
+            print("baseline gate: PASS")
+        return 0
+
+    try:
+        server = RouteServer.from_store(
+            args.topology,
+            args.algorithm,
+            seed=args.seed,
+            faults=args.faults,
+            store=args.store,
+            build=not args.no_build,
+        )
+    except KeyError as exc:
+        raise SystemExit(
+            f"error: {exc.args[0]} (drop --no-build to build it now)"
+        ) from exc
+    if args.batch is not None:
+        lines = sys.stdin if args.batch == "-" else Path(args.batch).open()
+        errors = 0
+        with lines:
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    response = {"ok": False, "error": f"bad JSON: {exc}"}
+                else:
+                    response = handle_request(server, request)
+                if not response.get("ok"):
+                    errors += 1
+                print(json.dumps(response))
+        return 1 if errors else 0
+    if args.listen is not None:
+        import asyncio
+
+        from .serve import serve_forever
+
+        host, _, port_text = args.listen.rpartition(":")
+
+        async def _run() -> None:
+            loop = asyncio.get_running_loop()
+            ready: asyncio.Future = loop.create_future()
+            task = asyncio.ensure_future(
+                serve_forever(
+                    server, host or "127.0.0.1", int(port_text or 0), ready=ready
+                )
+            )
+            bound_host, bound_port = await ready
+            info = server.info()
+            print(
+                f"serving {args.algorithm} on {info['topology']} "
+                f"at {bound_host}:{bound_port}",
+                flush=True,
+            )
+            await task
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        return 0
+    print(json.dumps(server.info(), indent=1, sort_keys=True))
     return 0
 
 
@@ -618,6 +807,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_dynamic(args)
     elif args.command == "scale":
         return _cmd_scale(args)
+    elif args.command == "serve":
+        return _cmd_serve(args)
     elif args.command == "compare":
         return _cmd_compare(args)
     else:  # pragma: no cover - argparse enforces choices

@@ -28,7 +28,12 @@ from .factory import (
     make_algorithm,
     register_algorithm,
 )
-from .forwarding import ForwardingTables, InconsistentRouteError, build_forwarding_tables
+from .forwarding import (
+    ForwardingTables,
+    InconsistentRouteError,
+    build_forwarding_tables,
+    forwarding_tables_from_table,
+)
 from .heuristics import AutoModK, BestOfKRNCA
 from .random_nca import RandomNCA, splitmix64
 from .relabel import RelabelMaps, balanced_random_map, mod_map
@@ -55,6 +60,7 @@ __all__ = [
     "BestOfKRNCA",
     "ForwardingTables",
     "build_forwarding_tables",
+    "forwarding_tables_from_table",
     "InconsistentRouteError",
     "ALGORITHMS",
     "make_algorithm",

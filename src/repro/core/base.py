@@ -7,9 +7,11 @@ Two tiers of API:
   alone (plus internal, pattern-independent state such as seeds); the
   pattern-aware ``Colored`` baseline instead derives its answers from a
   whole pattern handed to :meth:`RoutingAlgorithm.prepare`.
-* :class:`RouteTable` — a struct-of-arrays batch of routes for a set of
-  pairs, with NumPy-vectorized expansion into directed-link indices (the
-  hot path of every contention census and of the fluid simulator).
+* :class:`~repro.core.route.RouteTable` — a struct-of-arrays batch of
+  routes for a set of pairs, with NumPy-vectorized expansion into
+  directed-link indices (the hot path of every contention census and of
+  the fluid simulator).  It lives in :mod:`repro.core.route` and is
+  re-exported here for backwards compatibility.
 
 Algorithms whose per-level port choice is a pure function of endpoint
 label digits (S-mod-k, D-mod-k, the r-NCA family, Random) implement
@@ -19,143 +21,15 @@ construction for free.
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, Sequence
+from abc import ABC
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..topology import XGFT
-from .route import Route
+from .route import Route, RouteTable
 
 __all__ = ["RoutingAlgorithm", "RouteTable"]
-
-
-class RouteTable:
-    """Routes for a batch of ``(src, dst)`` pairs, stored as arrays.
-
-    Attributes
-    ----------
-    topo:
-        The topology the routes live in.
-    src, dst:
-        ``(F,)`` int64 arrays of leaf ids.
-    nca_level:
-        ``(F,)`` int64 array; entry ``f`` is the NCA level of pair ``f``.
-    ports:
-        ``(F, h)`` int64 array; ``ports[f, i]`` is the up-port taken at
-        level ``i`` for flow ``f`` (entries at ``i >= nca_level[f]`` are 0
-        and unused).
-    """
-
-    def __init__(
-        self,
-        topo: XGFT,
-        src: np.ndarray,
-        dst: np.ndarray,
-        nca_level: np.ndarray,
-        ports: np.ndarray,
-    ):
-        self.topo = topo
-        self.src = np.asarray(src, dtype=np.int64)
-        self.dst = np.asarray(dst, dtype=np.int64)
-        self.nca_level = np.asarray(nca_level, dtype=np.int64)
-        self.ports = np.asarray(ports, dtype=np.int64)
-        if self.ports.shape != (len(self.src), topo.h):
-            raise ValueError(
-                f"ports must have shape (F, h)={(len(self.src), topo.h)}, got {self.ports.shape}"
-            )
-
-    def __len__(self) -> int:
-        return len(self.src)
-
-    def route(self, f: int) -> Route:
-        """Materialize flow ``f`` as a :class:`Route`."""
-        lvl = int(self.nca_level[f])
-        return Route(int(self.src[f]), int(self.dst[f]), tuple(int(p) for p in self.ports[f, :lvl]))
-
-    def routes(self) -> Iterator[Route]:
-        """Iterate all routes (slow path; use the arrays for analysis)."""
-        for f in range(len(self)):
-            yield self.route(f)
-
-    def validate(self) -> None:
-        """Validate every route (test/diagnostic helper)."""
-        for r in self.routes():
-            r.validate(self.topo)
-
-    # ------------------------------------------------------------------
-    # Vectorized link expansion
-    # ------------------------------------------------------------------
-    def flow_links(self) -> tuple[np.ndarray, np.ndarray]:
-        """COO expansion ``(flow_idx, link_idx)`` of all traversed links.
-
-        For every flow ``f`` with NCA level ``l`` the expansion contains
-        ``2*l`` entries: the up links at levels ``0..l-1`` and the down
-        links at the same levels (see :class:`~repro.core.route.Route`).
-        """
-        topo = self.topo
-        flows: list[np.ndarray] = []
-        links: list[np.ndarray] = []
-        # r_prefix[f] accumulates the mixed-radix value of ports[:, :i]
-        # (the W_1..W_i digits shared by the up and down path nodes).
-        r_prefix = np.zeros(len(self), dtype=np.int64)
-        up_base = 0
-        for i in range(topo.h):
-            active = np.nonzero(self.nca_level > i)[0]
-            if len(active) == 0:
-                break
-            p_i = topo.mprod(i)
-            wp_i = topo.wprod(i)
-            w_next = topo.w[i]
-            port = self.ports[active, i]
-            up_node = (self.src[active] // p_i) * wp_i + r_prefix[active]
-            down_node = (self.dst[active] // p_i) * wp_i + r_prefix[active]
-            up_idx = up_base + up_node * w_next + port
-            down_idx = topo.num_links_per_direction + up_base + down_node * w_next + port
-            flows.append(active)
-            links.append(up_idx)
-            flows.append(active)
-            links.append(down_idx)
-            r_prefix[active] += port * wp_i
-            up_base += topo.num_up_links(i)
-        if not flows:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        return np.concatenate(flows), np.concatenate(links)
-
-    def nca_nodes(self) -> np.ndarray:
-        """``(F,)`` array: the chosen NCA node id of every flow.
-
-        Note the id is only meaningful together with ``nca_level``; flows
-        with ``nca_level == 0`` (self-pairs) report their own leaf id.
-        """
-        topo = self.topo
-        out = np.empty(len(self), dtype=np.int64)
-        r_prefix = np.zeros(len(self), dtype=np.int64)
-        done = self.nca_level == 0
-        out[done] = self.src[done]
-        for i in range(topo.h):
-            active = self.nca_level > i
-            if not active.any():
-                break
-            r_prefix[active] += self.ports[active, i] * topo.wprod(i)
-            arrived = self.nca_level == i + 1
-            out[arrived] = (
-                self.src[arrived] // topo.mprod(i + 1)
-            ) * topo.wprod(i + 1) + r_prefix[arrived]
-        return out
-
-    def concat(self, other: "RouteTable") -> "RouteTable":
-        """Concatenate two tables over the same topology."""
-        if other.topo != self.topo:
-            raise ValueError("cannot concatenate tables over different topologies")
-        return RouteTable(
-            self.topo,
-            np.concatenate([self.src, other.src]),
-            np.concatenate([self.dst, other.dst]),
-            np.concatenate([self.nca_level, other.nca_level]),
-            np.vstack([self.ports, other.ports]),
-        )
 
 
 class RoutingAlgorithm(ABC):

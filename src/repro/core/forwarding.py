@@ -23,7 +23,12 @@ from typing import Dict, Iterable
 from ..topology import XGFT
 from .base import RoutingAlgorithm
 
-__all__ = ["ForwardingTables", "build_forwarding_tables", "InconsistentRouteError"]
+__all__ = [
+    "ForwardingTables",
+    "build_forwarding_tables",
+    "forwarding_tables_from_table",
+    "InconsistentRouteError",
+]
 
 
 class InconsistentRouteError(ValueError):
@@ -101,6 +106,42 @@ def build_forwarding_tables(
             (src, dst) for dst in destinations for src in topo.leaves() if src != dst
         )
     out = ForwardingTables(topo)
+    for src, dst in pairs:
+        if src == dst:
+            continue
+        route = algorithm.route(src, dst)
+        _record_route(out, algorithm.name, src, dst, route.up_ports)
+    return out
+
+
+def forwarding_tables_from_table(table) -> ForwardingTables:
+    """Build per-switch LFTs from an already-routed table, no algorithm needed.
+
+    The route-serving sibling of :func:`build_forwarding_tables`: a
+    :class:`~repro.core.route.RouteTable` (for example one decoded from
+    a stored compact artifact) already holds every up-port sequence, so
+    the LFTs can be re-derived offline, without re-instantiating — or
+    even knowing — the scheme that produced it.  The same
+    destination-determinism check applies: inconsistent tables raise
+    :class:`InconsistentRouteError`.
+    """
+    out = ForwardingTables(table.topo)
+    for f in range(len(table)):
+        src, dst = int(table.src[f]), int(table.dst[f])
+        if src == dst:
+            continue
+        lvl = int(table.nca_level[f])
+        up_ports = tuple(int(p) for p in table.ports[f, :lvl])
+        _record_route(out, "stored table", src, dst, up_ports)
+    return out
+
+
+def _record_route(
+    out: ForwardingTables, scheme: str, src: int, dst: int, up_ports: tuple[int, ...]
+) -> None:
+    """Trace one route into the tables (ascending up-ports, forced descent)."""
+    topo = out.topo
+    lvl = len(up_ports)
 
     def record(level: int, node: int, dst: int, port: int) -> None:
         table = out.tables.setdefault((level, node), {})
@@ -111,26 +152,21 @@ def build_forwarding_tables(
             raise InconsistentRouteError(
                 f"switch (level={level}, node={node}) would need both port "
                 f"{prev} and port {port} for destination {dst}; the scheme "
-                f"({algorithm.name}) is not destination-deterministic"
+                f"({scheme}) is not destination-deterministic"
             )
 
-    for src, dst in pairs:
-        if src == dst:
-            continue
-        route = algorithm.route(src, dst)
-        lvl = route.nca_level
-        # ascending part: at the leaf and at levels 1..lvl-1 record up-ports
-        node = src
-        record(0, src, dst, route.up_ports[0])
-        node = topo.up_neighbor(0, src, route.up_ports[0])
-        for i in range(1, lvl):
-            m_l = topo.m[i - 1]
-            record(i, node, dst, m_l + route.up_ports[i])
-            node = topo.up_neighbor(i, node, route.up_ports[i])
-        # descending part: record down-ports along the unique path to dst
-        for i in range(lvl, 0, -1):
-            down_port = (dst // topo.mprod(i - 1)) % topo.m[i - 1]
-            record(i, node, dst, down_port)
-            node = topo.down_neighbor(i, node, down_port)
-        assert node == dst, "descending walk must terminate at the destination"
-    return out
+    if lvl == 0:
+        return
+    # ascending part: at the leaf and at levels 1..lvl-1 record up-ports
+    record(0, src, dst, up_ports[0])
+    node = topo.up_neighbor(0, src, up_ports[0])
+    for i in range(1, lvl):
+        m_l = topo.m[i - 1]
+        record(i, node, dst, m_l + up_ports[i])
+        node = topo.up_neighbor(i, node, up_ports[i])
+    # descending part: record down-ports along the unique path to dst
+    for i in range(lvl, 0, -1):
+        down_port = (dst // topo.mprod(i - 1)) % topo.m[i - 1]
+        record(i, node, dst, down_port)
+        node = topo.down_neighbor(i, node, down_port)
+    assert node == dst, "descending walk must terminate at the destination"

@@ -1,4 +1,4 @@
-"""Route representation for NCA (up*/down*) routing in XGFTs.
+"""Route representations for NCA (up*/down*) routing in XGFTs.
 
 Section V of the paper: a minimal deadlock-free path between leaves ``s``
 and ``d`` ascends to one of their Nearest Common Ancestors and descends
@@ -12,16 +12,31 @@ A handy structural fact (used throughout the package): the node of the
 link of a route at level ``i`` are addressed by the same port ``r_i`` —
 only the lower endpoint differs (it hangs below the source on the way up
 and below the destination on the way down).
+
+Two granularities live here:
+
+* :class:`Route` — one pair's route, for inspection and validation;
+* :class:`RouteTable` — a struct-of-arrays batch of routes with
+  NumPy-vectorized link expansion (the hot path of every contention
+  census and of the fluid simulator), point/batch lookup, and the
+  bridge to the compressed columnar representation of
+  :mod:`repro.store` (:meth:`RouteTable.to_compact`).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
 
 from ..topology import XGFT
 
-__all__ = ["Route", "RouteError"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..store.compact import CompactRouteTable
+
+__all__ = ["Route", "RouteError", "RouteTable"]
 
 
 class RouteError(ValueError):
@@ -113,3 +128,234 @@ class Route:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         ports = ",".join(str(p) for p in self.up_ports)
         return f"{self.src}-><{ports}>->{self.dst}"
+
+
+#: the named array attributes legacy dict-style access may ask for
+_DICT_FIELDS = ("src", "dst", "nca_level", "ports")
+
+
+class RouteTable:
+    """Routes for a batch of ``(src, dst)`` pairs, stored as arrays.
+
+    Attributes
+    ----------
+    topo:
+        The topology the routes live in.
+    src, dst:
+        ``(F,)`` int64 arrays of leaf ids.
+    nca_level:
+        ``(F,)`` int64 array; entry ``f`` is the NCA level of pair ``f``.
+    ports:
+        ``(F, h)`` int64 array; ``ports[f, i]`` is the up-port taken at
+        level ``i`` for flow ``f`` (entries at ``i >= nca_level[f]`` are 0
+        and unused).
+    """
+
+    def __init__(
+        self,
+        topo: XGFT,
+        src: np.ndarray,
+        dst: np.ndarray,
+        nca_level: np.ndarray,
+        ports: np.ndarray,
+    ):
+        self.topo = topo
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.nca_level = np.asarray(nca_level, dtype=np.int64)
+        self.ports = np.asarray(ports, dtype=np.int64)
+        if self.ports.shape != (len(self.src), topo.h):
+            raise ValueError(
+                f"ports must have shape (F, h)={(len(self.src), topo.h)}, got {self.ports.shape}"
+            )
+        self._pair_rows: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def __getitem__(self, key: str):
+        """Legacy dict-of-arrays access (``table["ports"]``), deprecated.
+
+        The table predates its typed API as an ad-hoc mapping of arrays;
+        old callers keep working through this shim, new code uses the
+        attributes directly.
+        """
+        if isinstance(key, str) and key in _DICT_FIELDS:
+            warnings.warn(
+                f"dict-style RouteTable access (table[{key!r}]) is deprecated; "
+                f"use the {key} attribute",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return getattr(self, key)
+        raise KeyError(
+            f"RouteTable has no column {key!r}; dict-style access covers "
+            f"{', '.join(_DICT_FIELDS)} only (deprecated — use attributes)"
+        )
+
+    # ------------------------------------------------------------------
+    # Point and batch lookup
+    # ------------------------------------------------------------------
+    def _rows(self) -> np.ndarray:
+        """Lazy ``(n*n,)`` flat-pair -> row index (first occurrence wins)."""
+        if self._pair_rows is None:
+            n = self.topo.num_leaves
+            rows = np.full(n * n, -1, dtype=np.int64)
+            # reversed write order: on duplicate pairs (patterns repeat
+            # pairs across phases) the *first* row is the one served
+            rows[self.src[::-1] * n + self.dst[::-1]] = np.arange(
+                len(self) - 1, -1, -1, dtype=np.int64
+            )
+            self._pair_rows = rows
+        return self._pair_rows
+
+    def lookup(self, src: int, dst: int) -> Route:
+        """The stored route of one pair (first occurrence on duplicates).
+
+        Raises ``KeyError`` if the pair has no row — including self-pairs
+        in an all-pairs table, which routes no traffic to itself.
+        """
+        n = self.topo.num_leaves
+        if not (0 <= src < n and 0 <= dst < n):
+            raise KeyError(f"pair ({src}, {dst}) outside leaf range [0, {n})")
+        row = int(self._rows()[src * n + dst])
+        if row < 0:
+            raise KeyError(f"pair ({src}, {dst}) has no route in this table")
+        return self.route(row)
+
+    def batch_lookup(self, srcs: np.ndarray, dsts: np.ndarray) -> "RouteTable":
+        """The stored rows of many pairs, as a new table (order kept).
+
+        Vectorized; raises ``KeyError`` naming the first missing pair.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        n = self.topo.num_leaves
+        if srcs.shape != dsts.shape:
+            raise ValueError("srcs and dsts must have matching shapes")
+        if len(srcs) and (
+            srcs.min() < 0 or srcs.max() >= n or dsts.min() < 0 or dsts.max() >= n
+        ):
+            raise KeyError(f"pair endpoints outside leaf range [0, {n})")
+        idx = self._rows()[srcs * n + dsts]
+        missing = np.nonzero(idx < 0)[0]
+        if len(missing):
+            f = int(missing[0])
+            raise KeyError(
+                f"pair ({int(srcs[f])}, {int(dsts[f])}) has no route in this table"
+            )
+        return RouteTable(
+            self.topo, self.src[idx], self.dst[idx], self.nca_level[idx], self.ports[idx]
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the route arrays (the dict-of-arrays footprint)."""
+        return self.src.nbytes + self.dst.nbytes + self.nca_level.nbytes + self.ports.nbytes
+
+    # ------------------------------------------------------------------
+    # Compact columnar bridge
+    # ------------------------------------------------------------------
+    def to_compact(self) -> "CompactRouteTable":
+        """Encode into the compressed columnar format (:mod:`repro.store`).
+
+        The encoding is lossless: ``from_compact(to_compact())`` is
+        bit-exact for any table.
+        """
+        from ..store.compact import CompactRouteTable
+
+        return CompactRouteTable.encode(self)
+
+    @staticmethod
+    def from_compact(compact: "CompactRouteTable") -> "RouteTable":
+        """Decode a compact table back to the struct-of-arrays form."""
+        return compact.to_table()
+
+    def route(self, f: int) -> Route:
+        """Materialize flow ``f`` as a :class:`Route`."""
+        lvl = int(self.nca_level[f])
+        return Route(int(self.src[f]), int(self.dst[f]), tuple(int(p) for p in self.ports[f, :lvl]))
+
+    def routes(self) -> Iterator[Route]:
+        """Iterate all routes (slow path; use the arrays for analysis)."""
+        for f in range(len(self)):
+            yield self.route(f)
+
+    def validate(self) -> None:
+        """Validate every route (test/diagnostic helper)."""
+        for r in self.routes():
+            r.validate(self.topo)
+
+    # ------------------------------------------------------------------
+    # Vectorized link expansion
+    # ------------------------------------------------------------------
+    def flow_links(self) -> tuple[np.ndarray, np.ndarray]:
+        """COO expansion ``(flow_idx, link_idx)`` of all traversed links.
+
+        For every flow ``f`` with NCA level ``l`` the expansion contains
+        ``2*l`` entries: the up links at levels ``0..l-1`` and the down
+        links at the same levels (see :class:`Route`).
+        """
+        topo = self.topo
+        flows: list[np.ndarray] = []
+        links: list[np.ndarray] = []
+        # r_prefix[f] accumulates the mixed-radix value of ports[:, :i]
+        # (the W_1..W_i digits shared by the up and down path nodes).
+        r_prefix = np.zeros(len(self), dtype=np.int64)
+        up_base = 0
+        for i in range(topo.h):
+            active = np.nonzero(self.nca_level > i)[0]
+            if len(active) == 0:
+                break
+            p_i = topo.mprod(i)
+            wp_i = topo.wprod(i)
+            w_next = topo.w[i]
+            port = self.ports[active, i]
+            up_node = (self.src[active] // p_i) * wp_i + r_prefix[active]
+            down_node = (self.dst[active] // p_i) * wp_i + r_prefix[active]
+            up_idx = up_base + up_node * w_next + port
+            down_idx = topo.num_links_per_direction + up_base + down_node * w_next + port
+            flows.append(active)
+            links.append(up_idx)
+            flows.append(active)
+            links.append(down_idx)
+            r_prefix[active] += port * wp_i
+            up_base += topo.num_up_links(i)
+        if not flows:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(flows), np.concatenate(links)
+
+    def nca_nodes(self) -> np.ndarray:
+        """``(F,)`` array: the chosen NCA node id of every flow.
+
+        Note the id is only meaningful together with ``nca_level``; flows
+        with ``nca_level == 0`` (self-pairs) report their own leaf id.
+        """
+        topo = self.topo
+        out = np.empty(len(self), dtype=np.int64)
+        r_prefix = np.zeros(len(self), dtype=np.int64)
+        done = self.nca_level == 0
+        out[done] = self.src[done]
+        for i in range(topo.h):
+            active = self.nca_level > i
+            if not active.any():
+                break
+            r_prefix[active] += self.ports[active, i] * topo.wprod(i)
+            arrived = self.nca_level == i + 1
+            out[arrived] = (
+                self.src[arrived] // topo.mprod(i + 1)
+            ) * topo.wprod(i + 1) + r_prefix[arrived]
+        return out
+
+    def concat(self, other: "RouteTable") -> "RouteTable":
+        """Concatenate two tables over the same topology."""
+        if other.topo != self.topo:
+            raise ValueError("cannot concatenate tables over different topologies")
+        return RouteTable(
+            self.topo,
+            np.concatenate([self.src, other.src]),
+            np.concatenate([self.dst, other.dst]),
+            np.concatenate([self.nca_level, other.nca_level]),
+            np.vstack([self.ports, other.ports]),
+        )

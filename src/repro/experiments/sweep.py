@@ -420,11 +420,13 @@ def _environment() -> dict:
     }
 
 
-def _execute_group(payload: tuple[dict, list[tuple[int, dict]]]) -> tuple[list, dict]:
+def _execute_group(
+    payload: tuple[dict, list[tuple[int, dict]], str | None],
+) -> tuple[list, dict]:
     """Worker entry: one memo group = one route-table build, many patterns."""
-    spec_d, indexed_runs = payload
+    spec_d, indexed_runs, store_root = payload
     spec = SweepSpec.from_dict(spec_d)
-    cache = RouteTableCache()
+    cache = RouteTableCache(store=store_root)
     crossbar_memo: dict = {}
     out = []
     for index, run_d in indexed_runs:
@@ -444,6 +446,7 @@ def run_sweep(
     spec: SweepSpec,
     jobs: int = 1,
     run_filter: str | None = None,
+    store: str | Path | None = None,
 ) -> SweepResult:
     """Execute a sweep, serial (``jobs=1``) or process-parallel.
 
@@ -452,19 +455,29 @@ def run_sweep(
     exactly one worker regardless of how many patterns consume it.
     Results are deterministic and ordered by the plan, independent of
     ``jobs``.
+
+    ``store`` names an artifact-store root (``repro sweep --store``):
+    every worker's table cache becomes store-backed, so the sweep's
+    all-pairs tables are loaded from disk when already built and
+    persisted otherwise — sweep outputs double as ``repro serve``
+    entries, and reruns skip the table builds entirely.
     """
     t0 = time.perf_counter()
     runs = plan_runs(spec, run_filter)
     if not runs:
         return SweepResult(spec, [], {"table_builds": 0, "table_hits": 0}, 0.0)
 
+    store_root = str(store) if store is not None else None
     groups: dict[tuple, list[tuple[int, dict]]] = {}
     for index, run in enumerate(runs):
         groups.setdefault(run.memo_key, []).append((index, asdict(run)))
-    payloads = [(spec.to_dict(), indexed) for indexed in groups.values()]
+    payloads = [(spec.to_dict(), indexed, store_root) for indexed in groups.values()]
 
     records: list[dict | None] = [None] * len(runs)
     stats = {"table_builds": 0, "table_hits": 0}
+    if store_root is not None:
+        stats["store_hits"] = 0
+        stats["store_puts"] = 0
     jobs = max(1, min(jobs, len(payloads)))
     if jobs == 1:
         results = map(_execute_group, payloads)

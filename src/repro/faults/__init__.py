@@ -37,10 +37,14 @@ from .models import (
     worst_link_faults,
 )
 from .repair import (
+    PAIR_DISCONNECTED,
+    PAIR_INTACT,
+    PAIR_REPAIRED,
     RepairedRouting,
     RepairResult,
     UnreachablePairError,
     export_repaired_lfts,
+    repair_pairs,
     repair_table,
 )
 
@@ -56,6 +60,10 @@ __all__ = [
     "UnreachablePairError",
     "RepairResult",
     "repair_table",
+    "repair_pairs",
+    "PAIR_INTACT",
+    "PAIR_REPAIRED",
+    "PAIR_DISCONNECTED",
     "RepairedRouting",
     "export_repaired_lfts",
     "ResilienceReport",

@@ -52,11 +52,20 @@ __all__ = [
     "UnreachablePairError",
     "RepairResult",
     "repair_table",
+    "repair_pairs",
     "RepairedRouting",
     "export_repaired_lfts",
+    "PAIR_INTACT",
+    "PAIR_REPAIRED",
+    "PAIR_DISCONNECTED",
 ]
 
 REPAIR_POLICIES = ("rerandomize", "greedy-dst")
+
+#: per-pair outcome codes of :func:`repair_pairs`
+PAIR_INTACT = 0
+PAIR_REPAIRED = 1
+PAIR_DISCONNECTED = 2
 
 
 class UnreachablePairError(ValueError):
@@ -179,6 +188,48 @@ def repair_table(
         disconnected=disconnected,
         diagnostics=tuple(diagnostics),
     )
+
+
+def repair_pairs(
+    degraded: DegradedTopology,
+    src: np.ndarray,
+    dst: np.ndarray,
+    nca_level: np.ndarray,
+    ports: np.ndarray,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """What-if repair of queried routes, aligned and copy-on-write.
+
+    The serving-layer sibling of :func:`repair_table`: takes the raw
+    arrays of a batch lookup (possibly gathered from a read-only mmap'd
+    store entry), never mutates them, and keeps the output aligned with
+    the query — disconnected pairs stay in place with zeroed ports
+    instead of being dropped.
+
+    Returns ``(ports_out, status)`` where ``ports_out`` is a fresh
+    ``(B, h)`` matrix and ``status[b]`` is :data:`PAIR_INTACT`,
+    :data:`PAIR_REPAIRED` or :data:`PAIR_DISCONNECTED`.  The repair
+    draw matches :func:`repair_table` exactly (same seed, same pair →
+    same surviving prefix), so a what-if answer agrees with a
+    persisted repaired table.
+    """
+    table = RouteTable(degraded.topo, src, dst, nca_level, ports)
+    broken = degraded.broken_flow_mask(table)
+    out = np.array(ports, dtype=np.int64, copy=True)
+    status = np.zeros(len(table), dtype=np.int64)
+    for f in np.nonzero(broken)[0]:
+        s, d = int(table.src[f]), int(table.dst[f])
+        level = int(table.nca_level[f])
+        alive = degraded.alive_prefixes(level)
+        choice = _draw_prefix(alive[s] & alive[d], seed, s, d)
+        if choice is None:
+            status[f] = PAIR_DISCONNECTED
+            out[f, :] = 0
+            continue
+        out[f, :level] = _decode_prefix(degraded.topo, choice, level)
+        out[f, level:] = 0
+        status[f] = PAIR_REPAIRED
+    return out, status
 
 
 class RepairedRouting(RoutingAlgorithm):

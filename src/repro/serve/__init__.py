@@ -1,0 +1,22 @@
+"""Route serving: batch/async queries over stored compact tables.
+
+* :mod:`repro.serve.server` — :class:`RouteServer` (vectorized lookups,
+  what-if fault repair, LFT export), the JSON-lines protocol dispatcher
+  and the asyncio TCP endpoint;
+* :mod:`repro.serve.bench` — the bytes/route + lookups/sec benchmark
+  behind ``BENCH_serve.json`` and the CI baseline gate.
+
+Shell entry point: ``repro serve`` (see ``docs/serving.md``).
+"""
+
+from .bench import check_baseline, run_benchmark, write_benchmark
+from .server import RouteServer, handle_request, serve_forever
+
+__all__ = [
+    "RouteServer",
+    "check_baseline",
+    "handle_request",
+    "run_benchmark",
+    "serve_forever",
+    "write_benchmark",
+]

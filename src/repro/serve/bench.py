@@ -1,0 +1,211 @@
+"""Serving-layer benchmark: bytes/route and lookups/sec (``BENCH_serve.json``).
+
+For each (topology, algorithm) cell the benchmark:
+
+* builds the all-pairs table and records the struct-of-arrays cost
+  (the pre-compact baseline) vs the compact encoding's bytes/route;
+* stores the entry and times the mmap-backed reopen;
+* verifies the compact round-trip is bit-exact against the built table;
+* measures batch lookups/sec through :meth:`RouteServer.batch_lookup`
+  (the in-process hot path) and through the asyncio TCP endpoint
+  (JSON-lines protocol overhead included).
+
+``check_baseline`` gates a result document against committed floors
+(``benchmarks/baseline_serve.json``) — the CI ``serve-smoke`` job fails
+on any regression in correctness, compression or throughput.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..core.factory import make_algorithm
+from ..store import ArtifactStore, StoreKey
+from ..topology.registry import resolve_topology
+from .server import STREAM_LIMIT, RouteServer, serve_forever
+
+__all__ = ["run_benchmark", "check_baseline", "write_benchmark"]
+
+BENCH_SCHEMA = 1
+
+
+def _query_pairs(n: int, count: int, rng: np.random.Generator):
+    """``count`` random ordered pairs with ``src != dst``."""
+    srcs = rng.integers(0, n, size=count, dtype=np.int64)
+    dsts = rng.integers(0, n - 1, size=count, dtype=np.int64)
+    dsts += dsts >= srcs
+    return srcs, dsts
+
+
+def _measure_batch(server: RouteServer, srcs, dsts, repeats: int) -> float:
+    """Best-of-``repeats`` in-process lookups/sec over one batch."""
+    best = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        server.batch_lookup(srcs, dsts)
+        dt = time.perf_counter() - t0
+        if dt > 0:
+            best = max(best, len(srcs) / dt)
+    return best
+
+
+async def _measure_async(
+    server: RouteServer, srcs, dsts, batches: int, batch_size: int
+) -> float:
+    """Lookups/sec through the TCP endpoint (loopback, one connection)."""
+    loop = asyncio.get_running_loop()
+    ready: asyncio.Future = loop.create_future()
+    task = asyncio.ensure_future(serve_forever(server, port=0, ready=ready))
+    try:
+        host, port = await ready
+        reader, writer = await asyncio.open_connection(host, port, limit=STREAM_LIMIT)
+        requests = []
+        for b in range(batches):
+            lo = (b * batch_size) % max(len(srcs) - batch_size, 1)
+            requests.append(
+                json.dumps(
+                    {
+                        "op": "batch",
+                        "src": srcs[lo : lo + batch_size].tolist(),
+                        "dst": dsts[lo : lo + batch_size].tolist(),
+                    }
+                ).encode()
+                + b"\n"
+            )
+        total = 0
+        t0 = time.perf_counter()
+        for payload in requests:
+            writer.write(payload)
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            if not response.get("ok"):
+                raise RuntimeError(f"serve error: {response.get('error')}")
+            total += response["count"]
+        dt = time.perf_counter() - t0
+        writer.close()
+        await writer.wait_closed()
+        return total / dt if dt > 0 else 0.0
+    finally:
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+
+def run_benchmark(
+    topologies=("XGFT(2;32,64;1,16)",),
+    algorithms=("d-mod-k", "random"),
+    seed: int = 0,
+    store: ArtifactStore | str | Path | None = None,
+    batch_size: int = 65536,
+    repeats: int = 3,
+    async_batches: int = 8,
+    async_batch_size: int = 4096,
+) -> dict:
+    """Run the full serving benchmark; returns the result document."""
+    live = ArtifactStore.ensure(store) if store is not None else None
+    entries = []
+    for topo_spec in topologies:
+        topo = resolve_topology(topo_spec)
+        n = topo.num_leaves
+        rng = np.random.default_rng(seed ^ 0xBE7C)
+        srcs, dsts = _query_pairs(n, batch_size, rng)
+        for algorithm in algorithms:
+            t0 = time.perf_counter()
+            table = make_algorithm(algorithm, topo, seed=seed).all_pairs_table()
+            build_seconds = time.perf_counter() - t0
+            compact = table.to_compact()
+            decoded = compact.to_table()
+            verified = (
+                np.array_equal(decoded.src, table.src)
+                and np.array_equal(decoded.dst, table.dst)
+                and np.array_equal(decoded.nca_level, table.nca_level)
+                and np.array_equal(decoded.ports, table.ports)
+            )
+            open_ms = None
+            served = compact
+            if live is not None:
+                key = StoreKey.make(topo.spec(), algorithm, seed)
+                live.put(key, compact)
+                t0 = time.perf_counter()
+                served = live.open(key)
+                open_ms = (time.perf_counter() - t0) * 1e3
+            server = RouteServer(served)
+            batch_rate = _measure_batch(server, srcs, dsts, repeats)
+            async_rate = asyncio.run(
+                _measure_async(server, srcs, dsts, async_batches, async_batch_size)
+            )
+            entries.append(
+                {
+                    "topology": topo.spec(),
+                    "algorithm": algorithm,
+                    "seed": seed,
+                    "num_leaves": n,
+                    "num_routes": len(table),
+                    "encoding": compact.encoding,
+                    "full_bytes": table.nbytes,
+                    "full_bytes_per_route": round(table.nbytes / len(table), 4),
+                    "compact_bytes": compact.nbytes,
+                    "compact_bytes_per_route": round(compact.bytes_per_route, 4),
+                    "compression": round(table.nbytes / compact.nbytes, 2),
+                    "build_seconds": round(build_seconds, 3),
+                    "open_ms": round(open_ms, 3) if open_ms is not None else None,
+                    "batch_lookups_per_sec": round(batch_rate),
+                    "async_lookups_per_sec": round(async_rate),
+                    "verified": bool(verified),
+                }
+            )
+    return {
+        "schema": BENCH_SCHEMA,
+        "batch_size": batch_size,
+        "async_batch_size": async_batch_size,
+        "entries": entries,
+    }
+
+
+def write_benchmark(results: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def check_baseline(results: dict, baseline: dict) -> list[str]:
+    """Compare a benchmark document against committed floors.
+
+    Returns a list of human-readable failures (empty = pass).  Floors:
+
+    * ``require_verified`` — every entry must round-trip bit-exact;
+    * ``min_compression`` — per-algorithm bytes/route ratio floor;
+    * ``min_batch_lookups_per_sec`` / ``min_async_lookups_per_sec`` —
+      throughput floors applied to every entry.
+    """
+    failures: list[str] = []
+    entries = results.get("entries", [])
+    if not entries:
+        return ["benchmark produced no entries"]
+    for e in entries:
+        cell = f"{e['algorithm']} on {e['topology']}"
+        if baseline.get("require_verified", True) and not e.get("verified"):
+            failures.append(f"{cell}: compact round-trip not bit-exact")
+        floor = baseline.get("min_compression", {}).get(e["algorithm"])
+        if floor is not None and e["compression"] < floor:
+            failures.append(
+                f"{cell}: compression {e['compression']}x below floor {floor}x"
+            )
+        floor = baseline.get("min_batch_lookups_per_sec")
+        if floor is not None and e["batch_lookups_per_sec"] < floor:
+            failures.append(
+                f"{cell}: batch {e['batch_lookups_per_sec']}/s below floor {floor}/s"
+            )
+        floor = baseline.get("min_async_lookups_per_sec")
+        if floor is not None and e["async_lookups_per_sec"] < floor:
+            failures.append(
+                f"{cell}: async {e['async_lookups_per_sec']}/s below floor {floor}/s"
+            )
+    return failures

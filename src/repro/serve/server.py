@@ -1,0 +1,289 @@
+"""The route-serving query layer.
+
+:class:`RouteServer` answers route queries from one stored (or
+in-memory) compact table:
+
+* **vectorized batch lookups** — gathers straight from the compact
+  columns (mmap-friendly: a store-backed server never materializes the
+  full table on the lookup path);
+* **what-if fault repair** — a query may carry a fault spec; the server
+  realizes the degraded fabric (cached per canonical spec), repairs
+  exactly the queried routes copy-on-write via
+  :func:`repro.faults.repair.repair_pairs`, and reports per-pair
+  status — the stored artifact is never mutated;
+* **LFT export** — re-derives per-switch forwarding tables from the
+  stored routes for destination-deterministic schemes.
+
+Two transports share one dispatcher (:func:`handle_request`):
+
+* ``repro serve --batch`` — JSON-lines requests from a file/stdin,
+  responses on stdout (used by the CI smoke job);
+* ``repro serve --listen`` — an asyncio TCP endpoint speaking the same
+  JSON-lines protocol, one request object per line, one response line
+  per request (documented in ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..store import ArtifactStore, CompactRouteTable, StoreKey, open_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.forwarding import ForwardingTables
+    from ..core.route import RouteTable
+    from ..faults import DegradedTopology
+
+__all__ = ["RouteServer", "handle_request", "serve_forever"]
+
+#: JSON-lines reader buffer limit — a 64k-pair batch request is ~1 MB of
+#: JSON, so the asyncio default of 64 KiB would reject real batches
+STREAM_LIMIT = 16 * 1024 * 1024
+
+
+class RouteServer:
+    """Batch/async query API over one compact route table.
+
+    Build one directly from a table, or with :meth:`from_store` (the
+    common path: opens the artifact mmap-backed, building it on a miss).
+    Thread-compatible for concurrent reads: lookups only gather; the
+    lazily-built caches (degraded fabrics, decoded table for LFT export)
+    are monotonic.
+    """
+
+    def __init__(
+        self,
+        table: "CompactRouteTable | RouteTable",
+        key: StoreKey | None = None,
+    ):
+        if not isinstance(table, CompactRouteTable):
+            table = table.to_compact()
+        self.table = table
+        self.key = key
+        self._degraded: dict[str, "DegradedTopology"] = {}
+        self._decoded: "RouteTable | None" = None
+        self._queries = 0
+        self._routes_served = 0
+        self._what_if_routes = 0
+
+    @classmethod
+    def from_store(
+        cls,
+        topology,
+        algorithm: str,
+        seed: int = 0,
+        faults: str = "none",
+        store: ArtifactStore | str | Path | None = None,
+        build: bool = True,
+    ) -> "RouteServer":
+        """Serve a store entry (mmap-backed), building it on a miss."""
+        key = StoreKey.make(topology, algorithm, seed, faults)
+        table = open_table(
+            key.topology, key.algorithm, key.seed, key.faults, store=store, build=build
+        )
+        return cls(table, key=key)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def batch_lookup(
+        self,
+        srcs,
+        dsts,
+        faults: str | None = None,
+        repair_seed: int = 0,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized lookup: ``(nca (B,), ports (B, h), status (B,))``.
+
+        Without ``faults``, status is all :data:`~repro.faults.PAIR_INTACT`.
+        With a fault spec, routes broken on the degraded fabric are
+        repaired (or marked disconnected) exactly as a persisted
+        repaired table would hold them — the served artifact itself is
+        untouched.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        nca, ports = self.table.batch_lookup(srcs, dsts)
+        self._queries += 1
+        self._routes_served += len(srcs)
+        if faults is None:
+            return nca, ports, np.zeros(len(srcs), dtype=np.int64)
+        from ..faults import repair_pairs
+
+        ports, status = repair_pairs(
+            self._degraded_for(faults), srcs, dsts, nca, ports, seed=repair_seed
+        )
+        self._what_if_routes += len(srcs)
+        return nca, ports, status
+
+    def lookup(self, src: int, dst: int, faults: str | None = None):
+        """One pair's route (what-if repaired when ``faults`` is given).
+
+        Returns a :class:`~repro.core.route.Route`; raises
+        :class:`~repro.faults.UnreachablePairError` if the what-if
+        fabric disconnects the pair.
+        """
+        from ..core.route import Route
+        from ..faults import PAIR_DISCONNECTED, UnreachablePairError
+
+        nca, ports, status = self.batch_lookup([src], [dst], faults=faults)
+        if status[0] == PAIR_DISCONNECTED:
+            raise UnreachablePairError(
+                int(src), int(dst), f"what-if faults {faults!r} disconnect the pair"
+            )
+        lvl = int(nca[0])
+        return Route(int(src), int(dst), tuple(int(p) for p in ports[0, :lvl]))
+
+    def _degraded_for(self, faults: str) -> "DegradedTopology":
+        """The what-if fabric for a spec, cached per canonical form."""
+        from ..faults import DegradedTopology, parse_fault_spec
+
+        spec = parse_fault_spec(faults)
+        canonical = spec.canonical()
+        cached = self._degraded.get(canonical)
+        if cached is None:
+            table = self._full_table() if spec.needs_traffic else None
+            cached = DegradedTopology(
+                self.table.topo, spec.realize(self.table.topo, table=table)
+            )
+            self._degraded[canonical] = cached
+        return cached
+
+    def _full_table(self) -> "RouteTable":
+        if self._decoded is None:
+            self._decoded = self.table.to_table()
+        return self._decoded
+
+    def export_lfts(self) -> "ForwardingTables":
+        """Per-switch LFTs of the served routes (destination-deterministic only)."""
+        from ..core.forwarding import forwarding_tables_from_table
+
+        return forwarding_tables_from_table(self._full_table())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def info(self) -> dict:
+        """The served table's format descriptor plus its store key."""
+        out = self.table.describe()
+        if self.key is not None:
+            out["key"] = self.key.to_dict()
+        return out
+
+    def stats(self) -> dict:
+        return {
+            "queries": self._queries,
+            "routes_served": self._routes_served,
+            "what_if_routes": self._what_if_routes,
+            "what_if_fabrics": len(self._degraded),
+        }
+
+
+# ----------------------------------------------------------------------
+# Protocol: one dispatcher for the batch CLI and the TCP endpoint
+# ----------------------------------------------------------------------
+def handle_request(server: RouteServer, request: dict) -> dict:
+    """Answer one protocol request object (see ``docs/serving.md``).
+
+    Never raises on bad input — protocol errors come back as
+    ``{"ok": false, "error": ...}`` so one malformed line cannot kill a
+    connection that other clients' batches are multiplexed onto.
+    """
+    try:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "info":
+            return {"ok": True, "op": "info", "info": server.info()}
+        if op == "stats":
+            return {"ok": True, "op": "stats", "stats": server.stats()}
+        if op == "lookup":
+            nca, ports, status = server.batch_lookup(
+                [int(request["src"])],
+                [int(request["dst"])],
+                faults=request.get("faults"),
+                repair_seed=int(request.get("repair_seed", 0)),
+            )
+            lvl = int(nca[0])
+            return {
+                "ok": True,
+                "op": "lookup",
+                "nca_level": lvl,
+                "up_ports": [int(p) for p in ports[0, :lvl]],
+                "status": int(status[0]),
+            }
+        if op == "batch":
+            nca, ports, status = server.batch_lookup(
+                request["src"],
+                request["dst"],
+                faults=request.get("faults"),
+                repair_seed=int(request.get("repair_seed", 0)),
+            )
+            return {
+                "ok": True,
+                "op": "batch",
+                "count": int(len(nca)),
+                "nca_level": nca.tolist(),
+                "ports": ports.tolist(),
+                "status": status.tolist(),
+            }
+        return {"ok": False, "error": f"unknown op {op!r}"}
+    except (KeyError, ValueError, TypeError) as exc:
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+async def _handle_connection(
+    server: RouteServer, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                request = json.loads(text)
+            except json.JSONDecodeError as exc:
+                response = {"ok": False, "error": f"bad JSON: {exc}"}
+            else:
+                response = handle_request(server, request)
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def serve_forever(
+    server: RouteServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: "asyncio.Future | None" = None,
+) -> None:
+    """Run the JSON-lines TCP endpoint until cancelled.
+
+    ``port=0`` binds an ephemeral port; ``ready`` (if given) receives
+    the bound ``(host, port)`` once listening — the benchmark and the
+    tests use it to connect without racing the bind.
+    """
+    tcp = await asyncio.start_server(
+        lambda r, w: _handle_connection(server, r, w),
+        host,
+        port,
+        limit=STREAM_LIMIT,
+    )
+    bound = tcp.sockets[0].getsockname()[:2]
+    if ready is not None and not ready.done():
+        ready.set_result(bound)
+    async with tcp:
+        await tcp.serve_forever()

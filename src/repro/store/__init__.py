@@ -1,0 +1,37 @@
+"""Compact route-table format and the persistent artifact store.
+
+Two halves:
+
+* :mod:`repro.store.compact` — :class:`CompactRouteTable`, the
+  XGFT-aware compressed struct-of-arrays route-table format (columnar
+  per-endpoint collapse for destination/source-deterministic schemes,
+  prefix dictionary for hashed schemes), bit-exact round-trip with
+  :class:`repro.core.route.RouteTable`;
+* :mod:`repro.store.artifact` — :class:`ArtifactStore`, the versioned
+  on-disk store of compact tables keyed by canonical
+  ``(topology, algorithm, seed, faults)`` specs, with mmap-backed
+  zero-copy loads, plus the :func:`open_table`/:func:`store_table`
+  facade that :mod:`repro.api` re-exports.
+"""
+
+from .artifact import (
+    ArtifactStore,
+    StoreFormatError,
+    StoreKey,
+    default_store_root,
+    open_table,
+    store_table,
+)
+from .compact import ENCODINGS, FORMAT_VERSION, CompactRouteTable
+
+__all__ = [
+    "ArtifactStore",
+    "CompactRouteTable",
+    "ENCODINGS",
+    "FORMAT_VERSION",
+    "StoreFormatError",
+    "StoreKey",
+    "default_store_root",
+    "open_table",
+    "store_table",
+]

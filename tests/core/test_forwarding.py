@@ -151,3 +151,29 @@ class TestWalkRobustness:
             for d in range(0, 32, 7):
                 if s != d:
                     assert tables.walk(s, d) == alg.route(s, d).node_path(topo)
+
+
+class TestFromStoredTable:
+    def test_matches_algorithm_built_lfts(self, topo):
+        from repro.core.forwarding import forwarding_tables_from_table
+
+        alg = DModK(topo)
+        from_alg = build_forwarding_tables(alg)
+        from_table = forwarding_tables_from_table(alg.all_pairs_table())
+        assert from_table.tables == from_alg.tables
+
+    def test_source_determinism_still_rejected(self, topo):
+        from repro.core.forwarding import forwarding_tables_from_table
+
+        with pytest.raises(InconsistentRouteError):
+            forwarding_tables_from_table(SModK(topo).all_pairs_table())
+
+    def test_walks_round_trip(self, topo):
+        from repro.core.forwarding import forwarding_tables_from_table
+
+        alg = RNCADown(topo, seed=5)
+        tables = forwarding_tables_from_table(alg.all_pairs_table())
+        for s in range(0, 16, 3):
+            for d in range(0, 16, 5):
+                if s != d:
+                    assert tables.walk(s, d) == alg.route(s, d).node_path(topo)

@@ -225,3 +225,77 @@ class TestFaultsCommand:
         assert main(["faults", "--topology", "XGFT(2;4,4;1,4)", "--rates", "0",
                      "--algorithms", "d-mod-k", "--seeds", "1"]) == 0
         assert "d-mod-k" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    TOPO = "XGFT(2;4,4;1,4)"
+
+    def test_info_mode(self, tmp_path, capsys):
+        assert main([
+            "serve", "--topology", self.TOPO, "--algorithm", "d-mod-k",
+            "--store", str(tmp_path / "store"),
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["key"]["algorithm"] == "d-mod-k"
+        assert doc["encoding"] == "columnar"
+
+    def test_batch_mode_round_trip(self, tmp_path, capsys):
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(
+            json.dumps({"op": "lookup", "src": 0, "dst": 9}) + "\n"
+            + json.dumps({"op": "batch", "src": [1, 2], "dst": [8, 3]}) + "\n"
+        )
+        assert main([
+            "serve", "--topology", self.TOPO, "--algorithm", "d-mod-k",
+            "--store", str(tmp_path / "store"), "--batch", str(queries),
+        ]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines() if l]
+        assert len(lines) == 2 and all(r["ok"] for r in lines)
+        assert lines[1]["count"] == 2
+
+    def test_batch_mode_error_exits_nonzero(self, tmp_path, capsys):
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(json.dumps({"op": "lookup", "src": 0, "dst": 0}) + "\n")
+        assert main([
+            "serve", "--topology", self.TOPO, "--algorithm", "d-mod-k",
+            "--store", str(tmp_path / "store"), "--batch", str(queries),
+        ]) == 1
+        assert not json.loads(capsys.readouterr().out)["ok"]
+
+    def test_no_build_on_empty_store_fails(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "serve", "--topology", self.TOPO, "--algorithm", "d-mod-k",
+                "--store", str(tmp_path / "store"), "--no-build",
+            ])
+
+    def test_bench_writes_report_and_gates(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "require_verified": True,
+            "min_compression": {"d-mod-k": 4.0},
+            "min_batch_lookups_per_sec": 1,
+            "min_async_lookups_per_sec": 1,
+        }))
+        assert main([
+            "serve", "--bench", "--topology", self.TOPO,
+            "--algorithms", "d-mod-k",
+            "--store", str(tmp_path / "store"),
+            "--batch-size", "1024",
+            "--output", str(out), "--baseline", str(baseline),
+        ]) == 0
+        report = json.loads(out.read_text())
+        assert report["entries"][0]["verified"]
+        assert "PASS" in capsys.readouterr().out
+
+    def test_bench_baseline_failure_exits_nonzero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"min_batch_lookups_per_sec": 10**15}))
+        assert main([
+            "serve", "--bench", "--topology", self.TOPO,
+            "--algorithms", "d-mod-k",
+            "--store", str(tmp_path / "store"),
+            "--batch-size", "512", "--baseline", str(baseline),
+        ]) == 1
+        assert "FAIL" in capsys.readouterr().err

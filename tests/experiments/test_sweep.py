@@ -211,6 +211,26 @@ class TestExecution:
         assert set(metrics) == {"routes_per_nca", "max_link_load"}
         assert sum(metrics["routes_per_nca"]) == 16 * 15 - 4 * 4 * 3  # cross-switch pairs
 
+    def test_store_backed_rerun_builds_nothing(self, tmp_path):
+        store = tmp_path / "store"
+        first = run_sweep(SMALL_SPEC, store=store)
+        assert first.cache_stats["table_builds"] > 0
+        assert first.cache_stats["store_puts"] == first.cache_stats["table_builds"]
+        second = run_sweep(SMALL_SPEC, store=store)
+        assert second.cache_stats["table_builds"] == 0
+        assert second.cache_stats["store_hits"] > 0
+        assert [r["metrics"] for r in second.runs] == [r["metrics"] for r in first.runs]
+
+    def test_store_round_trip_survives_parallel_workers(self, tmp_path):
+        store = tmp_path / "store"
+        plain = run_sweep(SMALL_SPEC, jobs=1)
+        stored = run_sweep(SMALL_SPEC, jobs=4, store=store)
+        assert [r["metrics"] for r in stored.runs] == [r["metrics"] for r in plain.runs]
+        assert "store_hits" in stored.cache_stats
+
+    def test_stats_omit_store_counters_without_store(self):
+        assert "store_hits" not in run_sweep(SMALL_SPEC).cache_stats
+
     def test_empty_filter_gives_empty_result(self):
         result = run_sweep(SMALL_SPEC, run_filter="no-such-run")
         assert result.runs == []

@@ -187,3 +187,55 @@ class TestRegistrySpecAcceptance:
         by_obj, skipped_b = export_repaired_lfts(make_algorithm("d-mod-k", topo), deg)
         assert skipped_a == skipped_b == ()
         assert by_spec.walk(0, 9) == by_obj.walk(0, 9)
+
+
+class TestRepairPairs:
+    """The server-facing aligned repair primitive."""
+
+    def _pairs(self, table):
+        return table.src, table.dst, table.nca_level, table.ports
+
+    def test_agrees_with_repair_table_on_survivors(self, topo, deg):
+        from repro.faults import PAIR_DISCONNECTED, PAIR_INTACT, repair_pairs
+
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        reference = repair_table(table, deg, seed=0)
+        ports, status = repair_pairs(deg, *self._pairs(table), seed=0)
+        keep = status != PAIR_DISCONNECTED
+        assert np.array_equal(ports[keep], reference.table.ports)
+        assert np.array_equal(status != PAIR_INTACT, np.asarray(reference.broken))
+
+    def test_output_is_aligned_and_inputs_untouched(self, topo, deg):
+        from repro.faults import repair_pairs
+
+        table = make_algorithm("random", topo, seed=3).all_pairs_table()
+        before = table.ports.copy()
+        ports, status = repair_pairs(deg, *self._pairs(table), seed=1)
+        assert ports.shape == table.ports.shape
+        assert len(status) == len(table)
+        assert np.array_equal(table.ports, before)
+        assert ports is not table.ports
+
+    def test_disconnected_rows_zeroed_in_place(self, topo):
+        from repro.faults import PAIR_DISCONNECTED, repair_pairs
+
+        # isolate leaf 0 by killing its only uplink
+        deg = DegradedTopology(
+            topo, FaultSet(links=frozenset({topo.up_link_index(0, 0, 0)}))
+        )
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        ports, status = repair_pairs(deg, *self._pairs(table), seed=0)
+        dead = status == PAIR_DISCONNECTED
+        touches_zero = (np.asarray(table.src) == 0) | (np.asarray(table.dst) == 0)
+        assert np.array_equal(dead, touches_zero)
+        assert (ports[dead] == 0).all()
+
+    def test_zero_faults_identity(self, topo):
+        from repro.faults import PAIR_INTACT, repair_pairs
+
+        table = make_algorithm("s-mod-k", topo).all_pairs_table()
+        ports, status = repair_pairs(
+            DegradedTopology(topo, FaultSet.none()), *self._pairs(table)
+        )
+        assert (status == PAIR_INTACT).all()
+        assert np.array_equal(ports, table.ports)

@@ -1,0 +1,214 @@
+"""Tests for the RouteServer query layer, protocol and benchmark gate."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.factory import make_algorithm
+from repro.core.forwarding import build_forwarding_tables
+from repro.faults import (
+    PAIR_INTACT,
+    DegradedTopology,
+    UnreachablePairError,
+    parse_fault_spec,
+    repair_table,
+)
+from repro.serve import (
+    RouteServer,
+    check_baseline,
+    handle_request,
+    run_benchmark,
+    serve_forever,
+)
+from repro.serve.server import STREAM_LIMIT
+from repro.store import ArtifactStore
+from repro.topology.registry import resolve_topology
+
+TOPO = "XGFT(2;4,4;1,4)"
+FAULTS = "links:count=6,seed=3"
+
+
+@pytest.fixture
+def server(tmp_path):
+    return RouteServer.from_store(TOPO, "d-mod-k", store=tmp_path / "store")
+
+
+class TestLookups:
+    def test_batch_matches_algorithm_routes(self, server):
+        topo = resolve_topology(TOPO)
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        rng = np.random.default_rng(1)
+        idx = rng.integers(0, len(table), size=100)
+        nca, ports, status = server.batch_lookup(table.src[idx], table.dst[idx])
+        assert np.array_equal(nca, table.nca_level[idx])
+        assert np.array_equal(ports, table.ports[idx])
+        assert (status == PAIR_INTACT).all()
+
+    def test_single_lookup_validates(self, server):
+        route = server.lookup(0, 9)
+        route.validate(resolve_topology(TOPO))
+
+    def test_stats_accumulate(self, server):
+        server.batch_lookup([0, 1], [5, 6])
+        server.batch_lookup([2], [3])
+        stats = server.stats()
+        assert stats["queries"] == 2
+        assert stats["routes_served"] == 3
+
+    def test_from_store_key_in_info(self, server):
+        info = server.info()
+        assert info["key"]["algorithm"] == "d-mod-k"
+        assert info["topology"] == TOPO
+
+
+class TestWhatIf:
+    def test_matches_persisted_repair(self, server):
+        topo = resolve_topology(TOPO)
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        degraded = DegradedTopology(topo, parse_fault_spec(FAULTS).realize(topo))
+        repaired = repair_table(table, degraded, seed=0)
+        keep = ~repaired.disconnected
+        nca, ports, status = server.batch_lookup(
+            table.src[keep], table.dst[keep], faults=FAULTS
+        )
+        assert np.array_equal(ports, repaired.table.ports)
+        assert (status[np.asarray(repaired.repaired[keep])] != PAIR_INTACT).all()
+
+    def test_never_mutates_stored_artifact(self, server):
+        before = {k: np.asarray(v).copy() for k, v in server.table.arrays.items()}
+        topo = resolve_topology(TOPO)
+        n = topo.num_leaves
+        srcs, dsts = np.divmod(np.arange(n * n), n)
+        keep = srcs != dsts
+        server.batch_lookup(srcs[keep], dsts[keep], faults=FAULTS)
+        for name, arr in before.items():
+            assert np.array_equal(arr, np.asarray(server.table.arrays[name]))
+
+    def test_disconnected_lookup_raises(self, server):
+        topo = resolve_topology(TOPO)
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        degraded = DegradedTopology(topo, parse_fault_spec(FAULTS).realize(topo))
+        repaired = repair_table(table, degraded, seed=0)
+        dead = np.nonzero(repaired.disconnected)[0]
+        if not len(dead):  # pragma: no cover - seed-dependent guard
+            pytest.skip("this fault draw disconnects nothing")
+        f = int(dead[0])
+        with pytest.raises(UnreachablePairError):
+            server.lookup(int(table.src[f]), int(table.dst[f]), faults=FAULTS)
+
+    def test_fabric_cached_per_canonical_spec(self, server):
+        server.batch_lookup([0], [5], faults="links:count=2,seed=1")
+        server.batch_lookup([0], [6], faults="links:seed=1,count=2")
+        assert server.stats()["what_if_fabrics"] == 1
+
+
+class TestLftExport:
+    def test_matches_algorithm_built_lfts(self, server):
+        topo = resolve_topology(TOPO)
+        expected = build_forwarding_tables(make_algorithm("d-mod-k", topo))
+        assert server.export_lfts().tables == expected.tables
+
+
+class TestProtocol:
+    def test_lookup_and_batch_ops(self, server):
+        response = handle_request(server, {"op": "lookup", "src": 0, "dst": 9})
+        assert response["ok"] and response["nca_level"] == len(response["up_ports"])
+        response = handle_request(server, {"op": "batch", "src": [0, 1], "dst": [9, 2]})
+        assert response["ok"] and response["count"] == 2
+
+    def test_info_stats_ping(self, server):
+        assert handle_request(server, {"op": "ping"})["ok"]
+        assert handle_request(server, {"op": "info"})["info"]["kind"] == "all-pairs"
+        assert "queries" in handle_request(server, {"op": "stats"})["stats"]
+
+    def test_errors_are_responses_not_exceptions(self, server):
+        assert not handle_request(server, {"op": "warp"})["ok"]
+        assert not handle_request(server, {"op": "lookup", "src": 0, "dst": 0})["ok"]
+        assert not handle_request(server, {"op": "lookup", "src": 0})["ok"]
+        assert not handle_request(server, {"op": "batch", "src": [0], "dst": [99999]})["ok"]
+
+    def test_what_if_over_protocol(self, server):
+        response = handle_request(
+            server,
+            {"op": "batch", "src": [0, 1], "dst": [9, 2], "faults": FAULTS},
+        )
+        assert response["ok"]
+        assert set(response["status"]) <= {0, 1, 2}
+
+
+class TestAsyncEndpoint:
+    def test_tcp_round_trip_matches_direct(self, server):
+        topo = resolve_topology(TOPO)
+        table = make_algorithm("d-mod-k", topo).all_pairs_table()
+        idx = np.random.default_rng(7).integers(0, len(table), size=50)
+        srcs, dsts = table.src[idx].tolist(), table.dst[idx].tolist()
+
+        async def roundtrip():
+            loop = asyncio.get_running_loop()
+            ready: asyncio.Future = loop.create_future()
+            task = asyncio.ensure_future(serve_forever(server, port=0, ready=ready))
+            try:
+                host, port = await ready
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=STREAM_LIMIT
+                )
+                writer.write(
+                    json.dumps({"op": "batch", "src": srcs, "dst": dsts}).encode() + b"\n"
+                )
+                writer.write(b"this is not json\n")
+                writer.write(json.dumps({"op": "stats"}).encode() + b"\n")
+                await writer.drain()
+                batch = json.loads(await reader.readline())
+                bad = json.loads(await reader.readline())
+                stats = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return batch, bad, stats
+            finally:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+
+        batch, bad, stats = asyncio.run(roundtrip())
+        assert batch["ok"]
+        assert np.array_equal(np.asarray(batch["ports"]), table.ports[idx])
+        # a malformed line answers an error and keeps the connection alive
+        assert not bad["ok"] and "bad JSON" in bad["error"]
+        assert stats["ok"]
+
+
+class TestBenchmark:
+    def test_run_and_gate(self, tmp_path):
+        results = run_benchmark(
+            topologies=(TOPO,),
+            algorithms=("d-mod-k", "random"),
+            store=ArtifactStore(tmp_path / "store"),
+            batch_size=1024,
+            repeats=1,
+            async_batches=2,
+            async_batch_size=256,
+        )
+        by_alg = {e["algorithm"]: e for e in results["entries"]}
+        assert by_alg["d-mod-k"]["encoding"] == "columnar"
+        assert by_alg["random"]["encoding"] == "prefix-dict"
+        assert all(e["verified"] for e in results["entries"])
+        assert all(e["compression"] >= 4.0 for e in results["entries"])
+        assert all(e["open_ms"] is not None for e in results["entries"])
+        passing = {
+            "require_verified": True,
+            "min_compression": {"d-mod-k": 4.0, "random": 4.0},
+            "min_batch_lookups_per_sec": 1,
+            "min_async_lookups_per_sec": 1,
+        }
+        assert check_baseline(results, passing) == []
+        failing = dict(passing, min_batch_lookups_per_sec=10**15)
+        assert any("below floor" in f for f in check_baseline(results, failing))
+
+    def test_empty_results_fail_gate(self):
+        assert check_baseline({"entries": []}, {}) == ["benchmark produced no entries"]

@@ -226,3 +226,74 @@ class TestCompare:
     def test_empty_comparison_rejected(self):
         with pytest.raises(ValueError, match="at least one"):
             compare([])
+
+
+class TestStoreBackedCache:
+    def test_store_key_none_for_live_instances(self):
+        """Regression companion to the bare-name collision fix: live
+        algorithm instances are identity-keyed in memory and must never
+        reach the content-addressed store, where two distinct instances
+        with equal names would collide on one entry."""
+        topo = XGFT((4, 4), (1, 2))
+        live = Scenario(topo, "shift-1", make_algorithm("r-nca-d", topo, seed=1))
+        assert live.store_key is None
+        spec = Scenario(topo, "shift-1", "r-nca-d", seed=1)
+        assert spec.store_key is not None
+        assert spec.store_key.algorithm == "r-nca-d"
+
+    def test_live_instances_never_touch_store(self, tmp_path):
+        topo = XGFT((4, 4), (1, 2))
+        cache = RouteTableCache(store=tmp_path / "store")
+        for seed in (1, 2):
+            s = Scenario(topo, "shift-1", make_algorithm("r-nca-d", topo, seed=seed))
+            evaluate_scenario(s, metrics=("max_link_load",), cache=cache)
+        stats = cache.stats()
+        assert stats["table_builds"] == 2
+        assert stats["store_hits"] == 0 and stats["store_puts"] == 0
+
+    def test_topology_spellings_share_one_store_entry(self, tmp_path):
+        cache1 = RouteTableCache(store=tmp_path / "store")
+        evaluate_scenario(
+            Scenario("XGFT(2;4,4;1,2)", "shift-1", "d-mod-k"),
+            metrics=("max_link_load",),
+            cache=cache1,
+        )
+        assert cache1.stats()["store_puts"] == 1
+        # a fresh cache + the other spelling loads the same artifact
+        cache2 = RouteTableCache(store=tmp_path / "store")
+        evaluate_scenario(
+            Scenario("xgft:2;4,4;1,2", "shift-1", "d-mod-k"),
+            metrics=("max_link_load",),
+            cache=cache2,
+        )
+        stats = cache2.stats()
+        assert stats["store_hits"] == 1 and stats["table_builds"] == 0
+
+    def test_store_load_matches_fresh_build(self, tmp_path):
+        base = Scenario("XGFT(2;4,4;1,4)", "bit-reversal", "random", seed=3)
+        fresh = base.evaluate(metrics=("max_link_load", "mean_link_load"))
+        cache = RouteTableCache(store=tmp_path / "store")
+        evaluate_scenario(base, metrics=("max_link_load",), cache=cache)
+        reloaded = evaluate_scenario(
+            base,
+            metrics=("max_link_load", "mean_link_load"),
+            cache=RouteTableCache(store=tmp_path / "store"),
+        )
+        assert reloaded.metrics == fresh.metrics
+
+    def test_route_table_store_kwarg(self, tmp_path):
+        import numpy as np
+
+        from repro.store import ArtifactStore
+
+        s = Scenario("XGFT(2;4,4;1,2)", "shift-1", "d-mod-k")
+        s.route_table(store=tmp_path / "store")
+        # the persisted artifact is the underlying all-pairs table,
+        # not the pattern-restricted merge route_table() returns
+        store = ArtifactStore(tmp_path / "store")
+        assert store.contains(s.store_key)
+        reference = make_algorithm("d-mod-k", s.topo).all_pairs_table()
+        assert np.array_equal(store.load(s.store_key).ports, reference.ports)
+
+    def test_stats_omit_store_counters_without_store(self):
+        assert "store_hits" not in RouteTableCache().stats()
