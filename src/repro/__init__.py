@@ -61,7 +61,7 @@ from .topology import (
     slimmed_two_level,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "XGFT",

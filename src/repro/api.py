@@ -32,6 +32,7 @@ subsets.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
@@ -49,6 +50,9 @@ from .metrics import (
     phase_pairs,
     resolve_metrics,
 )
+from .obs import active as _obs_active
+from .obs import metrics as _metrics
+from .obs.trace import TRACER
 from .patterns.base import Pattern
 from .patterns.registry import resolve_pattern
 from .serve import RouteServer
@@ -98,6 +102,11 @@ def format_run_id(
     return base if workload == "none" else f"{base}#{workload}"
 
 
+# shared do-nothing context manager for untraced branches (nullcontext
+# is stateless, so one instance can be reused)
+_NULL_CM = nullcontext()
+
+
 # ----------------------------------------------------------------------
 # Route-table memoization
 # ----------------------------------------------------------------------
@@ -127,6 +136,7 @@ class RouteTableCache:
         self.hits = 0
         self.store_hits = 0
         self.store_puts = 0
+        self._obs_on = _obs_active()
 
     def all_pairs_table(
         self,
@@ -134,19 +144,33 @@ class RouteTableCache:
         algorithm: RoutingAlgorithm,
         store_key: StoreKey | None = None,
     ) -> RouteTable:
+        obs_on = self._obs_on
         table = self._tables.get(key)
         if table is not None:
             self.hits += 1
+            if obs_on:
+                _metrics.counter("cache.table_hits").inc()
             return table
         if self.store is not None and store_key is not None and self.store.contains(store_key):
-            table = self._tables[key] = self.store.load(store_key)
+            with TRACER.span("store.load") if obs_on else _NULL_CM:
+                table = self._tables[key] = self.store.load(store_key)
             self.store_hits += 1
+            if obs_on:
+                _metrics.counter("cache.store_hits").inc()
             return table
-        table = self._tables[key] = algorithm.all_pairs_table()
+        t0 = time.perf_counter()
+        with TRACER.span("cache.table_build") if obs_on else _NULL_CM:
+            table = self._tables[key] = algorithm.all_pairs_table()
         self.builds += 1
+        if obs_on:
+            _metrics.counter("cache.table_builds").inc()
+            _metrics.histogram("cache.build_s").observe(time.perf_counter() - t0)
         if self.store is not None and store_key is not None:
-            self.store.put(store_key, table)
+            with TRACER.span("store.put") if obs_on else _NULL_CM:
+                self.store.put(store_key, table)
             self.store_puts += 1
+            if obs_on:
+                _metrics.counter("cache.store_puts").inc()
         return table
 
     def row_index(self, key: tuple) -> np.ndarray:

@@ -26,6 +26,10 @@
     repro scale --preset full -o BENCH_fluid.json
     repro dynamic --workload "poisson(load=0.8)"
     repro dynamic --loads 0.2 0.5 0.8 --algorithms d-mod-k s-mod-k random
+    repro profile --workload "poisson(load=0.5)" -o profile
+    repro profile --overhead-check
+    repro dynamic --workload "poisson(load=0.5)" --trace   # any of the four
+                                                           # hot commands
 
 ``dynamic`` drives open-loop arrival streams (Poisson, bursty ON/OFF,
 trace replay — :mod:`repro.workloads`) through a fluid engine and
@@ -62,6 +66,8 @@ from typing import Sequence
 from . import experiments
 from .api import Scenario, compare
 from .metrics import available_metrics
+from .obs.logs import configure_logging
+from .obs.trace import TRACER, trace_prefix_from_env, write_trace_files
 from .sim.engines import DEFAULT_ENGINE, available_engines, fluid_engine_names
 from .topology import ascii_art, cost_summary, parse_xgft, slimmed_two_level
 
@@ -98,7 +104,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {package_version()}"
     )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error", "critical"),
+        help="stdlib logging level for the repro.* loggers "
+        "(default: $REPRO_LOG or warning)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_arg(p: argparse.ArgumentParser, default_prefix: str) -> None:
+        p.add_argument(
+            "--trace",
+            nargs="?",
+            const=default_prefix,
+            default=None,
+            metavar="PREFIX",
+            help="record a span trace and write PREFIX.trace.jsonl + "
+            f"PREFIX.perfetto.json on exit (default prefix: {default_prefix}; "
+            "$REPRO_TRACE=<prefix> does the same for any command)",
+        )
 
     def add_sweep_args(p: argparse.ArgumentParser, default_seeds: int) -> None:
         p.add_argument("--app", choices=("wrf", "cg"), required=True)
@@ -239,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact-store root: load prebuilt route tables from it and "
         "persist fresh ones as reusable `repro serve` entries",
     )
+    add_trace_arg(ps, "repro_sweep")
 
     pc = sub.add_parser(
         "compare", help="diff two sweep artifacts; nonzero exit on regression"
@@ -355,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="relative regression tolerance for --baseline",
     )
+    add_trace_arg(pd, "repro_dynamic")
 
     psc = sub.add_parser(
         "scale",
@@ -405,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
     psc.add_argument(
         "--output", "-o", type=Path, default=None, help="write the BENCH_fluid JSON document"
     )
+    add_trace_arg(psc, "repro_scale")
 
     pv2 = sub.add_parser(
         "serve",
@@ -465,6 +493,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pv2.add_argument(
         "--output", "-o", type=Path, default=None, help="(--bench) write the BENCH_serve JSON"
+    )
+    add_trace_arg(pv2, "repro_serve")
+
+    pp = sub.add_parser(
+        "profile",
+        help="run a dynamic workload, sweep spec, or scale preset under "
+        "tracing; write the trace pair and print a top-spans table",
+    )
+    pp.add_argument(
+        "--workload",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help="dynamic workload specs to drive ('poisson(load=0.5)', ...); "
+        "the default mode when --spec/--scale-preset are absent",
+    )
+    pp.add_argument(
+        "--topology", default="XGFT(2;8,8;1,4)", help="XGFT spec for --workload mode"
+    )
+    pp.add_argument("--algorithms", nargs="+", default=["d-mod-k"])
+    pp.add_argument("--seeds", type=int, default=1, help="arrival-stream seeds per workload")
+    pp.add_argument("--engine", choices=fluid_engine_names(), default=DEFAULT_ENGINE)
+    pp.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        help="profile this JSON sweep spec instead of a dynamic workload",
+    )
+    pp.add_argument(
+        "--scale-preset",
+        choices=tuple(experiments.PRESETS),
+        default=None,
+        help="profile the fluid scaling benchmark preset instead",
+    )
+    pp.add_argument(
+        "--limit", type=int, default=15, help="top-span rows to print"
+    )
+    pp.add_argument(
+        "--output",
+        "-o",
+        default="profile",
+        metavar="PREFIX",
+        help="trace file prefix (writes PREFIX.trace.jsonl + PREFIX.perfetto.json)",
+    )
+    pp.add_argument(
+        "--overhead-check",
+        action="store_true",
+        help="instead of tracing: A/B the disabled-instrumentation cost "
+        "on the scale smoke preset and fail above --tolerance",
+    )
+    pp.add_argument(
+        "--repeats", type=int, default=3, help="(--overhead-check) best-of-N timing"
+    )
+    pp.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="(--overhead-check) maximum tolerated relative overhead",
     )
     return parser
 
@@ -553,6 +639,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import (
         RouteServer,
         check_baseline,
+        decode_error_response,
         handle_request,
         run_benchmark,
         write_benchmark,
@@ -609,7 +696,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 try:
                     request = json.loads(line)
                 except json.JSONDecodeError as exc:
-                    response = {"ok": False, "error": f"bad JSON: {exc}"}
+                    response = decode_error_response(server, exc)
                 else:
                     response = handle_request(server, request)
                 if not response.get("ok"):
@@ -762,6 +849,64 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs.profile import (
+        coverage,
+        format_overhead,
+        format_top_spans,
+        run_overhead_check,
+        top_spans,
+    )
+
+    if args.overhead_check:
+        result = run_overhead_check(repeats=args.repeats, tolerance=args.tolerance)
+        print(format_overhead(result))
+        return 0 if result["ok"] else 1
+
+    if args.spec is not None and args.scale_preset is not None:
+        raise SystemExit("error: --spec and --scale-preset are mutually exclusive")
+
+    TRACER.enable()
+    TRACER.clear()
+    t0 = time.perf_counter()
+    if args.scale_preset is not None:
+        what = f"scale --preset {args.scale_preset}"
+        with TRACER.span("profile.run", mode="scale", preset=args.scale_preset):
+            data = experiments.run_scale(preset=args.scale_preset)
+        tail = f"{len(data['rows'])} scale rows"
+    elif args.spec is not None:
+        what = f"sweep --spec {args.spec}"
+        spec = experiments.SweepSpec.from_dict(json.loads(args.spec.read_text()))
+        with TRACER.span("profile.run", mode="sweep", spec=str(args.spec)):
+            result = experiments.run_sweep(spec)
+        tail = f"{len(result.runs)} sweep runs"
+    else:
+        workloads = list(args.workload or ["poisson(load=0.5)"])
+        what = f"dynamic {' '.join(workloads)}"
+        spec = experiments.dynamic_grid_spec(
+            topology=args.topology,
+            workloads=workloads,
+            algorithms=args.algorithms,
+            seeds=args.seeds,
+            engine=args.engine,
+        )
+        with TRACER.span("profile.run", mode="dynamic", topology=args.topology):
+            result = experiments.run_sweep(spec)
+        tail = f"{len(result.runs)} dynamic runs"
+    wall_s = time.perf_counter() - t0
+    TRACER.disable()
+
+    spans = TRACER.spans()
+    jsonl_path, perfetto_path = write_trace_files(args.output)
+    print(f"profiled {what}: {tail}, {len(spans)} spans in {wall_s:.2f}s\n")
+    print(format_top_spans(top_spans(spans, limit=args.limit), wall_s=wall_s))
+    print(f"\nspan coverage: {coverage(spans):.1%} of traced wall time")
+    print(f"trace written to {jsonl_path} and {perfetto_path}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     comparison = experiments.sweep_compare(
         experiments.load_artifact(args.baseline),
@@ -775,6 +920,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    # --trace PREFIX (sweep/dynamic/scale/serve) or $REPRO_TRACE=<prefix>
+    # wraps any command; `profile` drives the tracer itself.
+    trace_prefix = getattr(args, "trace", None)
+    if trace_prefix is None:
+        trace_prefix = trace_prefix_from_env()
+    if args.command == "profile":
+        trace_prefix = None
+    if trace_prefix is None:
+        return _run(args)
+    TRACER.enable()
+    try:
+        return _run(args)
+    finally:
+        TRACER.disable()
+        jsonl_path, perfetto_path = write_trace_files(trace_prefix)
+        print(f"trace written to {jsonl_path} and {perfetto_path}", file=sys.stderr)
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.command in ("fig2", "fig5"):
         fn = experiments.fig2 if args.command == "fig2" else experiments.fig5
         sweep = fn(args.app, w2_values=args.w2, seeds=args.seeds, engine=args.engine)
@@ -811,6 +976,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     elif args.command == "compare":
         return _cmd_compare(args)
+    elif args.command == "profile":
+        return _cmd_profile(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

@@ -22,12 +22,15 @@ from __future__ import annotations
 
 import json
 import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from ..core.factory import make_algorithm
+from ..obs import active as _obs_active
+from ..obs.trace import TRACER
 from ..patterns.generators import uniform_random_pairs
 from ..sim.config import PAPER_CONFIG, NetworkConfig
 from ..sim.engines import fluid_engine_names, make_fluid_simulator, resolve_engine
@@ -137,6 +140,7 @@ def _time_engine(
     ids = np.arange(len(table), dtype=np.int64)
     best = float("inf")
     sim_time = recomputes = None
+    telemetry: dict = {}
     for _ in range(repeats):
         sim = make_fluid_simulator(engine, space.num_links, config.link_bandwidth)
         t0 = time.perf_counter()
@@ -146,12 +150,16 @@ def _time_engine(
         if wall < best:
             best = wall
         sim_time, recomputes = duration, sim.recomputes
+        # full fill telemetry when the engine exposes it (third-party
+        # engine registrations may not)
+        telemetry = sim.telemetry() if hasattr(sim, "telemetry") else {}
     return {
         "engine": engine,
         "wall_s": round(best, 6),
         "sim_time": sim_time,
         "recomputes": recomputes,
         "nnz": int(len(coo_flow)),
+        **({"telemetry": telemetry} if telemetry else {}),
     }
 
 
@@ -209,7 +217,16 @@ def run_scale(
         space = xgft_link_space(topo)
         for num_flows in case["flows"]:
             for mode in case["sizes"]:
-                table, sizes = scale_workload(topo, num_flows, seed=seed, sizes=mode)
+                # a handful of spans per grid cell (noops unless tracing)
+                trace = _obs_active()
+                with (
+                    TRACER.span("scale.workload", flows=num_flows, sizes=mode)
+                    if trace
+                    else nullcontext()
+                ):
+                    table, sizes = scale_workload(
+                        topo, num_flows, seed=seed, sizes=mode
+                    )
                 for engine in engines:
                     base = {
                         "topology": case["topology"],
@@ -228,9 +245,15 @@ def run_scale(
                             }
                         )
                         continue
-                    rows.append(
-                        base | _time_engine(engine, table, sizes, config, repeats)
-                    )
+                    with (
+                        TRACER.span(
+                            "scale.row", engine=engine, flows=num_flows, sizes=mode
+                        )
+                        if trace
+                        else nullcontext()
+                    ):
+                        row = _time_engine(engine, table, sizes, config, repeats)
+                    rows.append(base | row)
 
     return {
         "kind": "repro-fluid-scale-bench",

@@ -36,6 +36,7 @@ import multiprocessing
 import platform
 import time
 import warnings
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
@@ -53,6 +54,8 @@ from ..api import (
 from ..core.factory import SINGLE_SEED_ALGORITHMS
 from ..faults import parse_fault_spec
 from ..metrics import DEFAULT_METRICS, KNOWN_METRICS, METRICS, RESILIENCE_METRICS
+from ..obs import active as _obs_active
+from ..obs.trace import TRACER, aggregate_spans, merge_span_aggregates
 from ..patterns import Pattern
 from ..patterns.registry import resolve_pattern as _resolve_pattern
 from ..registry import parse_spec
@@ -89,8 +92,13 @@ __all__ = [
 
 #: version stamp of the JSON artifact layout (docs/sweep_schema.md);
 #: v2 added the ``faults`` axis and the resilience metrics, v3 the
-#: ``workloads`` axis (dynamic open-loop cells with FCT metrics)
+#: ``workloads`` axis (dynamic open-loop cells with FCT metrics).  The
+#: optional ``obs`` section (span aggregates of traced sweeps) is
+#: additive and only present when tracing was on, so it needs no bump.
 SCHEMA_VERSION = 3
+
+# reusable do-nothing context manager for untraced runs
+_NULL_CM = nullcontext()
 
 
 # ----------------------------------------------------------------------
@@ -392,9 +400,12 @@ class SweepResult:
     runs: list[dict]
     cache_stats: dict = field(default_factory=dict)
     total_wall_time_s: float = 0.0
+    #: per-span-name ``{count, total_s, max_s}`` aggregated across every
+    #: worker process; empty unless the sweep ran under tracing
+    obs: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "schema_version": SCHEMA_VERSION,
             "kind": "repro-sweep-results",
             "spec": self.spec.to_dict(),
@@ -403,6 +414,11 @@ class SweepResult:
             "total_wall_time_s": round(self.total_wall_time_s, 6),
             "runs": self.runs,
         }
+        # only traced sweeps carry the key, so untraced artifacts stay
+        # byte-identical to the committed schema-v3 baselines
+        if self.obs:
+            out["obs"] = {"spans": dict(self.obs)}
+        return out
 
     def run_map(self) -> dict[str, dict]:
         return {record_id(r): r for r in self.runs}
@@ -421,25 +437,34 @@ def _environment() -> dict:
 
 
 def _execute_group(
-    payload: tuple[dict, list[tuple[int, dict]], str | None],
-) -> tuple[list, dict]:
-    """Worker entry: one memo group = one route-table build, many patterns."""
-    spec_d, indexed_runs, store_root = payload
+    payload: tuple[dict, list[tuple[int, dict]], str | None, bool],
+) -> tuple[list, dict, dict]:
+    """Worker entry: one memo group = one route-table build, many patterns.
+
+    With ``trace`` set, every run executes under a ``sweep.run`` span
+    and the group returns the bounded per-name span aggregate of the
+    spans it produced (never the raw span list — a worker's trace can
+    be large, and forked children inherit the parent's buffer, so only
+    spans recorded *by this group* are aggregated).
+    """
+    spec_d, indexed_runs, store_root, trace = payload
     spec = SweepSpec.from_dict(spec_d)
     cache = RouteTableCache(store=store_root)
     crossbar_memo: dict = {}
+    base_spans = 0
+    if trace:
+        TRACER.enable()  # spawn-started workers don't inherit the flag
+        base_spans = len(TRACER.spans())
     out = []
     for index, run_d in indexed_runs:
         run = RunSpec(**run_d)
-        out.append(
-            (
-                index,
-                execute_run(
-                    run, spec.metrics, spec.engine, cache, _crossbar_memo=crossbar_memo
-                ),
+        with TRACER.span("sweep.run", run_id=run.run_id) if trace else _NULL_CM:
+            record = execute_run(
+                run, spec.metrics, spec.engine, cache, _crossbar_memo=crossbar_memo
             )
-        )
-    return out, cache.stats()
+        out.append((index, record))
+    obs = aggregate_spans(TRACER.spans()[base_spans:]) if trace else {}
+    return out, cache.stats(), obs
 
 
 def run_sweep(
@@ -468,16 +493,20 @@ def run_sweep(
         return SweepResult(spec, [], {"table_builds": 0, "table_hits": 0}, 0.0)
 
     store_root = str(store) if store is not None else None
+    trace = _obs_active() and TRACER.enabled
     groups: dict[tuple, list[tuple[int, dict]]] = {}
     for index, run in enumerate(runs):
         groups.setdefault(run.memo_key, []).append((index, asdict(run)))
-    payloads = [(spec.to_dict(), indexed, store_root) for indexed in groups.values()]
+    payloads = [
+        (spec.to_dict(), indexed, store_root, trace) for indexed in groups.values()
+    ]
 
     records: list[dict | None] = [None] * len(runs)
     stats = {"table_builds": 0, "table_hits": 0}
     if store_root is not None:
         stats["store_hits"] = 0
         stats["store_puts"] = 0
+    obs_agg: dict = {}
     jobs = max(1, min(jobs, len(payloads)))
     if jobs == 1:
         results = map(_execute_group, payloads)
@@ -489,13 +518,14 @@ def run_sweep(
         finally:
             pool.close()
             pool.join()
-    for group_records, group_stats in results:
+    for group_records, group_stats, group_obs in results:
         for index, record in group_records:
             records[index] = record
         for key in stats:
             stats[key] += group_stats[key]
+        merge_span_aggregates(obs_agg, group_obs)
     assert all(r is not None for r in records)
-    return SweepResult(spec, records, stats, time.perf_counter() - t0)
+    return SweepResult(spec, records, stats, time.perf_counter() - t0, obs_agg)
 
 
 # ----------------------------------------------------------------------

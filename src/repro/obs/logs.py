@@ -1,0 +1,101 @@
+"""Stdlib logging wiring for the ``repro`` package.
+
+The package had no logging at all before the observability layer;
+this module is the single place it gets configured.  Every module asks
+for its logger through :func:`get_logger` (``repro.*`` namespace), and
+configuration happens exactly once per process via
+:func:`configure_logging` — called by the CLI (``repro --log-level``)
+or implicitly from the ``REPRO_LOG`` environment variable.
+
+Until configured, loggers propagate to the root logger as usual, so
+library users who run their own ``logging.basicConfig`` see ``repro``
+records without any extra steps.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["LOG_ENV", "configure_logging", "get_logger", "level_from_env"]
+
+#: environment variable naming the log level (``debug``, ``INFO``, ``30``...)
+LOG_ENV = "REPRO_LOG"
+
+_ROOT_NAME = "repro"
+_configured = False
+
+_LEVELS = {
+    "critical": logging.CRITICAL,
+    "error": logging.ERROR,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "info": logging.INFO,
+    "debug": logging.DEBUG,
+}
+
+
+def _parse_level(text: str) -> int | None:
+    text = text.strip().lower()
+    if not text:
+        return None
+    if text in _LEVELS:
+        return _LEVELS[text]
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def level_from_env(environ: dict | None = None) -> int | None:
+    """The level named by ``REPRO_LOG``, or ``None`` when unset/invalid."""
+    env = environ if environ is not None else os.environ
+    return _parse_level(env.get(LOG_ENV, ""))
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    Accepts a module ``__name__`` (already ``repro.*``) or a bare
+    suffix (``"sweep"`` → ``repro.sweep``).
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(level: str | int | None = None, *, stream=None, force: bool = False) -> int:
+    """Attach one stderr handler to the ``repro`` logger and set its level.
+
+    ``level`` may be a name, an int, or ``None`` (then ``REPRO_LOG`` is
+    consulted, falling back to WARNING).  Idempotent: repeat calls only
+    adjust the level unless ``force`` replaces the handler (tests).
+    Returns the effective level.
+    """
+    global _configured
+    if isinstance(level, str):
+        parsed = _parse_level(level)
+        if parsed is None:
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    if level is None:
+        level = level_from_env()
+    if level is None:
+        level = logging.WARNING
+
+    logger = logging.getLogger(_ROOT_NAME)
+    if force:
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        _configured = False
+    if not _configured:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s", "%H:%M:%S")
+        )
+        logger.addHandler(handler)
+        logger.propagate = False
+        _configured = True
+    logger.setLevel(level)
+    return level

@@ -1,0 +1,508 @@
+"""Hierarchical span tracing: near-zero-cost no-ops, JSONL + Perfetto export.
+
+A *span* is one named, timed section of work (``fluid.fill``,
+``driver.arrivals``, ``serve.request``) with attributes, a thread id and
+a parent — the parent being whatever span was open on the same thread
+when it started, so nested ``with`` blocks produce a tree without any
+explicit wiring.  The global :data:`TRACER` is **disabled by default**:
+a disabled ``TRACER.span(...)`` call returns a shared no-op context
+manager after a single attribute check, so instrumentation can live
+permanently inside hot loops (the CI overhead gate,
+``repro profile --overhead-check``, asserts the disabled cost stays
+under 2% on the fluid-engine scaling grid).
+
+Enabled spans are appended to a bounded in-memory buffer (thread-safe;
+past :attr:`Tracer.max_spans` new spans are counted as dropped rather
+than recorded) and exported two ways:
+
+* :func:`write_jsonl` — one JSON object per line, header line first
+  (``kind: repro-trace``); :func:`read_jsonl` round-trips it and
+  :func:`validate_jsonl` schema-checks it (the CI trace-smoke job's
+  gate);
+* :func:`write_perfetto` — the Chrome ``trace_event`` JSON the Perfetto
+  UI (https://ui.perfetto.dev) opens directly: complete events
+  (``"ph": "X"``) with microsecond timestamps per thread track.
+
+Span naming convention (``docs/observability.md``): dotted
+``component.operation`` names, lower-case, stable across releases —
+aggregation (:mod:`repro.obs.profile`) groups by exact name.
+
+Spans that run longer than :attr:`Tracer.slow_span_s` (default 5 s,
+``REPRO_SLOW_SPAN`` env override, ``None`` disables) are logged as
+warnings through :mod:`repro.obs.logs` when recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from .logs import get_logger
+
+__all__ = [
+    "SLOW_SPAN_ENV",
+    "TRACE_ENV",
+    "TRACE_SCHEMA_VERSION",
+    "TRACER",
+    "SpanRecord",
+    "Tracer",
+    "aggregate_spans",
+    "merge_span_aggregates",
+    "read_jsonl",
+    "span",
+    "trace_file_pair",
+    "trace_prefix_from_env",
+    "validate_jsonl",
+    "validate_perfetto",
+    "write_jsonl",
+    "write_perfetto",
+]
+
+#: environment variable: a path prefix that enables tracing for any
+#: ``repro`` CLI command and writes the trace files on exit
+TRACE_ENV = "REPRO_TRACE"
+
+#: environment variable overriding the slow-span warning threshold
+#: (seconds; empty or ``off`` disables the warning)
+SLOW_SPAN_ENV = "REPRO_SLOW_SPAN"
+
+#: version stamp of the JSONL trace layout
+TRACE_SCHEMA_VERSION = 1
+
+_log = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span, times in seconds relative to the tracer epoch."""
+
+    name: str
+    start: float
+    duration: float
+    span_id: int
+    parent_id: int | None
+    thread_id: int
+    attrs: Mapping[str, object] = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    @staticmethod
+    def from_dict(d: dict) -> "SpanRecord":
+        return SpanRecord(
+            name=d["name"],
+            start=float(d["start"]),
+            duration=float(d["duration"]),
+            span_id=int(d["span_id"]),
+            parent_id=d.get("parent_id"),
+            thread_id=int(d.get("thread_id", 0)),
+            attrs=d.get("attrs", {}),
+            error=d.get("error"),
+        )
+
+
+class _NoopSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        """Attribute setter no-op (mirrors :meth:`_ActiveSpan.set`)."""
+
+
+_NOOP = _NoopSpan()
+
+
+class _ActiveSpan:
+    """A live span context manager; records itself on exit.
+
+    Exception-safe: an exception inside the block still closes and
+    records the span (with ``error`` set to the exception type name)
+    and is never suppressed.
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self._t0 = 0.0
+
+    def set(self, key: str, value) -> None:
+        """Attach/override one attribute while the span is open."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        self.span_id = tracer._next_id()
+        stack = tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        tracer._record(
+            SpanRecord(
+                name=self.name,
+                start=self._t0 - tracer._epoch,
+                duration=end - self._t0,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                thread_id=threading.get_ident(),
+                attrs=self.attrs,
+                error=exc_type.__name__ if exc_type is not None else None,
+            )
+        )
+        return False
+
+
+def _slow_span_default() -> float | None:
+    raw = os.environ.get(SLOW_SPAN_ENV, "").strip().lower()
+    if raw in ("", "0", "off", "none"):
+        return 5.0 if raw == "" else None
+    try:
+        return float(raw)
+    except ValueError:
+        return 5.0
+
+
+class Tracer:
+    """A thread-safe span recorder with a per-thread open-span stack.
+
+    One process-wide instance (:data:`TRACER`) serves the whole
+    codebase; tests may build private instances.  All methods are safe
+    to call from multiple threads; the open-span stack is thread-local,
+    so concurrent threads nest independently.
+    """
+
+    def __init__(self, max_spans: int = 500_000):
+        self.enabled = False
+        self.max_spans = int(max_spans)
+        self.slow_span_s: float | None = _slow_span_default()
+        self.dropped = 0
+        self._spans: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._id_lock = threading.Lock()
+        self._id = 0
+        self._epoch = time.perf_counter()
+        self._epoch_unix = time.time()
+
+    # ------------------------------------------------------------------
+    # The hot-path entry point
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a span; a context manager either way.
+
+        Disabled tracers return the shared no-op after one attribute
+        check — the call is safe inside per-event hot loops.
+        """
+        if not self.enabled:
+            return _NOOP
+        return _ActiveSpan(self, name, attrs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop recorded spans and re-anchor the epoch."""
+        with self._lock:
+            self._spans = []
+            self.dropped = 0
+            self._epoch = time.perf_counter()
+            self._epoch_unix = time.time()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        with self._id_lock:
+            self._id += 1
+            return self._id
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self._spans.append(record)
+        slow = self.slow_span_s
+        if slow is not None and record.duration >= slow:
+            _log.warning(
+                "slow span %s: %.3fs (threshold %.3gs; attrs=%s)",
+                record.name,
+                record.duration,
+                slow,
+                dict(record.attrs),
+            )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def spans(self) -> tuple[SpanRecord, ...]:
+        """The recorded spans, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def aggregate(self) -> dict[str, dict]:
+        """Per-name ``{count, total_s, max_s}`` over the recorded spans."""
+        return aggregate_spans(self.spans())
+
+    def meta(self) -> dict:
+        """The trace header document (JSONL line one)."""
+        return {
+            "kind": "repro-trace",
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "epoch_unix": round(self._epoch_unix, 6),
+            "pid": os.getpid(),
+            "spans": len(self._spans),
+            "dropped": self.dropped,
+        }
+
+
+#: the process-wide tracer (disabled by default)
+TRACER = Tracer()
+
+
+def span(name: str, **attrs):
+    """``TRACER.span`` shorthand for call sites outside hot loops."""
+    return TRACER.span(name, **attrs)
+
+
+# ----------------------------------------------------------------------
+# Aggregation (shared with the multiprocessing sweep workers)
+# ----------------------------------------------------------------------
+def aggregate_spans(spans: Iterable[SpanRecord]) -> dict[str, dict]:
+    """Collapse spans to per-name ``{count, total_s, max_s}`` rows."""
+    out: dict[str, dict] = {}
+    for record in spans:
+        row = out.get(record.name)
+        if row is None:
+            row = out[record.name] = {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        row["count"] += 1
+        row["total_s"] += record.duration
+        if record.duration > row["max_s"]:
+            row["max_s"] = record.duration
+    for row in out.values():
+        row["total_s"] = round(row["total_s"], 9)
+        row["max_s"] = round(row["max_s"], 9)
+    return {name: out[name] for name in sorted(out)}
+
+
+def merge_span_aggregates(into: dict[str, dict], other: Mapping[str, dict]) -> dict[str, dict]:
+    """Merge one :func:`aggregate_spans` result into another (in place)."""
+    for name, row in other.items():
+        target = into.get(name)
+        if target is None:
+            into[name] = dict(row)
+            continue
+        target["count"] += row["count"]
+        target["total_s"] = round(target["total_s"] + row["total_s"], 9)
+        target["max_s"] = max(target["max_s"], row["max_s"])
+    return into
+
+
+def trace_prefix_from_env(default: str = "repro") -> str | None:
+    """The trace-file prefix requested via ``$REPRO_TRACE``, if any.
+
+    Truthy switch values (``1``/``true``/``yes``/``on``) select the
+    *default* prefix; anything else non-empty is used as the prefix
+    itself; empty or ``0``/``false``/``no``/``off`` disables tracing.
+    """
+    value = os.environ.get(TRACE_ENV, "").strip()
+    if not value or value.lower() in ("0", "false", "no", "off"):
+        return None
+    if value.lower() in ("1", "true", "yes", "on"):
+        return default
+    return value
+
+
+# ----------------------------------------------------------------------
+# Export / import / validation
+# ----------------------------------------------------------------------
+def trace_file_pair(prefix: str | Path) -> tuple[Path, Path]:
+    """The ``(<base>.trace.jsonl, <base>.perfetto.json)`` pair for a prefix.
+
+    Accepts a bare prefix or either of the two concrete file names —
+    ``repro profile -o profile`` and ``--trace profile.trace.jsonl``
+    land on the same pair.
+    """
+    text = str(prefix)
+    for suffix in (".trace.jsonl", ".perfetto.json", ".jsonl", ".json"):
+        if text.endswith(suffix):
+            text = text[: -len(suffix)]
+            break
+    return Path(f"{text}.trace.jsonl"), Path(f"{text}.perfetto.json")
+
+
+def write_jsonl(path: str | Path, tracer: Tracer | None = None) -> Path:
+    """Write the tracer's spans as header-line-first JSONL."""
+    tracer = tracer if tracer is not None else TRACER
+    path = Path(path)
+    spans = tracer.spans()
+    lines = [json.dumps(tracer.meta(), sort_keys=True)]
+    lines.extend(json.dumps(s.to_dict(), sort_keys=True) for s in spans)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> tuple[dict, list[SpanRecord]]:
+    """Round-trip a JSONL trace: ``(header, spans)``."""
+    lines = [line for line in Path(path).read_text().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    meta = json.loads(lines[0])
+    if meta.get("kind") != "repro-trace":
+        raise ValueError(f"{path}: not a repro trace (kind={meta.get('kind')!r})")
+    return meta, [SpanRecord.from_dict(json.loads(line)) for line in lines[1:]]
+
+
+def write_perfetto(path: str | Path, tracer: Tracer | None = None) -> Path:
+    """Write the Chrome ``trace_event`` document Perfetto opens directly."""
+    tracer = tracer if tracer is not None else TRACER
+    path = Path(path)
+    pid = os.getpid()
+    events = []
+    for s in tracer.spans():
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round(s.start * 1e6, 3),
+                "dur": round(s.duration * 1e6, 3),
+                "pid": pid,
+                "tid": s.thread_id % 2**31,
+                "args": dict(s.attrs),
+            }
+        )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(doc) + "\n")
+    return path
+
+
+_REQUIRED_SPAN_KEYS = ("name", "start", "duration", "span_id", "parent_id", "thread_id")
+
+
+def validate_jsonl(path: str | Path) -> list[str]:
+    """Schema-check a JSONL trace; returns problems (empty = valid)."""
+    problems: list[str] = []
+    try:
+        lines = [line for line in Path(path).read_text().splitlines() if line.strip()]
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    if not lines:
+        return ["empty trace file"]
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"header line is not JSON: {exc}"]
+    if meta.get("kind") != "repro-trace":
+        problems.append(f"header kind {meta.get('kind')!r} != 'repro-trace'")
+    if meta.get("schema_version") != TRACE_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {meta.get('schema_version')!r} != {TRACE_SCHEMA_VERSION}"
+        )
+    seen_ids: set[int] = set()
+    parents: list[tuple[int, int]] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            d = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not JSON: {exc}")
+            continue
+        missing = [k for k in _REQUIRED_SPAN_KEYS if k not in d]
+        if missing:
+            problems.append(f"line {lineno}: missing keys {missing}")
+            continue
+        if not isinstance(d["name"], str) or not d["name"]:
+            problems.append(f"line {lineno}: span name must be a non-empty string")
+        if d["duration"] < 0 or not isinstance(d["duration"], (int, float)):
+            problems.append(f"line {lineno}: negative or non-numeric duration")
+        seen_ids.add(d["span_id"])
+        if d["parent_id"] is not None:
+            parents.append((lineno, d["parent_id"]))
+    for lineno, parent in parents:
+        if parent not in seen_ids:
+            problems.append(f"line {lineno}: parent_id {parent} not in this trace")
+    declared = meta.get("spans")
+    if declared is not None and declared != len(lines) - 1:
+        problems.append(f"header declares {declared} spans, file holds {len(lines) - 1}")
+    return problems
+
+
+def validate_perfetto(path: str | Path) -> list[str]:
+    """Schema-check a Perfetto/Chrome trace_event document."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable or not JSON: {exc}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    problems = []
+    for i, event in enumerate(events):
+        if event.get("ph") != "X":
+            problems.append(f"event {i}: ph {event.get('ph')!r} != 'X'")
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {i}: missing {key}")
+        if isinstance(event.get("dur"), (int, float)) and event["dur"] < 0:
+            problems.append(f"event {i}: negative dur")
+    return problems
+
+
+def write_trace_files(prefix: str | Path, tracer: Tracer | None = None) -> tuple[Path, Path]:
+    """Write the JSONL + Perfetto pair for a prefix; returns both paths."""
+    jsonl_path, perfetto_path = trace_file_pair(prefix)
+    write_jsonl(jsonl_path, tracer)
+    write_perfetto(perfetto_path, tracer)
+    return jsonl_path, perfetto_path
+
+
+__all__.append("write_trace_files")

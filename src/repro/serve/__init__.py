@@ -10,11 +10,12 @@ Shell entry point: ``repro serve`` (see ``docs/serving.md``).
 """
 
 from .bench import check_baseline, run_benchmark, write_benchmark
-from .server import RouteServer, handle_request, serve_forever
+from .server import RouteServer, decode_error_response, handle_request, serve_forever
 
 __all__ = [
     "RouteServer",
     "check_baseline",
+    "decode_error_response",
     "handle_request",
     "run_benchmark",
     "serve_forever",

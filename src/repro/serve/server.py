@@ -27,11 +27,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs import active as _obs_active
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TRACER
 from ..store import ArtifactStore, CompactRouteTable, StoreKey, open_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,7 +43,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.route import RouteTable
     from ..faults import DegradedTopology
 
-__all__ = ["RouteServer", "handle_request", "serve_forever"]
+__all__ = ["RouteServer", "decode_error_response", "handle_request", "serve_forever"]
+
+#: the protocol ops the dispatcher understands
+PROTOCOL_OPS = ("ping", "info", "stats", "metrics", "lookup", "batch")
 
 #: JSON-lines reader buffer limit — a 64k-pair batch request is ~1 MB of
 #: JSON, so the asyncio default of 64 KiB would reject real batches
@@ -67,9 +74,14 @@ class RouteServer:
         self.key = key
         self._degraded: dict[str, "DegradedTopology"] = {}
         self._decoded: "RouteTable | None" = None
-        self._queries = 0
-        self._routes_served = 0
-        self._what_if_routes = 0
+        self._started = time.monotonic()
+        self._obs_on = _obs_active()
+        #: per-server instrument registry — the ``stats`` dict and the
+        #: ``metrics`` protocol op are both views over it
+        self.metrics = MetricsRegistry()
+        self._c_queries = self.metrics.counter("serve.queries")
+        self._c_routes = self.metrics.counter("serve.routes_served")
+        self._c_what_if = self.metrics.counter("serve.what_if_routes")
 
     @classmethod
     def from_store(
@@ -109,8 +121,8 @@ class RouteServer:
         srcs = np.asarray(srcs, dtype=np.int64)
         dsts = np.asarray(dsts, dtype=np.int64)
         nca, ports = self.table.batch_lookup(srcs, dsts)
-        self._queries += 1
-        self._routes_served += len(srcs)
+        self._c_queries.inc()
+        self._c_routes.inc(len(srcs))
         if faults is None:
             return nca, ports, np.zeros(len(srcs), dtype=np.int64)
         from ..faults import repair_pairs
@@ -118,7 +130,7 @@ class RouteServer:
         ports, status = repair_pairs(
             self._degraded_for(faults), srcs, dsts, nca, ports, seed=repair_seed
         )
-        self._what_if_routes += len(srcs)
+        self._c_what_if.inc(len(srcs))
         return nca, ports, status
 
     def lookup(self, src: int, dst: int, faults: str | None = None):
@@ -175,13 +187,37 @@ class RouteServer:
             out["key"] = self.key.to_dict()
         return out
 
+    def record_error(self, op: str) -> None:
+        """Tally one protocol error against an op (``decode`` for bad JSON)."""
+        self.metrics.counter("serve.errors", {"op": str(op)}).inc()
+
+    def observe_latency(self, op: str, seconds: float) -> None:
+        """Feed one request's latency into the per-op histogram."""
+        self.metrics.histogram("serve.latency_s", {"op": str(op)}).observe(seconds)
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
     def stats(self) -> dict:
-        return {
-            "queries": self._queries,
-            "routes_served": self._routes_served,
-            "what_if_routes": self._what_if_routes,
-            "what_if_fabrics": len(self._degraded),
+        """Lifetime counters, in deterministic (sorted) key order.
+
+        ``errors`` maps op name → count and only lists ops that have
+        failed at least once, so a clean run's stats diff stays stable.
+        """
+        errors = {
+            inst.labels.get("op", "?"): int(inst.value)
+            for inst in self.metrics.instruments()
+            if inst.name == "serve.errors"
         }
+        out = {
+            "errors": dict(sorted(errors.items())),
+            "queries": int(self._c_queries.value),
+            "routes_served": int(self._c_routes.value),
+            "uptime_s": round(self.uptime_s(), 6),
+            "what_if_fabrics": len(self._degraded),
+            "what_if_routes": int(self._c_what_if.value),
+        }
+        return {k: out[k] for k in sorted(out)}
 
 
 # ----------------------------------------------------------------------
@@ -192,16 +228,54 @@ def handle_request(server: RouteServer, request: dict) -> dict:
 
     Never raises on bad input — protocol errors come back as
     ``{"ok": false, "error": ...}`` so one malformed line cannot kill a
-    connection that other clients' batches are multiplexed onto.
+    connection that other clients' batches are multiplexed onto.  Every
+    request feeds the server's per-op latency histogram, and failures
+    its per-op error counters (both visible via the ``metrics`` op).
     """
+    op = request.get("op") if isinstance(request, dict) else None
+    op_label = op if isinstance(op, str) and op in PROTOCOL_OPS else "unknown"
+    t0 = time.perf_counter()
+    if server._obs_on and TRACER.enabled:
+        with TRACER.span("serve.request", op=op_label):
+            response = _dispatch(server, request, op)
+    else:
+        response = _dispatch(server, request, op)
+    server.observe_latency(op_label, time.perf_counter() - t0)
+    if not response.get("ok"):
+        server.record_error(op_label)
+    return response
+
+
+def decode_error_response(server: RouteServer, exc: Exception) -> dict:
+    """The error response for an undecodable request line, tallied.
+
+    Both transports (batch CLI, TCP endpoint) route their JSON decode
+    failures through here so malformed lines show up in
+    ``stats()["errors"]["decode"]`` instead of vanishing into in-band
+    error responses.
+    """
+    server.record_error("decode")
+    return {"ok": False, "error": f"bad JSON: {exc}"}
+
+
+def _dispatch(server: RouteServer, request, op) -> dict:
     try:
-        op = request.get("op")
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
         if op == "ping":
             return {"ok": True, "op": "ping"}
         if op == "info":
             return {"ok": True, "op": "info", "info": server.info()}
         if op == "stats":
             return {"ok": True, "op": "stats", "stats": server.stats()}
+        if op == "metrics":
+            if request.get("format") == "prometheus":
+                return {
+                    "ok": True,
+                    "op": "metrics",
+                    "text": server.metrics.prometheus(),
+                }
+            return {"ok": True, "op": "metrics", "metrics": server.metrics.snapshot()}
         if op == "lookup":
             nca, ports, status = server.batch_lookup(
                 [int(request["src"])],
@@ -251,7 +325,7 @@ async def _handle_connection(
             try:
                 request = json.loads(text)
             except json.JSONDecodeError as exc:
-                response = {"ok": False, "error": f"bad JSON: {exc}"}
+                response = decode_error_response(server, exc)
             else:
                 response = handle_request(server, request)
             writer.write(json.dumps(response).encode() + b"\n")

@@ -26,6 +26,9 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..obs import active as _obs_active
+from ..obs.trace import TRACER
+
 __all__ = ["FluidSimulator", "FlowResult"]
 
 _EPS = 1e-9
@@ -91,6 +94,13 @@ class FluidSimulator:
         self._results: list[FlowResult] = []
         #: number of max-min recomputations (diagnostics / benchmarks)
         self.recomputes = 0
+        # telemetry (see telemetry()); _obs_on is captured at
+        # construction so the overhead gate can A/B with obs.deactivated()
+        self._obs_on = _obs_active()
+        self.fill_rounds = 0
+        self.frozen_links = 0
+        self.compactions = 0
+        self.active_flows_hwm = 0
 
     # ------------------------------------------------------------------
     # Flow management
@@ -119,6 +129,8 @@ class FluidSimulator:
             return
         self._flows[flow_id] = _ActiveFlow(flow_id, links, size, self.now)
         self._rates_valid = False
+        if self._obs_on and len(self._flows) > self.active_flows_hwm:
+            self.active_flows_hwm = len(self._flows)
 
     def add_flows(
         self,
@@ -158,7 +170,15 @@ class FluidSimulator:
     # ------------------------------------------------------------------
     def _recompute_rates(self) -> None:
         self.recomputes += 1
+        if self._obs_on and TRACER.enabled:
+            with TRACER.span("fluid.fill", flows=len(self._flows)):
+                self._fill_rates()
+        else:
+            self._fill_rates()
+
+    def _fill_rates(self) -> None:
         flows = self._flows
+        rounds = 0
         remaining = self.capacity.copy()
         link_users: dict[int, set[int]] = {}
         for fid, fl in flows.items():
@@ -180,6 +200,7 @@ class FluidSimulator:
                     best_link = l
             if best_link < 0:  # pragma: no cover - defensive
                 break
+            rounds += 1
             best_share = max(best_share, 0.0)
             for fid in list(link_users[best_link]):
                 fl = flows[fid]
@@ -189,7 +210,26 @@ class FluidSimulator:
                     link_users[l].discard(fid)
                     remaining[l] -= best_share
             remaining = np.maximum(remaining, 0.0)
+        if self._obs_on:
+            # each scalar round freezes exactly one bottleneck link
+            self.fill_rounds += rounds
+            self.frozen_links += rounds
         self._rates_valid = True
+
+    def telemetry(self) -> dict:
+        """Per-engine fill telemetry (all counters monotone).
+
+        ``compactions`` is always 0 for the scalar engine (only the
+        vectorized engine compacts its working set); the key is kept so
+        both engines report the same shape.
+        """
+        return {
+            "recomputes": self.recomputes,
+            "fill_rounds": self.fill_rounds,
+            "frozen_links": self.frozen_links,
+            "compactions": self.compactions,
+            "active_flows_hwm": self.active_flows_hwm,
+        }
 
     def rates(self) -> dict[int, float]:
         """Current max-min rates of the active flows (bytes/second)."""

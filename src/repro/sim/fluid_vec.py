@@ -47,6 +47,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import active as _obs_active
+from ..obs.trace import TRACER
 from .fluid import FlowResult, _EPS
 
 __all__ = ["VecFluidSimulator"]
@@ -77,6 +79,13 @@ class VecFluidSimulator:
         self.now = 0.0
         #: number of max-min recomputations (diagnostics / benchmarks)
         self.recomputes = 0
+        # telemetry (see telemetry()); _obs_on is captured at
+        # construction so the overhead gate can A/B with obs.deactivated()
+        self._obs_on = _obs_active()
+        self.fill_rounds = 0
+        self.frozen_links = 0
+        self.compactions = 0
+        self.active_flows_hwm = 0
         self._results: list[FlowResult] = []
         self._rates_valid = False
 
@@ -191,6 +200,10 @@ class VecFluidSimulator:
         self._pend_e_flow.append(new_index[coo_flow[entry_keep]] + offset)
         self._pend_e_link.append(coo_link[entry_keep])
         self._rates_valid = False
+        if self._obs_on:
+            n_now = int(self._active.sum()) + len(self._pend_ids)
+            if n_now > self.active_flows_hwm:
+                self.active_flows_hwm = n_now
 
     def _solidify(self) -> None:
         """Fold pending additions into the struct-of-arrays state."""
@@ -255,6 +268,13 @@ class VecFluidSimulator:
         self.recomputes += 1
         self._solidify()
         self._rates_valid = True
+        if self._obs_on and TRACER.enabled:
+            with TRACER.span("fluid.fill", flows=int(self._active.sum())):
+                self._fill_rates()
+        else:
+            self._fill_rates()
+
+    def _fill_rates(self) -> None:
         act = self._active
         slots = np.nonzero(act)[0]
         n_act = len(slots)
@@ -286,6 +306,8 @@ class VecFluidSimulator:
         blocked = np.empty(num_links + 1, dtype=bool)
         n_unfrozen = n_act
         last_compact = n_act
+        rounds = frozen_links = compactions = 0
+        obs_on = self._obs_on
         while n_unfrozen:
             # per-flow bottleneck: the minimal share over the flow's links
             m = shares_ext[lm].min(axis=1)
@@ -307,6 +329,9 @@ class VecFluidSimulator:
             hit &= unfrozen
             if not hit.any():  # pragma: no cover - defensive
                 break
+            rounds += 1
+            if obs_on:
+                frozen_links += int((~blocked[:num_links] & (counts > 0.0)).sum())
             np.maximum(m, 0.0, out=m)
             frozen_now = orig[hit]
             rate_c[frozen_now] = m[hit]
@@ -335,7 +360,28 @@ class VecFluidSimulator:
                 orig = orig[unfrozen]
                 unfrozen = np.ones(n_unfrozen, dtype=bool)
                 last_compact = n_unfrozen
+                compactions += 1
         self._rate[slots] = rate_c
+        if obs_on:
+            self.fill_rounds += rounds
+            self.frozen_links += frozen_links
+            self.compactions += compactions
+
+    def telemetry(self) -> dict:
+        """Per-engine fill telemetry (all counters monotone).
+
+        Same shape as :meth:`FluidSimulator.telemetry
+        <repro.sim.fluid.FluidSimulator.telemetry>`; here ``fill_rounds``
+        counts *parallel* rounds (the bottleneck dependency depth) and
+        ``compactions`` counts working-set compactions.
+        """
+        return {
+            "recomputes": self.recomputes,
+            "fill_rounds": self.fill_rounds,
+            "frozen_links": self.frozen_links,
+            "compactions": self.compactions,
+            "active_flows_hwm": self.active_flows_hwm,
+        }
 
     def rates(self) -> dict[int, float]:
         """Current max-min rates of the active flows (bytes/second)."""

@@ -40,12 +40,16 @@ import hashlib
 import json
 import os
 import shutil
+import time as _time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
+from ..obs import active as _obs_active
+from ..obs import metrics as _metrics
+from ..obs.logs import get_logger
 from ..registry import canonical_spec
 from ..topology.registry import resolve_topology
 from .compact import FORMAT_VERSION, CompactRouteTable
@@ -64,6 +68,8 @@ __all__ = [
 
 #: environment variable overriding the default store root
 STORE_ENV = "REPRO_STORE"
+
+_log = get_logger(__name__)
 
 
 class StoreFormatError(RuntimeError):
@@ -197,7 +203,10 @@ class ArtifactStore:
         compact = table if isinstance(table, CompactRouteTable) else table.to_compact()
         final = self.entry_dir(key)
         if self.contains(key) and not overwrite:
+            if _obs_active():
+                _metrics.counter("store.put_skipped").inc()
             return final
+        t0 = _time.perf_counter()
         self.root.mkdir(parents=True, exist_ok=True)
         tmp = self.root / f".tmp-{key.digest}-{os.getpid()}-{id(compact):x}"
         tmp.mkdir()
@@ -228,6 +237,10 @@ class ArtifactStore:
                     shutil.rmtree(tmp, ignore_errors=True)
         finally:
             shutil.rmtree(tmp, ignore_errors=True)
+        if _obs_active():
+            _metrics.counter("store.puts").inc()
+            _metrics.histogram("store.put_s").observe(_time.perf_counter() - t0)
+            _log.debug("store put %s -> %s", key.canonical(), final)
         return final
 
     # ------------------------------------------------------------------
@@ -239,6 +252,7 @@ class ArtifactStore:
         Raises ``KeyError`` on a missing entry and
         :class:`StoreFormatError` on a format-version mismatch.
         """
+        t0 = _time.perf_counter()
         entry = self.entry_dir(key)
         meta_path = entry / "meta.json"
         if not meta_path.is_file():
@@ -270,9 +284,14 @@ class ArtifactStore:
                 *_ENVELOPE_KEYS,
             )
         }
-        return CompactRouteTable(
+        table = CompactRouteTable(
             topo, meta["kind"], meta["encoding"], meta["num_routes"], fmt, arrays
         )
+        if _obs_active():
+            _metrics.counter("store.opens").inc()
+            _metrics.histogram("store.open_s").observe(_time.perf_counter() - t0)
+            _log.debug("store open %s (%d routes)", key.canonical(), table.num_routes)
+        return table
 
     def load(self, key: StoreKey) -> "RouteTable":
         """Open and fully decode an entry to a struct-of-arrays table."""

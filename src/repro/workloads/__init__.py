@@ -16,7 +16,7 @@ traffic arriving forever — that oblivious routing is actually for:
 See ``docs/workloads.md``.
 """
 
-from .driver import DYNAMIC_METRICS, DynamicDriver, DynamicResult
+from .driver import DYNAMIC_METRICS, DriverStats, DynamicDriver, DynamicResult
 from .generators import (
     DEFAULT_FLOWS,
     WORKLOADS,
@@ -35,6 +35,7 @@ __all__ = [
     "DEFAULT_FLOWS",
     "DEFAULT_MEAN_SIZE",
     "DYNAMIC_METRICS",
+    "DriverStats",
     "DynamicDriver",
     "DynamicResult",
     "OnlineStat",

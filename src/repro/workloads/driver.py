@@ -28,19 +28,23 @@ bounded per-link utilization timeseries.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.base import RouteTable, RoutingAlgorithm
 from ..core.factory import is_oblivious
+from ..obs import active as _obs_active
+from ..obs import metrics as _metrics
+from ..obs.trace import TRACER
 from ..sim.config import PAPER_CONFIG, NetworkConfig
 from ..sim.engines import DEFAULT_ENGINE, make_fluid_simulator
 from ..sim.network import flow_incidence, xgft_link_space
 from .online import OnlineStat, StatSummary, UtilSample, UtilSeries
 from .stream import ArrivalStream
 
-__all__ = ["DynamicDriver", "DynamicResult", "DYNAMIC_METRICS"]
+__all__ = ["DriverStats", "DynamicDriver", "DynamicResult", "DYNAMIC_METRICS"]
 
 #: the metric names a dynamic run records (all lower-is-better, so the
 #: sweep regression gate's comparison convention carries over)
@@ -54,6 +58,49 @@ DYNAMIC_METRICS = (
     "rejected_fraction",
     "makespan",
 )
+
+# a reusable do-nothing context manager for untraced loop phases
+# (nullcontext carries no state, so one instance serves every event)
+_NULL_CM = nullcontext()
+
+
+@dataclass(frozen=True)
+class DriverStats:
+    """Loop-phase accounting for one :meth:`DynamicDriver.run`.
+
+    ``events`` counts loop iterations; every event is either a
+    completion harvest or an arrival batch.  The ``*_s`` timers
+    partition the run's wall time by phase (routing time is a subset of
+    arrival time — table lookup happens inside the arrival phase).
+    ``engine`` is the engine's :meth:`telemetry()
+    <repro.sim.fluid.FluidSimulator.telemetry>` dict (recomputes,
+    fill_rounds, frozen_links, compactions, active_flows_hwm).
+    """
+
+    events: int
+    arrival_batches: int
+    completion_events: int
+    recomputes: int
+    wall_time_s: float
+    arrivals_s: float
+    completions_s: float
+    route_s: float
+    snapshot_s: float
+    engine: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "arrival_batches": self.arrival_batches,
+            "completion_events": self.completion_events,
+            "recomputes": self.recomputes,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "arrivals_s": round(self.arrivals_s, 6),
+            "completions_s": round(self.completions_s, 6),
+            "route_s": round(self.route_s, 6),
+            "snapshot_s": round(self.snapshot_s, 6),
+            "engine": dict(self.engine),
+        }
 
 
 @dataclass(frozen=True)
@@ -88,6 +135,9 @@ class DynamicResult:
     slowdown: StatSummary
     util: tuple[UtilSample, ...]
     wall_time_s: float
+    #: loop-phase accounting (None only for records deserialized from
+    #: pre-observability artifacts)
+    stats: DriverStats | None = None
 
     @property
     def offered_throughput(self) -> float:
@@ -149,6 +199,7 @@ class DynamicResult:
             "slowdown": self.slowdown.to_dict(),
             "util": [s.to_dict() for s in self.util],
             "wall_time_s": round(self.wall_time_s, 6),
+            **({"driver_stats": self.stats.to_dict()} if self.stats is not None else {}),
         }
 
 
@@ -201,6 +252,8 @@ class DynamicDriver:
         self.util_capacity = int(util_capacity)
         self.sample_seed = int(sample_seed)
         self.space = xgft_link_space(topo)
+        self._obs_on = _obs_active()
+        self._route_s = 0.0
         self._rows: np.ndarray | None = None
         self._full: RouteTable | None = None
         if is_oblivious(algorithm):
@@ -231,6 +284,20 @@ class DynamicDriver:
         (no surviving route under the degradation).  The table rows are
         the kept arrivals, in batch order.
         """
+        if self._obs_on and TRACER.enabled:
+            t0 = time.perf_counter()
+            with TRACER.span("driver.table_lookup", batch=len(src)):
+                out = self._route_batch_inner(src, dst)
+            self._route_s += time.perf_counter() - t0
+            return out
+        t0 = time.perf_counter()
+        out = self._route_batch_inner(src, dst)
+        self._route_s += time.perf_counter() - t0
+        return out
+
+    def _route_batch_inner(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> tuple[RouteTable, np.ndarray]:
         if self._full is not None:
             n = self.topo.num_leaves
             idx = self._rows[src * n + dst]
@@ -315,30 +382,75 @@ class DynamicDriver:
         n = len(stream)
         i = 0
         max_events = 4 * n + 64
+        perf = time.perf_counter
+        # spans only when instrumentation is compiled in AND a trace is
+        # being recorded; phase timers always run (two clock reads per
+        # event — the engines, not this loop, are the overhead-gated path)
+        tracing = self._obs_on and TRACER.enabled
+        span = TRACER.span if tracing else None
+        events = arrival_batches = completion_events = 0
+        completions_s = arrivals_s = snapshot_s = 0.0
+        self._route_s = 0.0
         for _ in range(max_events):
             t_arr = times[i] if i < n else None
             nc = sim.next_completion_time()
             if t_arr is None and nc is None:
                 break
+            events += 1
+            t_phase = perf()
             if t_arr is None or (nc is not None and nc <= t_arr):
-                record(sim.advance_to_next_completion())
+                completion_events += 1
+                with span("driver.completions") if span else _NULL_CM:
+                    record(sim.advance_to_next_completion())
+                completions_s += perf() - t_phase
             else:
-                record(sim.advance_to(float(t_arr)))
-                j = int(np.searchsorted(times, t_arr, side="right"))
-                instant_base = len(sim.results)
-                batch_self, batch_rejected, batch_bytes = self._inject(
-                    sim, stream, i, j, links_of
-                )
-                num_self += batch_self
-                num_rejected += batch_rejected
-                offered_bytes += batch_bytes
-                # zero-byte flows complete inside add_flows and never
-                # surface as completion events — harvest them here
-                record(sim.results[instant_base:])
-                i = j
-            util.consider(snapshot)
+                arrival_batches += 1
+                with span("driver.arrivals") if span else _NULL_CM as arr_span:
+                    record(sim.advance_to(float(t_arr)))
+                    j = int(np.searchsorted(times, t_arr, side="right"))
+                    if arr_span is not None:
+                        arr_span.set("batch", j - i)
+                    instant_base = len(sim.results)
+                    batch_self, batch_rejected, batch_bytes = self._inject(
+                        sim, stream, i, j, links_of
+                    )
+                    num_self += batch_self
+                    num_rejected += batch_rejected
+                    offered_bytes += batch_bytes
+                    # zero-byte flows complete inside add_flows and never
+                    # surface as completion events — harvest them here
+                    record(sim.results[instant_base:])
+                    i = j
+                arrivals_s += perf() - t_phase
+            t_phase = perf()
+            with span("driver.snapshot") if span else _NULL_CM:
+                util.consider(snapshot)
+            snapshot_s += perf() - t_phase
         else:  # pragma: no cover - defensive
             raise RuntimeError("dynamic driver exceeded its event budget")
+
+        wall_time_s = time.perf_counter() - t0
+        engine_tel = sim.telemetry() if hasattr(sim, "telemetry") else {}
+        stats = DriverStats(
+            events=events,
+            arrival_batches=arrival_batches,
+            completion_events=completion_events,
+            recomputes=int(getattr(sim, "recomputes", 0)),
+            wall_time_s=wall_time_s,
+            arrivals_s=arrivals_s,
+            completions_s=completions_s,
+            route_s=self._route_s,
+            snapshot_s=snapshot_s,
+            engine=engine_tel,
+        )
+        if self._obs_on:
+            # the cumulative process-wide view of the same numbers
+            _metrics.counter("driver.events").inc(events)
+            _metrics.counter("driver.arrival_batches").inc(arrival_batches)
+            _metrics.counter("driver.completion_events").inc(completion_events)
+            _metrics.counter("driver.recomputes").inc(stats.recomputes)
+            _metrics.counter("driver.rejected").inc(num_rejected)
+            _metrics.counter("driver.completed").inc(num_completed)
 
         return DynamicResult(
             topology=self.topo.spec(),
@@ -362,7 +474,8 @@ class DynamicDriver:
             fct=fct.summary(),
             slowdown=slow.summary(),
             util=util.samples(),
-            wall_time_s=time.perf_counter() - t0,
+            wall_time_s=wall_time_s,
+            stats=stats,
         )
 
     def _inject(

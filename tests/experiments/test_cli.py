@@ -299,3 +299,79 @@ class TestServeCommand:
             "--batch-size", "512", "--baseline", str(baseline),
         ]) == 1
         assert "FAIL" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_workload_profile_writes_trace_pair(self, tmp_path, capsys):
+        from repro.obs.trace import TRACER, validate_jsonl, validate_perfetto
+
+        prefix = tmp_path / "prof"
+        assert main([
+            "profile",
+            "--workload", "poisson(load=0.3,flows=150)",
+            "--topology", "XGFT(2;4,4;1,2)",
+            "-o", str(prefix),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "span coverage:" in out
+        assert "fluid.fill" in out
+        assert validate_jsonl(tmp_path / "prof.trace.jsonl") == []
+        assert validate_perfetto(tmp_path / "prof.perfetto.json") == []
+        # the CLI leaves the global tracer off for the rest of the process
+        assert not TRACER.enabled
+
+    def test_spec_and_scale_preset_conflict(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text("{}")
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["profile", "--spec", str(spec), "--scale-preset", "smoke"])
+
+    def test_overhead_check_arg_wiring(self, monkeypatch, capsys):
+        import repro.obs.profile as profile_mod
+
+        seen = {}
+
+        def fake_check(repeats, tolerance):
+            seen.update(repeats=repeats, tolerance=tolerance)
+            return {
+                "preset": "smoke", "repeats": repeats, "baseline_s": 1.0,
+                "instrumented_s": 1.0, "ratio": 1.0, "overhead_pct": 0.0,
+                "tolerance_pct": tolerance * 100, "ok": True,
+            }
+
+        monkeypatch.setattr(profile_mod, "run_overhead_check", fake_check)
+        assert main(["profile", "--overhead-check", "--repeats", "2",
+                     "--tolerance", "0.1"]) == 0
+        assert seen == {"repeats": 2, "tolerance": 0.1}
+        assert "[OK]" in capsys.readouterr().out
+
+
+class TestTracePlumbing:
+    def test_trace_flag_wraps_dynamic(self, tmp_path, capsys):
+        from repro.obs.trace import TRACER, read_jsonl
+
+        prefix = tmp_path / "dyn"
+        assert main([
+            "dynamic",
+            "--topology", "XGFT(2;4,4;1,2)",
+            "--workload", "poisson(load=0.3,flows=100)",
+            "--trace", str(prefix),
+        ]) == 0
+        _, spans = read_jsonl(tmp_path / "dyn.trace.jsonl")
+        names = {s.name for s in spans}
+        assert {"sweep.run", "driver.arrivals", "fluid.fill"} <= names
+        assert not TRACER.enabled
+
+    def test_env_var_enables_tracing(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "envtrace"))
+        assert main(["info", "--topology", "XGFT(2;4,4;1,2)"]) == 0
+        assert (tmp_path / "envtrace.trace.jsonl").exists()
+        assert (tmp_path / "envtrace.perfetto.json").exists()
+
+    def test_log_level_flag(self, capsys):
+        import logging
+
+        assert main(["--log-level", "debug", "info",
+                     "--topology", "XGFT(2;4,4;1,2)"]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        main(["--log-level", "warning", "info", "--topology", "XGFT(2;4,4;1,2)"])

@@ -71,6 +71,13 @@ class TestRunScale:
         for pair in data["speedups"]:
             assert pair["sim_time_rel_diff"] <= 1e-6
 
+    def test_rows_carry_engine_telemetry(self, data):
+        for row in data["rows"]:
+            telemetry = row["telemetry"]
+            assert telemetry["recomputes"] == row["recomputes"]
+            assert telemetry["fill_rounds"] > 0
+            assert telemetry["active_flows_hwm"] == row["flows"]
+
     def test_uniform_batches_completions(self, data):
         """Uniform sizes complete in rate-class batches: strictly fewer
         recomputes than the one-event-per-flow mixed workload."""

@@ -236,6 +236,41 @@ class TestExecution:
         assert result.runs == []
 
 
+class TestObsAggregation:
+    @pytest.fixture
+    def traced(self):
+        from repro.obs.trace import TRACER
+
+        TRACER.enable()
+        TRACER.clear()
+        yield TRACER
+        TRACER.disable()
+        TRACER.clear()
+
+    def test_untraced_sweep_has_no_obs_section(self):
+        result = run_sweep(SMALL_SPEC, run_filter="XGFT(2;4,4;1,2)*")
+        assert result.obs == {}
+        assert "obs" not in result.to_dict()
+
+    def test_traced_sweep_aggregates_spans(self, traced):
+        result = run_sweep(SMALL_SPEC, run_filter="XGFT(2;4,4;1,2)*")
+        assert result.obs["sweep.run"]["count"] == len(result.runs)
+        assert result.obs["sweep.run"]["total_s"] > 0.0
+        assert result.obs["cache.table_build"]["count"] >= 1
+        doc = result.to_dict()
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["obs"]["spans"]["sweep.run"]["count"] == len(result.runs)
+
+    def test_worker_spans_merge_across_processes(self, traced):
+        serial = run_sweep(SMALL_SPEC, jobs=1)
+        parallel = run_sweep(SMALL_SPEC, jobs=4)
+        # per-name counts are deterministic even though the spans were
+        # recorded in separate worker processes and merged as aggregates
+        assert parallel.obs["sweep.run"]["count"] == len(parallel.runs)
+        assert serial.obs["sweep.run"]["count"] == parallel.obs["sweep.run"]["count"]
+        assert set(parallel.obs) >= {"sweep.run", "fluid.fill"}
+
+
 class TestArtifact:
     def test_round_trip(self, tmp_path):
         result = run_sweep(SMALL_SPEC)

@@ -1,0 +1,58 @@
+"""Tests for the stdlib-logging wiring."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logs import configure_logging, get_logger, level_from_env
+
+
+class TestGetLogger:
+    def test_bare_suffix_lands_in_namespace(self):
+        assert get_logger("sweep").name == "repro.sweep"
+
+    def test_module_name_passes_through(self):
+        assert get_logger("repro.sim.fluid").name == "repro.sim.fluid"
+        assert get_logger("repro").name == "repro"
+
+
+class TestLevelFromEnv:
+    def test_parses_names_and_ints(self):
+        assert level_from_env({"REPRO_LOG": "debug"}) == logging.DEBUG
+        assert level_from_env({"REPRO_LOG": "INFO"}) == logging.INFO
+        assert level_from_env({"REPRO_LOG": "30"}) == 30
+        assert level_from_env({"REPRO_LOG": ""}) is None
+        assert level_from_env({"REPRO_LOG": "verbose"}) is None
+        assert level_from_env({}) is None
+
+
+class TestConfigureLogging:
+    def test_attaches_one_handler_and_sets_level(self):
+        stream = io.StringIO()
+        level = configure_logging("info", stream=stream, force=True)
+        assert level == logging.INFO
+        logger = logging.getLogger("repro")
+        assert len(logger.handlers) == 1
+        assert logger.propagate is False
+        get_logger("obs.test").info("hello from the wiring test")
+        assert "hello from the wiring test" in stream.getvalue()
+
+    def test_idempotent_repeat_only_adjusts_level(self):
+        configure_logging("warning", stream=io.StringIO(), force=True)
+        configure_logging("debug")
+        logger = logging.getLogger("repro")
+        assert len(logger.handlers) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_env_fallback_and_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "error")
+        assert configure_logging(None, stream=io.StringIO(), force=True) == logging.ERROR
+        monkeypatch.delenv("REPRO_LOG")
+        assert configure_logging(None) == logging.WARNING
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("chatty")

@@ -1,0 +1,136 @@
+"""Tests for the metrics registry and its exports."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("driver.events")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == {"value": 5}
+
+    def test_rejects_negative(self, registry):
+        with pytest.raises(ValueError, match="negative increment"):
+            registry.counter("x").inc(-1)
+
+    def test_lazy_registration_returns_same_instrument(self, registry):
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", {"op": "x"}) is not registry.counter("a")
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("a")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("a")
+
+    def test_thread_safety(self, registry):
+        c = registry.counter("hot")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("serve.connections")
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2
+
+
+class TestHistogram:
+    def test_exact_stats(self, registry):
+        h = registry.histogram("lat")
+        for v in (1.0, 2.0, 3.0, 10.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 16.0
+        assert snap["mean"] == 4.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 10.0
+
+    def test_empty_snapshot_is_zeroed(self, registry):
+        snap = registry.histogram("lat").snapshot()
+        assert snap == {
+            "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }
+
+    def test_quantiles_match_numpy_below_capacity(self, registry):
+        # under the reservoir capacity nothing is sampled away, so the
+        # estimates must equal numpy's exact quantiles
+        rng = np.random.default_rng(7)
+        values = rng.exponential(scale=3.0, size=1500)
+        h = registry.histogram("lat", capacity=2048)
+        for v in values:
+            h.observe(v)
+        snap = h.snapshot()
+        for q, label in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+            assert snap[label] == pytest.approx(float(np.quantile(values, q)), rel=1e-9)
+
+    def test_quantiles_approximate_above_capacity(self, registry):
+        rng = np.random.default_rng(11)
+        values = rng.normal(loc=100.0, scale=10.0, size=20_000)
+        h = registry.histogram("lat", capacity=2048, seed=0)
+        for v in values:
+            h.observe(v)
+        snap = h.snapshot()
+        # memory stayed bounded yet the estimate tracks the true quantile
+        for q, label in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+            assert snap[label] == pytest.approx(float(np.quantile(values, q)), rel=0.05)
+        assert snap["count"] == 20_000
+        assert snap["max"] == pytest.approx(values.max())
+
+
+class TestExports:
+    def test_snapshot_sorted_with_label_keys(self, registry):
+        registry.counter("b.total").inc(2)
+        registry.counter("a.total").inc()
+        registry.counter("serve.errors", {"op": "lookup"}).inc(3)
+        snap = registry.snapshot()
+        assert list(snap) == ["a.total", "b.total", "serve.errors{op=lookup}"]
+        assert snap["serve.errors{op=lookup}"] == {"kind": "counter", "value": 3}
+        assert list(registry.snapshot(prefix="serve.")) == ["serve.errors{op=lookup}"]
+
+    def test_prometheus_text(self, registry):
+        registry.counter("serve.queries").inc(7)
+        registry.gauge("serve.connections").set(2)
+        h = registry.histogram("serve.latency_s", {"op": "lookup"})
+        h.observe(0.5)
+        text = registry.prometheus()
+        assert "# TYPE serve_queries counter" in text
+        assert "serve_queries 7" in text
+        assert "# TYPE serve_connections gauge" in text
+        assert "# TYPE serve_latency_s summary" in text
+        assert 'serve_latency_s{op="lookup",quantile="0.5"} 0.5' in text
+        assert 'serve_latency_s_count{op="lookup"} 1' in text
+        assert text.endswith("\n")
+
+    def test_clear_forgets_instruments(self, registry):
+        registry.counter("x").inc()
+        registry.clear()
+        assert registry.snapshot() == {}
+        assert registry.counter("x").value == 0

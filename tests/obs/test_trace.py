@@ -1,0 +1,252 @@
+"""Tests for the span tracer: nesting, safety, export round-trips."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    SpanRecord,
+    Tracer,
+    aggregate_spans,
+    merge_span_aggregates,
+    read_jsonl,
+    trace_file_pair,
+    trace_prefix_from_env,
+    validate_jsonl,
+    validate_perfetto,
+    write_jsonl,
+    write_perfetto,
+    write_trace_files,
+)
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    t = Tracer()
+    t.enable()
+    t.slow_span_s = None
+    return t
+
+
+class TestSpanLifecycle:
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer()
+        cm1 = t.span("a")
+        cm2 = t.span("b", key="value")
+        assert cm1 is cm2
+        with cm1 as s:
+            s.set("ignored", 1)
+        assert t.spans() == ()
+
+    def test_records_name_duration_and_attrs(self, tracer):
+        with tracer.span("fluid.fill", flows=7) as s:
+            s.set("extra", "yes")
+        (record,) = tracer.spans()
+        assert record.name == "fluid.fill"
+        assert record.duration >= 0.0
+        assert record.attrs == {"flows": 7, "extra": "yes"}
+        assert record.error is None
+        assert record.parent_id is None
+
+    def test_nesting_assigns_parents(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner.first"):
+                pass
+            with tracer.span("inner.second"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        outer = by_name["outer"]
+        assert by_name["inner.first"].parent_id == outer.span_id
+        assert by_name["inner.second"].parent_id == outer.span_id
+        assert outer.parent_id is None
+        # children complete (and are recorded) before their parent
+        assert [s.name for s in tracer.spans()][-1] == "outer"
+
+    def test_exception_recorded_and_propagated(self, tracer):
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["inner"].error == "RuntimeError"
+        assert by_name["outer"].error == "RuntimeError"
+        # the stack unwound cleanly: the next span is a root again
+        with tracer.span("after"):
+            pass
+        assert {s.name: s for s in tracer.spans()}["after"].parent_id is None
+
+    def test_thread_stacks_are_independent(self, tracer):
+        barrier = threading.Barrier(2)
+
+        def work(label: str) -> None:
+            with tracer.span(f"{label}.outer"):
+                barrier.wait()
+                with tracer.span(f"{label}.inner"):
+                    barrier.wait()
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        by_name = {s.name: s for s in tracer.spans()}
+        assert len(by_name) == 4
+        for label in ("t0", "t1"):
+            inner, outer = by_name[f"{label}.inner"], by_name[f"{label}.outer"]
+            # both spans of a thread were open concurrently with the other
+            # thread's, yet each inner parents to its own thread's outer
+            assert inner.parent_id == outer.span_id
+            assert inner.thread_id == outer.thread_id
+
+    def test_concurrent_recording_is_lossless(self, tracer):
+        def work() -> None:
+            for _ in range(200):
+                with tracer.span("w"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        spans = tracer.spans()
+        assert len(spans) == 800
+        assert len({s.span_id for s in spans}) == 800
+
+    def test_max_spans_counts_drops(self):
+        t = Tracer(max_spans=3)
+        t.enable()
+        t.slow_span_s = None
+        for _ in range(5):
+            with t.span("x"):
+                pass
+        assert len(t.spans()) == 3
+        assert t.dropped == 2
+        assert t.meta()["dropped"] == 2
+        t.clear()
+        assert t.spans() == ()
+        assert t.dropped == 0
+
+    def test_slow_span_warning(self, tracer, caplog, monkeypatch):
+        import logging
+
+        # configure_logging stops propagation; caplog listens on root
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        tracer.slow_span_s = 0.0
+        with caplog.at_level("WARNING", logger="repro.obs.trace"):
+            with tracer.span("snail", detail=1):
+                pass
+        assert any("slow span snail" in r.message for r in caplog.records)
+
+
+class TestAggregation:
+    def test_aggregate_counts_totals_and_max(self):
+        spans = [
+            SpanRecord("b", 0.0, 1.0, 1, None, 0),
+            SpanRecord("a", 1.0, 2.0, 2, None, 0),
+            SpanRecord("b", 3.0, 3.0, 3, None, 0),
+        ]
+        agg = aggregate_spans(spans)
+        assert list(agg) == ["a", "b"]
+        assert agg["b"] == {"count": 2, "total_s": 4.0, "max_s": 3.0}
+
+    def test_merge_accumulates_in_place(self):
+        into = aggregate_spans([SpanRecord("a", 0.0, 1.0, 1, None, 0)])
+        other = aggregate_spans(
+            [
+                SpanRecord("a", 0.0, 2.0, 2, None, 0),
+                SpanRecord("c", 0.0, 5.0, 3, None, 0),
+            ]
+        )
+        merged = merge_span_aggregates(into, other)
+        assert merged is into
+        assert merged["a"] == {"count": 2, "total_s": 3.0, "max_s": 2.0}
+        assert merged["c"]["count"] == 1
+
+
+class TestEnvPrefix:
+    def test_switch_values(self, monkeypatch):
+        for raw, expected in [
+            ("", None),
+            ("0", None),
+            ("off", None),
+            ("1", "repro"),
+            ("true", "repro"),
+            ("/tmp/mytrace", "/tmp/mytrace"),
+        ]:
+            monkeypatch.setenv("REPRO_TRACE", raw)
+            assert trace_prefix_from_env() == expected, raw
+        monkeypatch.delenv("REPRO_TRACE")
+        assert trace_prefix_from_env() is None
+
+
+class TestExport:
+    def test_trace_file_pair_strips_known_suffixes(self, tmp_path):
+        want = (tmp_path / "t.trace.jsonl", tmp_path / "t.perfetto.json")
+        for given in ("t", "t.trace.jsonl", "t.perfetto.json"):
+            assert trace_file_pair(tmp_path / given) == want
+
+    def test_jsonl_round_trip(self, tracer, tmp_path):
+        with tracer.span("outer", topo="XGFT(2;4,4;1,2)"):
+            with tracer.span("inner"):
+                pass
+        path = write_jsonl(tmp_path / "t.trace.jsonl", tracer)
+        meta, spans = read_jsonl(path)
+        assert meta["kind"] == "repro-trace"
+        assert meta["schema_version"] == TRACE_SCHEMA_VERSION
+        assert meta["spans"] == 2
+        assert [s.to_dict() for s in spans] == [s.to_dict() for s in tracer.spans()]
+        assert validate_jsonl(path) == []
+
+    def test_read_jsonl_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a repro trace"):
+            read_jsonl(path)
+
+    def test_validate_jsonl_flags_problems(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        header = {"kind": "repro-trace", "schema_version": TRACE_SCHEMA_VERSION, "spans": 2}
+        good = SpanRecord("a", 0.0, 1.0, 1, None, 0).to_dict()
+        orphan = SpanRecord("b", 0.0, 1.0, 2, 99, 0).to_dict()
+        path.write_text("\n".join(json.dumps(d) for d in (header, good, orphan)) + "\n")
+        problems = validate_jsonl(path)
+        assert any("parent_id 99" in p for p in problems)
+
+        path.write_text("")
+        assert validate_jsonl(path) == ["empty trace file"]
+
+    def test_perfetto_export_is_valid_and_complete(self, tracer, tmp_path):
+        with tracer.span("serve.request", op="lookup"):
+            pass
+        path = write_perfetto(tmp_path / "t.perfetto.json", tracer)
+        assert validate_perfetto(path) == []
+        doc = json.loads(path.read_text())
+        (event,) = doc["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["cat"] == "serve"
+        assert event["args"] == {"op": "lookup"}
+        (record,) = tracer.spans()
+        assert event["ts"] == pytest.approx(record.start * 1e6, abs=0.01)
+        assert event["dur"] == pytest.approx(record.duration * 1e6, abs=0.01)
+
+    def test_validate_perfetto_flags_problems(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [{"ph": "B", "name": "x"}]}))
+        problems = validate_perfetto(path)
+        assert any("ph" in p for p in problems)
+        path.write_text("{}")
+        assert validate_perfetto(path) == ["traceEvents must be a list"]
+
+    def test_write_trace_files_pair(self, tracer, tmp_path):
+        with tracer.span("x"):
+            pass
+        jsonl_path, perfetto_path = write_trace_files(tmp_path / "run", tracer)
+        assert jsonl_path.name == "run.trace.jsonl"
+        assert perfetto_path.name == "run.perfetto.json"
+        assert validate_jsonl(jsonl_path) == []
+        assert validate_perfetto(perfetto_path) == []

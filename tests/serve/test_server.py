@@ -140,6 +140,65 @@ class TestProtocol:
         assert set(response["status"]) <= {0, 1, 2}
 
 
+class TestObservability:
+    def test_stats_shape_and_key_order(self, server):
+        server.batch_lookup([0, 1], [5, 6])
+        stats = server.stats()
+        assert list(stats) == sorted(stats)
+        assert stats["errors"] == {}
+        assert stats["queries"] == 1
+        assert stats["routes_served"] == 2
+        assert stats["uptime_s"] >= 0.0
+
+    def test_errors_tallied_per_op(self, server):
+        handle_request(server, {"op": "warp"})
+        handle_request(server, {"op": "lookup", "src": 0})
+        handle_request(server, {"op": "lookup", "src": 0, "dst": 0})
+        handle_request(server, ["not", "an", "object"])
+        errors = server.stats()["errors"]
+        assert errors == {"lookup": 2, "unknown": 2}
+
+    def test_decode_errors_show_up_in_stats(self, server):
+        from repro.serve import decode_error_response
+
+        try:
+            json.loads("{nope")
+        except json.JSONDecodeError as exc:
+            response = decode_error_response(server, exc)
+        assert not response["ok"] and "bad JSON" in response["error"]
+        assert server.stats()["errors"] == {"decode": 1}
+
+    def test_metrics_op_snapshot(self, server):
+        handle_request(server, {"op": "lookup", "src": 0, "dst": 9})
+        response = handle_request(server, {"op": "metrics"})
+        assert response["ok"]
+        metrics = response["metrics"]
+        assert metrics["serve.queries"]["value"] == 1
+        assert metrics["serve.routes_served"]["value"] == 1
+        lat = metrics["serve.latency_s{op=lookup}"]
+        assert lat["kind"] == "histogram" and lat["count"] == 1
+
+    def test_metrics_op_prometheus_text(self, server):
+        handle_request(server, {"op": "ping"})
+        response = handle_request(server, {"op": "metrics", "format": "prometheus"})
+        assert response["ok"]
+        assert "# TYPE serve_queries counter" in response["text"]
+        assert 'serve_latency_s{op="ping",quantile="0.5"}' in response["text"]
+
+    def test_registries_are_per_server(self, tmp_path, server):
+        other = RouteServer.from_store(TOPO, "d-mod-k", store=tmp_path / "store")
+        server.batch_lookup([0], [9])
+        assert other.stats()["queries"] == 0
+
+    def test_latency_observed_for_every_op(self, server):
+        for op in ("ping", "info", "stats", "metrics", "warp"):
+            handle_request(server, {"op": op})
+        snap = server.metrics.snapshot(prefix="serve.latency_s")
+        assert "serve.latency_s{op=ping}" in snap
+        assert "serve.latency_s{op=unknown}" in snap
+        assert snap["serve.latency_s{op=stats}"]["count"] == 1
+
+
 class TestAsyncEndpoint:
     def test_tcp_round_trip_matches_direct(self, server):
         topo = resolve_topology(TOPO)
