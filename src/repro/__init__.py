@@ -14,6 +14,12 @@ The package provides, as importable building blocks:
 * :mod:`repro.dimemas` — trace-driven MPI replay;
 * :mod:`repro.faults` — fault injection, degraded topologies, route
   repair and resilience metrics;
+* :mod:`repro.graphs` — general-graph oblivious routing: the
+  :class:`~repro.graphs.GeneralGraph` topology layer (leaf-spine,
+  dragonfly, random-regular builders + XGFT lowering), the
+  ``random-walk`` / ``racke-tree`` schemes emitting
+  :class:`~repro.graphs.PathTable`, and capacity-aware congestion
+  metrics;
 * :mod:`repro.registry` / :mod:`repro.metrics` — the unified component
   registries (algorithms, patterns, topologies, metrics) and their
   shared ``name(key=val,...)`` spec DSL;
@@ -33,6 +39,7 @@ Quickstart::
 """
 
 from .api import Comparison, Scenario, ScenarioResult, compare, evaluate_scenario
+from .graphs import GeneralGraph, PathTable
 from .core import (
     ALGORITHMS,
     Colored,
@@ -61,7 +68,7 @@ from .topology import (
     slimmed_two_level,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "XGFT",
@@ -95,6 +102,9 @@ __all__ = [
     "register_metric",
     "resolve_pattern",
     "resolve_topology",
+    # the general-graph subsystem
+    "GeneralGraph",
+    "PathTable",
     # the scenario facade
     "Scenario",
     "ScenarioResult",

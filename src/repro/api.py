@@ -39,7 +39,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from .core.base import RouteTable, RoutingAlgorithm
-from .core.factory import is_oblivious, make_algorithm
+from .core.factory import ALGORITHMS, is_oblivious, make_algorithm
 from .faults import DegradedTopology, FaultSpec, parse_fault_spec, repair_table
 from .metrics import (
     DEFAULT_METRICS,
@@ -55,6 +55,7 @@ from .obs import metrics as _metrics
 from .obs.trace import TRACER
 from .patterns.base import Pattern
 from .patterns.registry import resolve_pattern
+from .registry import parse_spec
 from .serve import RouteServer
 from .sim.config import PAPER_CONFIG, NetworkConfig
 from .sim.engines import DEFAULT_ENGINE, fluid_engine_names, resolve_engine
@@ -62,6 +63,11 @@ from .store import ArtifactStore, StoreKey, open_table, store_table
 from .topology.registry import resolve_topology
 from .topology.xgft import XGFT
 from .workloads import DynamicDriver, DynamicResult, Workload, resolve_workload
+
+# importing the graphs package registers the general-graph topology
+# families, the path-based routing schemes and the congestion metrics;
+# `import repro` (which imports this module) activates all of them
+from . import graphs as _graphs  # noqa: E402,F401
 
 __all__ = [
     "Scenario",
@@ -201,9 +207,7 @@ def subset_table(
     idx = rows[arr[:, 0] * n + arr[:, 1]]
     if (idx < 0).any():
         raise ValueError("pair outside the all-pairs table (self-pair?)")
-    return RouteTable(
-        full.topo, full.src[idx], full.dst[idx], full.nca_level[idx], full.ports[idx]
-    )
+    return full.take(idx)
 
 
 # ----------------------------------------------------------------------
@@ -268,7 +272,11 @@ class Scenario:
     # -- canonical spec strings (run identity) --------------------------
     @property
     def topology_spec(self) -> str:
-        return self.topology.spec() if isinstance(self.topology, XGFT) else str(self.topology)
+        if isinstance(self.topology, str):
+            return self.topology
+        if hasattr(self.topology, "spec"):
+            return self.topology.spec()  # XGFT, GeneralGraph, ...
+        return str(self.topology)
 
     @property
     def pattern_spec(self) -> str:
@@ -353,8 +361,18 @@ class Scenario:
         it — every spelling of one topology maps to one on-disk entry.
         Cached tables are always pristine (repair filters the pristine
         table), so the key's fault component stays ``none``.
+
+        Path tables have no compact on-disk encoding (yet), so any
+        scenario producing one — a general-graph topology, or a
+        path-emitting scheme on an XGFT — is unstorable and served from
+        the in-memory cache only.
         """
         if isinstance(self.algorithm, RoutingAlgorithm):
+            return None
+        if not isinstance(self.topo, XGFT):
+            return None
+        name, _ = parse_spec(str(self.algorithm))
+        if name in ALGORITHMS and getattr(ALGORITHMS.get(name), "emits_paths", False):
             return None
         cached = self.__dict__.get("_store_key")
         if cached is None:
@@ -488,6 +506,7 @@ class Scenario:
             if spec.kind == "none":
                 self._degraded = None
             else:
+                _reject_graph_faults(self.topo, self.routing, self.faults_spec)
                 if self.is_dynamic:
                     routed = (
                         self.route_table() if is_oblivious(self.routing) else None
@@ -588,6 +607,25 @@ def _round(value):
 # ----------------------------------------------------------------------
 # The evaluation engine
 # ----------------------------------------------------------------------
+def _reject_graph_faults(topo, algorithm, faults_label: str) -> None:
+    """Fault injection (and repair) is NCA machinery — XGFT-only.
+
+    General graphs model failures at build time instead (e.g.
+    ``leafspine(fail=3,seed=1)`` removes cables without disconnecting
+    the fabric), and path-emitting schemes have no repairable port
+    digits even on an XGFT — reject both with one diagnostic.
+    """
+    emits_paths = hasattr(algorithm, "pair_arcs")
+    if isinstance(topo, XGFT) and not emits_paths:
+        return
+    raise ValueError(
+        f"fault scenarios (faults={faults_label!r}) are XGFT-only; "
+        "general-graph topologies model failures at build time "
+        "(e.g. leafspine(fail=3,seed=1)), and path-based schemes "
+        "have no repairable route tables"
+    )
+
+
 def evaluate_scenario(
     scenario: Scenario,
     metrics: Sequence[str] | None = None,
@@ -628,6 +666,7 @@ def evaluate_scenario(
     fault_info: dict[str, int] = {}
     baseline_agg = None
     if fault_spec.kind != "none":
+        _reject_graph_faults(topo, algorithm, scenario.faults_spec)
         # seeded random draws depend only on the fault spec (not the run
         # seed), so every algorithm and routing seed of a row faces the
         # *same* degraded fabric; sweep several draws by listing several
@@ -741,12 +780,16 @@ def _evaluate_dynamic(
         scenario._degraded = None
         scenario._degraded_done = True
     else:
+        _reject_graph_faults(topo, algorithm, scenario.faults_spec)
         degraded = DegradedTopology(topo, fault_spec.realize(topo, table=table))
         scenario._degraded = degraded
         scenario._degraded_done = True
 
+    # the driver runs on the *machine* the algorithm routes: a graph
+    # scheme given an XGFT spec lowers it, so its tables index the
+    # lowered graph's arc space, not the XGFT link space
     driver = DynamicDriver(
-        topo,
+        algorithm.topo,
         algorithm,
         engine=engine,
         config=config,

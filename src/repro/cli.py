@@ -28,6 +28,9 @@
     repro dynamic --loads 0.2 0.5 0.8 --algorithms d-mod-k s-mod-k random
     repro profile --workload "poisson(load=0.5)" -o profile
     repro profile --overhead-check
+    repro graphs --preset smoke --baseline benchmarks/baseline_graph.json
+    repro graphs --preset full -o BENCH_graph.json
+    repro store gc --max-bytes 256M --dry-run
     repro dynamic --workload "poisson(load=0.5)" --trace   # any of the four
                                                            # hot commands
 
@@ -552,6 +555,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.02,
         help="(--overhead-check) maximum tolerated relative overhead",
     )
+
+    pg = sub.add_parser(
+        "graphs",
+        help="general-graph routing benchmark: random-walk and racke-tree "
+        "over {fat tree, failed leaf-spine, random-regular}, plus the "
+        "d-mod-k bridge on the shared fat tree (BENCH_graph.json)",
+    )
+    pg.add_argument(
+        "--preset",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="grid preset: 'smoke' (CI, 64 hosts) or 'full' (the "
+        "committed BENCH_graph.json trajectory, 256 hosts)",
+    )
+    pg.add_argument("--engine", choices=fluid_engine_names(), default=DEFAULT_ENGINE)
+    pg.add_argument("--jobs", "-j", type=int, default=1)
+    pg.add_argument(
+        "--max-rows", type=int, default=60, help="result table rows to print"
+    )
+    pg.add_argument(
+        "--output", "-o", type=Path, default=None, help="write the sweep artifact JSON"
+    )
+    pg.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="prior artifact to regression-compare against (nonzero exit on regression)",
+    )
+    pg.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative regression tolerance for --baseline",
+    )
+    add_trace_arg(pg, "repro_graphs")
+
+    pst = sub.add_parser("store", help="artifact-store maintenance")
+    store_sub = pst.add_subparsers(dest="store_command", required=True)
+    pgc = store_sub.add_parser(
+        "gc",
+        help="evict least-recently-used entries until the store fits a byte budget",
+    )
+    pgc.add_argument(
+        "--max-bytes",
+        required=True,
+        metavar="SIZE",
+        help="size budget; plain bytes or a K/M/G-suffixed value ('256M')",
+    )
+    pgc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    pgc.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="store root (default: $REPRO_STORE or ~/.cache/repro-xgft/store)",
+    )
     return parser
 
 
@@ -907,6 +969,56 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_graphs(args: argparse.Namespace) -> int:
+    from .graphs.bench import run_graph_bench
+
+    result = run_graph_bench(args.preset, engine=args.engine, jobs=args.jobs)
+    print(experiments.format_sweep_results(result, max_rows=args.max_rows))
+    print(
+        f"\n{len(result.runs)} runs in {result.total_wall_time_s:.1f}s "
+        f"(preset={args.preset}, engine={args.engine}, jobs={args.jobs})"
+    )
+    if args.output is not None:
+        path = experiments.write_artifact(result, args.output)
+        print(f"artifact written to {path}")
+    if args.baseline is not None:
+        baseline = experiments.load_artifact(args.baseline)
+        comparison = experiments.sweep_compare(
+            baseline, result.to_dict(), rel_tol=args.tolerance
+        )
+        print(experiments.format_sweep_compare(comparison))
+        return 0 if comparison.ok else 1
+    return 0
+
+
+def _parse_bytes(text: str) -> int:
+    """``'256M'`` → bytes; accepts plain integers and K/M/G suffixes."""
+    scales = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    raw = text.strip().upper().removesuffix("B")
+    scale = scales.get(raw[-1:], 1)
+    digits = raw[:-1] if scale != 1 else raw
+    try:
+        return int(float(digits) * scale)
+    except ValueError:
+        raise SystemExit(f"error: cannot parse size {text!r} (try 1048576, 1M, 2.5G)")
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    report = store.gc(_parse_bytes(args.max_bytes), dry_run=args.dry_run)
+    verb = "would evict" if report.dry_run else "evicted"
+    for info in report.evicted:
+        print(f"{verb} {info.digest}  {info.nbytes} bytes")
+    print(
+        f"{report.scanned} entries, {report.total_bytes} bytes scanned; "
+        f"{verb} {len(report.evicted)} entries ({report.reclaimed_bytes} bytes), "
+        f"{report.kept_bytes} bytes kept under {store.root}"
+    )
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     comparison = experiments.sweep_compare(
         experiments.load_artifact(args.baseline),
@@ -976,6 +1088,10 @@ def _run(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     elif args.command == "compare":
         return _cmd_compare(args)
+    elif args.command == "graphs":
+        return _cmd_graphs(args)
+    elif args.command == "store":
+        return _cmd_store(args)
     elif args.command == "profile":
         return _cmd_profile(args)
     else:  # pragma: no cover - argparse enforces choices

@@ -124,8 +124,21 @@ def make_algorithm(name: str, topo: XGFT, seed: int = 0, **kwargs) -> RoutingAlg
 
     ``name`` may carry spec-DSL parameters (``"r-nca-d(map_kind=mod)"``);
     explicit ``**kwargs`` win over spec parameters on collision.
+
+    ``topo`` may be any resolved topology.  The paper's NCA schemes are
+    only defined on XGFTs; asking for one on a general graph raises
+    unless the registered builder advertises ``supports_graphs = True``
+    (the :mod:`repro.graphs` schemes do, and they also accept XGFTs by
+    lowering them).
     """
     if "(" in name:
         name, spec_kwargs = parse_spec(name)
         kwargs = {**spec_kwargs, **kwargs}
-    return ALGORITHMS.get(name)(topo, seed=seed, **kwargs)
+    builder = ALGORITHMS.get(name)
+    if not isinstance(topo, XGFT) and not getattr(builder, "supports_graphs", False):
+        raise ValueError(
+            f"algorithm {name!r} is defined only on XGFT topologies; "
+            f"on general graphs use a graph-capable scheme "
+            f"(e.g. random-walk, racke-tree)"
+        )
+    return builder(topo, seed=seed, **kwargs)

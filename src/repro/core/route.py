@@ -359,3 +359,17 @@ class RouteTable:
             np.concatenate([self.nca_level, other.nca_level]),
             np.vstack([self.ports, other.ports]),
         )
+
+    def take(self, idx: np.ndarray) -> "RouteTable":
+        """A new table holding rows ``idx`` (gathered, copies).
+
+        The row-subsetting primitive shared with
+        :meth:`repro.graphs.table.PathTable.take` — callers slicing an
+        all-pairs table (the pattern/driver subset paths) go through
+        this instead of spelling out the columns, so both table kinds
+        subset the same way.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        return RouteTable(
+            self.topo, self.src[idx], self.dst[idx], self.nca_level[idx], self.ports[idx]
+        )

@@ -1,0 +1,49 @@
+"""General-graph oblivious routing: topologies, schemes, congestion.
+
+The repo's first algorithm family beyond the paper.  Importing this
+package (which ``import repro`` does) registers:
+
+* topology families ``leafspine(...)``, ``dragonfly(...)``,
+  ``random-regular(...)`` in :data:`~repro.topology.TOPOLOGIES`;
+* routing schemes ``random-walk(...)``, ``racke-tree(...)`` and the
+  cross-validation bridge ``xgft-path(scheme=...)`` in
+  :data:`~repro.core.ALGORITHMS`;
+* congestion metrics ``max_congestion``, ``mean_congestion``,
+  ``congestion_lower_bound``, ``competitive_ratio`` in
+  :data:`~repro.metrics.METRICS`.
+
+See ``docs/graphs.md`` for the subsystem guide.
+"""
+
+from .builders import dragonfly, leafspine, random_regular
+from .contention import (
+    arc_congestion,
+    arc_loads,
+    competitive_ratio,
+    congestion_lower_bound,
+)
+from .graph import GeneralGraph, GraphError
+from .schemes import (
+    PathRoutingAlgorithm,
+    RackeTreeRouting,
+    RandomWalkRouting,
+    XGFTPathRouting,
+)
+from .table import PathTable
+
+__all__ = [
+    "GeneralGraph",
+    "GraphError",
+    "PathTable",
+    "PathRoutingAlgorithm",
+    "RandomWalkRouting",
+    "RackeTreeRouting",
+    "XGFTPathRouting",
+    "leafspine",
+    "dragonfly",
+    "random_regular",
+    "arc_loads",
+    "arc_congestion",
+    "congestion_lower_bound",
+    "competitive_ratio",
+]

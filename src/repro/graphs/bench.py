@@ -1,0 +1,121 @@
+"""The ``repro graphs`` benchmark grid.
+
+One callable pair behind the CLI subcommand and the CI ``graph-smoke``
+job: :func:`graph_grid_specs` builds the preset's sweep grids and
+:func:`run_graph_bench` executes and merges them into one standard
+schema-v3 sweep artifact (gated by the ordinary ``repro compare``).
+
+The grid is two sweeps merged, because the cross-validation bridge
+``xgft-path(scheme=d-mod-k)`` only exists on XGFT-derived graphs:
+
+* the **graph grid** — {fat tree, leaf-spine with failed links,
+  random-regular} x {random-walk, racke-tree};
+* the **bridge grid** — the shared fat-tree case only, running
+  ``xgft-path(scheme=d-mod-k)`` (the paper's D-mod-k replayed through
+  the path machinery) next to plain ``d-mod-k``, which is what lets
+  the committed ``BENCH_graph.json`` compare max-load/competitive
+  ratio head-to-head against the paper's NCA schemes.
+
+All preset topologies share one host count per preset (64 for smoke,
+256 for full), so every pattern stresses every fabric identically.
+"""
+
+from __future__ import annotations
+
+from .contention import GRAPH_METRICS
+
+__all__ = ["GRAPH_PRESETS", "graph_grid_specs", "run_graph_bench"]
+
+#: metrics recorded for every cell; the graph congestion metrics answer
+#: SKIPPED on XGFT port tables, so NCA rows simply omit them
+BENCH_METRICS = (
+    "max_link_load",
+    "mean_link_load",
+    "max_network_contention",
+    "sim_time",
+    "slowdown",
+) + GRAPH_METRICS
+
+GRAPH_PRESETS = {
+    # 64 hosts everywhere; small enough for a CI smoke job
+    "smoke": {
+        "fat_tree": "XGFT(2;8,8;1,4)",
+        "graph_topologies": (
+            "leafspine(leaves=8,spines=4,hosts=8,fail=3,seed=1)",
+            "random-regular(switches=16,degree=4,hosts=4,seed=3)",
+        ),
+        "patterns": ("bit-reversal", "shift"),
+        "seeds": 1,
+    },
+    # 256 hosts; the committed BENCH_graph.json trajectory
+    "full": {
+        "fat_tree": "XGFT(2;16,16;1,8)",
+        "graph_topologies": (
+            "leafspine(leaves=16,spines=8,hosts=16,fail=6,seed=1)",
+            "random-regular(switches=32,degree=6,hosts=8,seed=3)",
+        ),
+        "patterns": ("bit-reversal", "transpose", "shift"),
+        "seeds": 2,
+    },
+}
+
+#: graph-general schemes swept on every topology of the grid
+GRAPH_SCHEMES = ("random-walk", "racke-tree")
+#: the fat-tree-only bridge pair: the adapter vs the scheme it replays
+BRIDGE_SCHEMES = ("xgft-path(scheme=d-mod-k)", "d-mod-k")
+
+
+def graph_grid_specs(preset: str = "smoke", engine: str = "fluid-vec"):
+    """The preset's ``(graph_grid, bridge_grid)`` :class:`SweepSpec` pair."""
+    from ..experiments.sweep import SweepSpec
+
+    try:
+        params = GRAPH_PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown graphs preset {preset!r}; available: "
+            f"{', '.join(sorted(GRAPH_PRESETS))}"
+        ) from None
+    topologies = (params["fat_tree"],) + tuple(params["graph_topologies"])
+    graph_grid = SweepSpec(
+        topologies=topologies,
+        patterns=tuple(params["patterns"]),
+        algorithms=GRAPH_SCHEMES,
+        seeds=params["seeds"],
+        metrics=BENCH_METRICS,
+        engine=engine,
+        name=f"graphs-{preset}",
+    )
+    bridge_grid = SweepSpec(
+        topologies=(params["fat_tree"],),
+        patterns=tuple(params["patterns"]),
+        algorithms=BRIDGE_SCHEMES,
+        seeds=1,  # both bridge schemes are deterministic
+        metrics=BENCH_METRICS,
+        engine=engine,
+        name=f"graphs-{preset}-bridge",
+    )
+    return graph_grid, bridge_grid
+
+
+def run_graph_bench(preset: str = "smoke", engine: str = "fluid-vec", jobs: int = 1):
+    """Run both grids and return one merged :class:`SweepResult`.
+
+    The merged artifact carries the graph grid's spec and the
+    concatenated run records of both grids; ``sweep_compare`` matches
+    records by run id, so the merge gates exactly like a single sweep.
+    """
+    from ..experiments.sweep import SweepResult, run_sweep
+
+    graph_grid, bridge_grid = graph_grid_specs(preset, engine)
+    first = run_sweep(graph_grid, jobs=jobs)
+    second = run_sweep(bridge_grid, jobs=jobs)
+    stats = dict(first.cache_stats)
+    for key, value in second.cache_stats.items():
+        stats[key] = stats.get(key, 0) + value
+    return SweepResult(
+        spec=graph_grid,
+        runs=first.runs + second.runs,
+        cache_stats=stats,
+        total_wall_time_s=first.total_wall_time_s + second.total_wall_time_s,
+    )

@@ -1,0 +1,190 @@
+"""Registered general-graph topology families.
+
+Three fabrics the XGFT grammar cannot express, each resolvable through
+the ordinary topology registry::
+
+    resolve_topology("leafspine(leaves=8,spines=4,hosts=4)")
+    resolve_topology("leafspine(leaves=8,spines=4,hosts=4,fail=3,seed=1)")
+    resolve_topology("dragonfly(groups=4,routers=4,hosts=2)")
+    resolve_topology("random-regular(switches=16,degree=4,hosts=2,seed=0)")
+
+Node numbering convention (shared by every builder): host nodes come
+first — node id == leaf id — then switches, so patterns and workload
+generators keyed on leaf ids carry over untouched.
+
+``leafspine`` supports **failed links** at build time (``fail=k``
+removes ``k`` leaf–spine cables, chosen by ``seed``, never
+disconnecting the fabric) — the graph analogue of the XGFT fault
+machinery, which is NCA-specific and does not apply here.
+
+Every builder answers :meth:`~repro.graphs.graph.GeneralGraph.spec`
+with its fully-resolved canonical spec (defaults spelled out), so run
+ids and artifacts are stable across equivalent spellings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..registry import format_spec
+from ..topology.registry import register_topology
+from .graph import GeneralGraph, GraphError
+
+__all__ = ["leafspine", "dragonfly", "random_regular"]
+
+
+def _connected(num_nodes: int, edges: list[tuple[int, int]]) -> bool:
+    """Undirected connectivity over ``edges`` (plain BFS, small graphs)."""
+    if num_nodes == 0:
+        return True
+    adj: list[list[int]] = [[] for _ in range(num_nodes)]
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    seen = [False] * num_nodes
+    stack = [0]
+    seen[0] = True
+    count = 1
+    while stack:
+        for w in adj[stack.pop()]:
+            if not seen[w]:
+                seen[w] = True
+                count += 1
+                stack.append(w)
+    return count == num_nodes
+
+
+@register_topology("leafspine")
+def leafspine(
+    leaves: int = 8, spines: int = 4, hosts: int = 4, fail: int = 0, seed: int = 0
+) -> GeneralGraph:
+    """A two-tier leaf–spine fabric, optionally with failed cables.
+
+    ``leaves`` leaf switches each connect to all ``spines`` spine
+    switches and carry ``hosts`` hosts.  ``fail=k`` removes ``k``
+    leaf–spine cables (drawn by ``seed``), skipping any removal that
+    would disconnect the fabric; if ``k`` non-disconnecting removals do
+    not exist, :class:`GraphError` is raised.
+    """
+    leaves, spines, hosts, fail = int(leaves), int(spines), int(hosts), int(fail)
+    if leaves < 1 or spines < 1 or hosts < 1:
+        raise GraphError("leafspine needs leaves, spines, hosts >= 1")
+    if fail < 0:
+        raise GraphError("fail must be >= 0")
+    num_hosts = leaves * hosts
+    leaf0, spine0 = num_hosts, num_hosts + leaves
+    num_nodes = num_hosts + leaves + spines
+    host_edges = [(h, leaf0 + h // hosts) for h in range(num_hosts)]
+    fabric = [(leaf0 + i, spine0 + s) for i in range(leaves) for s in range(spines)]
+    if fail:
+        if fail >= len(fabric):
+            raise GraphError(
+                f"cannot fail {fail} of {len(fabric)} leaf-spine cables"
+            )
+        rng = np.random.default_rng(seed)
+        candidates = [fabric[i] for i in rng.permutation(len(fabric))]
+        removed = 0
+        for cable in candidates:
+            if removed == fail:
+                break
+            trial = [c for c in fabric if c != cable]
+            if _connected(num_nodes, host_edges + trial):
+                fabric = trial
+                removed += 1
+        if removed < fail:
+            raise GraphError(
+                f"only {removed} of {fail} cable removals keep the fabric connected"
+            )
+    host_mask = np.zeros(num_nodes, dtype=bool)
+    host_mask[:num_hosts] = True
+    spec = format_spec(
+        "leafspine",
+        {"leaves": leaves, "spines": spines, "hosts": hosts, "fail": fail, "seed": int(seed)},
+    )
+    return GeneralGraph(num_nodes, host_edges + fabric, host_mask, spec)
+
+
+@register_topology("dragonfly")
+def dragonfly(groups: int = 4, routers: int = 4, hosts: int = 2) -> GeneralGraph:
+    """A canonical dragonfly: complete groups, one global link per group pair.
+
+    ``groups`` groups of ``routers`` fully-connected routers; each
+    router carries ``hosts`` hosts; every pair of groups is joined by
+    one global cable, attached round-robin over the routers of each
+    group so global degree stays balanced.
+    """
+    groups, routers, hosts = int(groups), int(routers), int(hosts)
+    if groups < 2 or routers < 1 or hosts < 1:
+        raise GraphError("dragonfly needs groups >= 2, routers >= 1, hosts >= 1")
+    num_hosts = groups * routers * hosts
+    router0 = num_hosts
+    num_nodes = num_hosts + groups * routers
+
+    def router(g: int, r: int) -> int:
+        return router0 + g * routers + r
+
+    edges = [(h, router0 + h // hosts) for h in range(num_hosts)]
+    for g in range(groups):
+        for a in range(routers):
+            for b in range(a + 1, routers):
+                edges.append((router(g, a), router(g, b)))
+    pair = 0
+    for g1 in range(groups):
+        for g2 in range(g1 + 1, groups):
+            edges.append((router(g1, pair % routers), router(g2, pair % routers)))
+            pair += 1
+    host_mask = np.zeros(num_nodes, dtype=bool)
+    host_mask[:num_hosts] = True
+    spec = format_spec("dragonfly", {"groups": groups, "routers": routers, "hosts": hosts})
+    return GeneralGraph(num_nodes, edges, host_mask, spec)
+
+
+@register_topology("random-regular")
+def random_regular(
+    switches: int = 16, degree: int = 4, hosts: int = 2, seed: int = 0
+) -> GeneralGraph:
+    """A random ``degree``-regular switch fabric with attached hosts.
+
+    The fabric is drawn by the pairing model (seeded, with rejection of
+    self-loops, parallel edges and disconnected draws — the Jellyfish
+    construction); each switch carries ``hosts`` hosts.  ``switches *
+    degree`` must be even and ``degree < switches``.
+    """
+    switches, degree, hosts = int(switches), int(degree), int(hosts)
+    if switches < 2 or degree < 1 or hosts < 1:
+        raise GraphError("random-regular needs switches >= 2, degree >= 1, hosts >= 1")
+    if (switches * degree) % 2:
+        raise GraphError("switches * degree must be even")
+    if degree >= switches:
+        raise GraphError("degree must be < switches")
+    num_hosts = switches * hosts
+    switch0 = num_hosts
+    num_nodes = num_hosts + switches
+    host_edges = [(h, switch0 + h // hosts) for h in range(num_hosts)]
+    rng = np.random.default_rng(seed)
+    fabric: list[tuple[int, int]] | None = None
+    for _ in range(500):
+        stubs = np.repeat(np.arange(switches), degree)
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        if (pairs[:, 0] == pairs[:, 1]).any():
+            continue
+        canon = {(int(min(u, v)), int(max(u, v))) for u, v in pairs}
+        if len(canon) != len(pairs):
+            continue  # parallel edge
+        trial = [(switch0 + u, switch0 + v) for u, v in sorted(canon)]
+        if _connected(num_nodes, host_edges + trial):
+            fabric = trial
+            break
+    if fabric is None:
+        raise GraphError(
+            f"no connected simple {degree}-regular graph on {switches} switches "
+            f"found for seed {seed}"
+        )
+    host_mask = np.zeros(num_nodes, dtype=bool)
+    host_mask[:num_hosts] = True
+    spec = format_spec(
+        "random-regular",
+        {"switches": switches, "degree": degree, "hosts": hosts, "seed": int(seed)},
+    )
+    return GeneralGraph(num_nodes, host_edges + fabric, host_mask, spec)

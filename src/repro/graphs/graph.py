@@ -1,0 +1,368 @@
+"""The general-graph topology layer: arbitrary fabrics beyond the XGFT.
+
+The paper's NCA-based schemes exist only on extended generalized fat
+trees; graph-general oblivious routing (Schapira & Shahaf, *Oblivious
+Routing via Random Walks*; Räcke & Schmid, *Compact Oblivious Routing*)
+works on any connected topology.  :class:`GeneralGraph` is the common
+substrate: an immutable undirected multigraph in CSR form whose *arcs*
+(directed edge instances) define a dense link index space that plugs
+straight into the existing contention census and fluid engines — the
+same ``num_directed_links`` / ``describe_link`` surface the
+:class:`~repro.topology.xgft.XGFT` exposes, so
+:func:`repro.contention.link_load.link_flow_counts`,
+:func:`repro.sim.network.flow_incidence` and both fluid backends run
+unchanged on graph route tables.
+
+Hosts are first-class nodes (so multi-homed hosts work), flagged by a
+boolean mask; leaf ids ``0..num_leaves`` enumerate the host nodes in
+node order, matching the leaf-id convention every pattern and workload
+generator already uses.
+
+:meth:`GeneralGraph.from_xgft` lowers any XGFT to its general graph
+and records the exact mapping between XGFT dense directed-link indices
+and graph arc indices — the bridge the adapter cross-validation suite
+uses to pin graph-routed link loads bit-for-bit against the paper's
+table machinery.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topology.xgft import XGFT
+
+__all__ = ["GeneralGraph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised when a graph is structurally invalid for its intended use."""
+
+
+class GeneralGraph:
+    """An undirected multigraph with a dense directed-arc index space.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` undirected edges over nodes
+        ``0..num_nodes``; parallel edges are allowed (each becomes its
+        own pair of arcs), self-loops are not.
+    host_mask:
+        Boolean per-node array; ``True`` marks a host (traffic
+        endpoint).  Leaf id ``h`` is the ``h``-th host in node order.
+    spec_str:
+        The canonical builder spec this graph answers :meth:`spec`
+        with — the identity used in run ids and artifacts.
+    capacities:
+        Optional per-*edge* capacity (both arcs of edge ``e`` inherit
+        ``capacities[e]``); defaults to 1.0 everywhere.
+
+    Arcs are numbered by (tail node, neighbor order): arc ``a`` is the
+    ``a``-th entry of the CSR ``indices`` array.  ``num_directed_links
+    == 2 * num_edges``.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]],
+        host_mask: Sequence[bool],
+        spec_str: str,
+        capacities: Sequence[float] | None = None,
+    ):
+        self.num_nodes = int(num_nodes)
+        edge_arr = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        self.host_mask = np.asarray(host_mask, dtype=bool)
+        if self.host_mask.shape != (self.num_nodes,):
+            raise GraphError(
+                f"host_mask must have shape ({self.num_nodes},), got {self.host_mask.shape}"
+            )
+        if len(edge_arr):
+            if edge_arr.min() < 0 or edge_arr.max() >= self.num_nodes:
+                raise GraphError("edge endpoint out of node range")
+            if (edge_arr[:, 0] == edge_arr[:, 1]).any():
+                raise GraphError("self-loops are not allowed")
+        self._spec = str(spec_str)
+        if capacities is None:
+            cap = np.ones(len(edge_arr), dtype=np.float64)
+        else:
+            cap = np.asarray(capacities, dtype=np.float64)
+            if cap.shape != (len(edge_arr),):
+                raise GraphError(
+                    f"capacities must have shape ({len(edge_arr)},), got {cap.shape}"
+                )
+            if len(cap) and cap.min() <= 0:
+                raise GraphError("edge capacities must be positive")
+        #: the undirected edge list, one row per cable
+        self.edges = edge_arr
+        # CSR over both arc directions.  Arcs sort by (tail, edge order):
+        # stable sort keeps parallel edges distinguishable and makes arc
+        # numbering a pure function of the edge list.
+        tails = np.concatenate((edge_arr[:, 0], edge_arr[:, 1]))
+        heads = np.concatenate((edge_arr[:, 1], edge_arr[:, 0]))
+        edge_of = np.concatenate(
+            (np.arange(len(edge_arr)), np.arange(len(edge_arr)))
+        ).astype(np.int64)
+        order = np.argsort(tails, kind="stable")
+        self.indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.add.at(self.indptr, tails + 1, 1)
+        np.cumsum(self.indptr, out=self.indptr)
+        #: head node of each arc
+        self.indices = heads[order]
+        #: undirected edge id of each arc
+        self.arc_edge = edge_of[order]
+        #: tail node of each arc (CSR row, materialized for vector code)
+        self.arc_tail = tails[order]
+        #: per-arc capacity (both directions of a cable share its rating)
+        self.capacity = cap[self.arc_edge]
+        # reverse-arc index: the arc (v -> u) paired with arc (u -> v).
+        # Two arcs pair iff they share the undirected edge id.
+        rev = np.empty(len(self.indices), dtype=np.int64)
+        by_edge = np.argsort(self.arc_edge, kind="stable").reshape(-1, 2)
+        rev[by_edge[:, 0]] = by_edge[:, 1]
+        rev[by_edge[:, 1]] = by_edge[:, 0]
+        self.arc_reverse = rev
+        #: node ids of the hosts, ascending; leaf id == position here
+        self.hosts = np.nonzero(self.host_mask)[0]
+        if len(self.hosts) == 0:
+            raise GraphError("a topology needs at least one host")
+        #: optional provenance: the XGFT this graph lowers (from_xgft)
+        self.xgft: "XGFT | None" = None
+        #: XGFT dense directed-link index -> arc index (from_xgft only)
+        self.xgft_link_map: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # The topology surface shared with XGFT
+    # ------------------------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        """Number of hosts (traffic endpoints)."""
+        return len(self.hosts)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected cables."""
+        return len(self.edges)
+
+    @property
+    def num_directed_links(self) -> int:
+        """Number of arcs — the dense link index space (``2 * num_edges``)."""
+        return len(self.indices)
+
+    @property
+    def num_switches(self) -> int:
+        """Number of non-host nodes."""
+        return self.num_nodes - self.num_leaves
+
+    def spec(self) -> str:
+        """The canonical builder spec (run-id / artifact identity)."""
+        return self._spec
+
+    def describe_link(self, index: int) -> tuple[str, int, int]:
+        """``("arc", tail, head)`` of a dense link index."""
+        if not 0 <= index < self.num_directed_links:
+            raise ValueError(f"arc index {index} out of range")
+        return ("arc", int(self.arc_tail[index]), int(self.indices[index]))
+
+    def host_node(self, leaf: int) -> int:
+        """The node id of leaf ``leaf``."""
+        if not 0 <= leaf < self.num_leaves:
+            raise ValueError(f"leaf {leaf} out of range [0, {self.num_leaves})")
+        return int(self.hosts[leaf])
+
+    @cached_property
+    def leaf_of_node(self) -> np.ndarray:
+        """Per-node leaf id (-1 on switches) — inverse of :attr:`hosts`."""
+        out = np.full(self.num_nodes, -1, dtype=np.int64)
+        out[self.hosts] = np.arange(self.num_leaves, dtype=np.int64)
+        return out
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> np.ndarray:
+        """Head nodes of the arcs leaving ``node`` (parallel edges repeat)."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def out_arcs(self, node: int) -> range:
+        """Arc indices leaving ``node``."""
+        return range(int(self.indptr[node]), int(self.indptr[node + 1]))
+
+    def degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def arc_between(self, tail: int, head: int) -> int:
+        """One arc ``tail -> head`` (the first on parallel edges).
+
+        Raises :class:`GraphError` when the nodes are not adjacent.
+        """
+        lo, hi = int(self.indptr[tail]), int(self.indptr[tail + 1])
+        hits = np.nonzero(self.indices[lo:hi] == head)[0]
+        if len(hits) == 0:
+            raise GraphError(f"nodes {tail} and {head} are not adjacent")
+        return lo + int(hits[0])
+
+    # ------------------------------------------------------------------
+    # Shortest paths (deterministic BFS; ties break by arc order)
+    # ------------------------------------------------------------------
+    def bfs_parents(
+        self, source: int, blocked: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized BFS tree from ``source``: ``(dist, parent_arc)``.
+
+        ``parent_arc[v]`` is the arc that first reached ``v`` (-1 at the
+        source and on unreachable nodes); ``dist`` is hop count (-1 when
+        unreachable).  Deterministic: the frontier expands in arc order.
+
+        ``blocked`` (boolean per-node mask) marks no-transit nodes: they
+        can be *reached* but never expanded, so every returned path has
+        blocked nodes only at its endpoints.  The source always expands.
+        """
+        dist = np.full(self.num_nodes, -1, dtype=np.int64)
+        parent_arc = np.full(self.num_nodes, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = np.asarray([source], dtype=np.int64)
+        d = 0
+        while len(frontier):
+            if blocked is not None and d > 0:
+                frontier = frontier[~blocked[frontier]]
+                if not len(frontier):
+                    break
+            starts = self.indptr[frontier]
+            counts = self.indptr[frontier + 1] - starts
+            arcs = np.repeat(starts, counts) + _ragged_arange(counts)
+            heads = self.indices[arcs]
+            fresh = dist[heads] == -1
+            arcs, heads = arcs[fresh], heads[fresh]
+            # first arc wins on simultaneous discovery (deterministic)
+            first = np.full(self.num_nodes, -1, dtype=np.int64)
+            first[heads[::-1]] = arcs[::-1]
+            d += 1
+            frontier = np.unique(heads)
+            dist[frontier] = d
+            parent_arc[frontier] = first[frontier]
+        return dist, parent_arc
+
+    def shortest_path_arcs(
+        self, source: int, target: int, parents: tuple[np.ndarray, np.ndarray] | None = None
+    ) -> list[int]:
+        """Arc sequence of one shortest ``source -> target`` path.
+
+        ``parents`` may pass a precomputed :meth:`bfs_parents` tree of
+        ``source``.  Raises :class:`GraphError` when disconnected.
+        """
+        dist, parent_arc = parents if parents is not None else self.bfs_parents(source)
+        if dist[target] < 0:
+            raise GraphError(f"nodes {source} and {target} are disconnected")
+        arcs: list[int] = []
+        node = target
+        while node != source:
+            arc = int(parent_arc[node])
+            arcs.append(arc)
+            node = int(self.arc_tail[arc])
+        arcs.reverse()
+        return arcs
+
+    @cached_property
+    def host_distances(self) -> np.ndarray:
+        """``(num_leaves, num_nodes)`` hop distances from every host."""
+        return np.stack([self.bfs_parents(int(h))[0] for h in self.hosts])
+
+    def is_connected(self) -> bool:
+        """True iff every node is reachable from the first host."""
+        dist, _ = self.bfs_parents(int(self.hosts[0]))
+        return bool((dist >= 0).all())
+
+    @cached_property
+    def diameter_bound(self) -> int:
+        """Eccentricity of the first host — a diameter lower bound
+        (and, doubled, an upper bound) used to size decomposition
+        hierarchies and walk caps."""
+        dist, _ = self.bfs_parents(int(self.hosts[0]))
+        reachable = dist[dist >= 0]
+        return int(reachable.max(initial=0))
+
+    # ------------------------------------------------------------------
+    # XGFT lowering
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_xgft(cls, topo: "XGFT") -> "GeneralGraph":
+        """Lower an XGFT to its general graph, keeping the link map.
+
+        Node numbering: the ``num_leaves`` level-0 hosts first (node id
+        == leaf id), then switches level by level.  Every XGFT cable
+        becomes one undirected edge; :attr:`xgft_link_map` maps each
+        XGFT dense directed-link index (up links then down links, per
+        :meth:`~repro.topology.xgft.XGFT.up_link_index`) to the graph
+        arc traversed in that direction, so per-link loads translate
+        index-for-index between the two machineries.
+        """
+        offsets = [0]
+        for level in range(topo.h + 1):
+            offsets.append(offsets[-1] + topo.num_nodes(level))
+        num_nodes = offsets[-1]
+        edges: list[tuple[int, int]] = []
+        up_links: list[int] = []  # XGFT up-link index per edge
+        for level in range(topo.h):
+            for node in range(topo.num_nodes(level)):
+                for port in range(topo.w[level]):
+                    parent = topo.up_neighbor(level, node, port)
+                    edges.append((offsets[level] + node, offsets[level + 1] + parent))
+                    up_links.append(topo.up_link_index(level, node, port))
+        host_mask = np.zeros(num_nodes, dtype=bool)
+        host_mask[: topo.num_leaves] = True
+        graph = cls(num_nodes, edges, host_mask, topo.spec())
+        # edge e carries XGFT up link up_links[e]; its two arcs are the
+        # up (lower -> upper) and down (upper -> lower) directions
+        link_map = np.empty(topo.num_directed_links, dtype=np.int64)
+        by_edge = np.argsort(graph.arc_edge, kind="stable").reshape(-1, 2)
+        edge_arr = graph.edges
+        up_arr = np.asarray(up_links, dtype=np.int64)
+        for e in range(len(edge_arr)):
+            a0, a1 = int(by_edge[e, 0]), int(by_edge[e, 1])
+            lower = int(edge_arr[e, 0])  # built lower-level-first above
+            up_arc = a0 if int(graph.arc_tail[a0]) == lower else a1
+            down_arc = a1 if up_arc == a0 else a0
+            link_map[up_arr[e]] = up_arc
+            link_map[topo.num_links_per_direction + up_arr[e]] = down_arc
+        graph.xgft = topo
+        graph.xgft_link_map = link_map
+        return graph
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GeneralGraph)
+            and self.num_nodes == other.num_nodes
+            and np.array_equal(self.edges, other.edges)
+            and np.array_equal(self.host_mask, other.host_mask)
+            and np.array_equal(self.capacity, other.capacity)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_nodes, self.num_edges, self._spec))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GeneralGraph({self._spec!r}: {self.num_nodes} nodes, "
+            f"{self.num_edges} edges, {self.num_leaves} hosts)"
+        )
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(c) for c in counts])`` without the loop.
+
+    Zero counts contribute nothing, matching ``np.repeat`` semantics so
+    the two expansions stay aligned element-for-element.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    segment_start = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.int64) - segment_start

@@ -1,0 +1,164 @@
+"""Path-based route tables for general graphs.
+
+The XGFT machinery encodes a route as a column of up-ports per level
+(:class:`repro.core.route.RouteTable`) — a representation that only
+makes sense under NCA routing on a fat tree.  General-graph schemes
+(random-walk, Räcke tree) emit arbitrary walks, so :class:`PathTable`
+stores each flow's route as an explicit **arc sequence** in ragged CSR
+form: ``arcs[offsets[f]:offsets[f+1]]`` is flow ``f``'s path from
+``host_node(src[f])`` to ``host_node(dst[f])``.
+
+The table exposes the same duck-typed surface the contention and fluid
+machinery consume from ``RouteTable`` — ``src``/``dst`` leaf ids,
+``flow_links()`` in COO form over ``topo.num_directed_links`` (= arc
+ids for a :class:`~repro.graphs.graph.GeneralGraph`), ``concat``,
+``take`` — so ``link_flow_counts``, ``max_network_contention``,
+``flow_incidence`` and the fluid engines run on it unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import GeneralGraph, GraphError, _ragged_arange
+
+__all__ = ["PathTable"]
+
+
+class PathTable:
+    """Struct-of-arrays path table over a :class:`GeneralGraph`.
+
+    Parameters
+    ----------
+    topo:
+        The graph the arc ids index into.
+    src, dst:
+        Per-flow endpoint **leaf** ids (``int64``, shape ``(F,)``).
+    offsets:
+        CSR offsets into ``arcs`` (``int64``, shape ``(F + 1,)``,
+        ``offsets[0] == 0``, non-decreasing).
+    arcs:
+        Concatenated per-flow arc paths (``int64``).
+    """
+
+    __slots__ = ("topo", "src", "dst", "offsets", "arcs")
+
+    def __init__(
+        self,
+        topo: GeneralGraph,
+        src: np.ndarray,
+        dst: np.ndarray,
+        offsets: np.ndarray,
+        arcs: np.ndarray,
+    ):
+        self.topo = topo
+        self.src = np.ascontiguousarray(src, dtype=np.int64)
+        self.dst = np.ascontiguousarray(dst, dtype=np.int64)
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.arcs = np.ascontiguousarray(arcs, dtype=np.int64)
+        flows = len(self.src)
+        if self.dst.shape != (flows,):
+            raise GraphError("src and dst must have the same length")
+        if self.offsets.shape != (flows + 1,):
+            raise GraphError(f"offsets must have shape ({flows + 1},)")
+        if self.offsets[0] != 0 or np.any(np.diff(self.offsets) < 0):
+            raise GraphError("offsets must start at 0 and be non-decreasing")
+        if self.offsets[-1] != len(self.arcs):
+            raise GraphError("offsets[-1] must equal len(arcs)")
+        if len(self.arcs) and (
+            self.arcs.min() < 0 or self.arcs.max() >= topo.num_directed_links
+        ):
+            raise GraphError("arc id out of range")
+
+    # -- size -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.src)
+
+    @property
+    def nbytes(self) -> int:
+        return self.src.nbytes + self.dst.nbytes + self.offsets.nbytes + self.arcs.nbytes
+
+    def hop_counts(self) -> np.ndarray:
+        """Per-flow path length in arcs, shape ``(F,)``."""
+        return np.diff(self.offsets)
+
+    # -- access ---------------------------------------------------------
+    def path_arcs(self, flow: int) -> np.ndarray:
+        """Flow ``flow``'s arc path (a view into ``arcs``)."""
+        return self.arcs[self.offsets[flow] : self.offsets[flow + 1]]
+
+    def path_nodes(self, flow: int) -> np.ndarray:
+        """Flow ``flow``'s node sequence, endpoints included."""
+        arcs = self.path_arcs(flow)
+        src_node = self.topo.host_node(int(self.src[flow]))
+        if len(arcs) == 0:
+            return np.array([src_node], dtype=np.int64)
+        heads = self.topo.indices[arcs]
+        return np.concatenate(([self.topo.arc_tail[arcs[0]]], heads))
+
+    def flow_links(self) -> tuple[np.ndarray, np.ndarray]:
+        """COO ``(flow_ids, link_ids)`` — every arc every flow crosses.
+
+        Same contract as ``RouteTable.flow_links``: one entry per
+        (flow, traversed arc), flow ids ascending.
+        """
+        flow_ids = np.repeat(np.arange(len(self), dtype=np.int64), self.hop_counts())
+        return flow_ids, self.arcs
+
+    # -- transforms -----------------------------------------------------
+    def take(self, idx: np.ndarray) -> "PathTable":
+        """A new table holding rows ``idx`` (gathered, copies)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        counts = self.hop_counts()[idx]
+        offsets = np.zeros(len(idx) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        pos = np.repeat(self.offsets[idx], counts) + _ragged_arange(counts)
+        return PathTable(self.topo, self.src[idx], self.dst[idx], offsets, self.arcs[pos])
+
+    def concat(self, other: "PathTable") -> "PathTable":
+        """Row-wise concatenation (same graph required)."""
+        if self.topo is not other.topo and self.topo != other.topo:
+            raise GraphError("cannot concat PathTables over different graphs")
+        offsets = np.concatenate((self.offsets, self.offsets[-1] + other.offsets[1:]))
+        return PathTable(
+            self.topo,
+            np.concatenate((self.src, other.src)),
+            np.concatenate((self.dst, other.dst)),
+            offsets,
+            np.concatenate((self.arcs, other.arcs)),
+        )
+
+    # -- validation -----------------------------------------------------
+    def validate(self) -> None:
+        """Check every row is a connected simple host→host walk.
+
+        Raises :class:`GraphError` on the first violation: a path that
+        does not start at ``host_node(src)`` or end at
+        ``host_node(dst)``, a broken arc chain, a repeated node (the
+        walk must be simple), or transit through a third host.
+        """
+        g = self.topo
+        host_set = set(int(h) for h in g.hosts)
+        for f in range(len(self)):
+            nodes = self.path_nodes(f)
+            src_node = g.host_node(int(self.src[f]))
+            dst_node = g.host_node(int(self.dst[f]))
+            if int(nodes[0]) != src_node:
+                raise GraphError(f"flow {f}: path starts at {nodes[0]}, not {src_node}")
+            if int(nodes[-1]) != dst_node:
+                raise GraphError(f"flow {f}: path ends at {nodes[-1]}, not {dst_node}")
+            arcs = self.path_arcs(f)
+            tails = g.arc_tail[arcs]
+            if len(arcs) and not np.array_equal(tails, nodes[:-1]):
+                raise GraphError(f"flow {f}: arc chain is broken")
+            if len(np.unique(nodes)) != len(nodes):
+                raise GraphError(f"flow {f}: walk revisits a node (not simple)")
+            interior = set(int(n) for n in nodes[1:-1]) if len(nodes) > 2 else set()
+            if interior & host_set:
+                raise GraphError(f"flow {f}: walk transits a host node")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PathTable({len(self)} flows, {len(self.arcs)} arc hops "
+            f"on {self.topo.spec()!r})"
+        )

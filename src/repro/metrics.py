@@ -298,6 +298,8 @@ def _max_network_contention(ctx: EvalContext):
 def _routes_per_nca(ctx: EvalContext):
     if not ctx.tables:
         return SKIPPED
+    if not hasattr(ctx.tables[0], "nca_level"):
+        return SKIPPED  # path tables (general graphs) have no NCA structure
     return [int(x) for x in routes_per_nca(ctx.merged_table())]
 
 

@@ -25,6 +25,7 @@ is what lets run identities round-trip through JSON artifacts.
 
 from __future__ import annotations
 
+from difflib import get_close_matches
 from typing import Callable, Generic, Iterator, TypeVar
 
 __all__ = [
@@ -96,8 +97,11 @@ class Registry(Generic[T]):
         try:
             return self._items[name]
         except KeyError:
+            close = get_close_matches(name, self.names(), n=3, cutoff=0.6)
+            hint = f" (did you mean {', '.join(repr(c) for c in close)}?)" if close else ""
             raise ValueError(
-                f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
+                f"unknown {self.kind} {name!r}{hint}; "
+                f"available: {', '.join(self.names())}"
             ) from None
 
     def names(self) -> tuple[str, ...]:

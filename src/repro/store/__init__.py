@@ -16,6 +16,8 @@ Two halves:
 
 from .artifact import (
     ArtifactStore,
+    EntryInfo,
+    GCReport,
     StoreFormatError,
     StoreKey,
     default_store_root,
@@ -28,7 +30,9 @@ __all__ = [
     "ArtifactStore",
     "CompactRouteTable",
     "ENCODINGS",
+    "EntryInfo",
     "FORMAT_VERSION",
+    "GCReport",
     "StoreFormatError",
     "StoreKey",
     "default_store_root",

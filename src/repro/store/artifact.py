@@ -59,6 +59,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 __all__ = [
     "ArtifactStore",
+    "EntryInfo",
+    "GCReport",
     "StoreKey",
     "StoreFormatError",
     "default_store_root",
@@ -314,8 +316,106 @@ class ArtifactStore:
             except (KeyError, ValueError, json.JSONDecodeError):  # pragma: no cover
                 continue  # foreign or corrupt directory: not an entry
 
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def entry_sizes(self) -> list[EntryInfo]:
+        """Size and last-access stats of every complete entry.
+
+        The access stamp is the newest ``st_atime`` across the entry's
+        files — ``open`` mmaps the payload ``.npy`` files, so serving an
+        entry refreshes it even on ``relatime`` mounts once a day.
+        """
+        out = []
+        if not self.root.is_dir():
+            return out
+        for meta_path in sorted(self.root.glob("*/meta.json")):
+            entry = meta_path.parent
+            nbytes = 0
+            atime = 0.0
+            for f in entry.iterdir():
+                try:
+                    st = f.stat()
+                except OSError:  # pragma: no cover - racing writer/GC
+                    continue
+                nbytes += st.st_size
+                atime = max(atime, st.st_atime)
+            out.append(EntryInfo(entry.name, nbytes, atime))
+        return out
+
+    def gc(self, max_bytes: int, dry_run: bool = False) -> "GCReport":
+        """Evict least-recently-used entries until the store fits.
+
+        Entries are removed oldest-access-first until the summed entry
+        size is at most ``max_bytes``.  With ``dry_run=True`` nothing is
+        deleted; the report lists what *would* go.  Hidden temp/aside
+        directories of in-flight writers are never touched, and eviction
+        is rename-aside-then-delete so concurrent readers either see a
+        complete entry or a clean miss.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        entries = self.entry_sizes()
+        total = sum(e.nbytes for e in entries)
+        evicted: list[EntryInfo] = []
+        excess = total - max_bytes
+        for info in sorted(entries, key=lambda e: (e.atime, e.digest)):
+            if excess <= 0:
+                break
+            evicted.append(info)
+            excess -= info.nbytes
+            if dry_run:
+                continue
+            entry = self.root / info.digest
+            aside = self.root / f".gc-{info.digest}-{os.getpid()}"
+            try:
+                os.rename(entry, aside)
+            except OSError:  # pragma: no cover - concurrent GC won
+                continue
+            shutil.rmtree(aside, ignore_errors=True)
+        reclaimed = sum(e.nbytes for e in evicted)
+        if _obs_active() and not dry_run and evicted:
+            _metrics.counter("store.gc_evictions").inc(len(evicted))
+            _log.info(
+                "store gc evicted %d entries (%d bytes) from %s",
+                len(evicted),
+                reclaimed,
+                self.root,
+            )
+        return GCReport(
+            scanned=len(entries),
+            total_bytes=total,
+            evicted=tuple(evicted),
+            reclaimed_bytes=reclaimed,
+            dry_run=dry_run,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArtifactStore({str(self.root)!r})"
+
+
+@dataclass(frozen=True)
+class EntryInfo:
+    """One complete entry as the garbage collector sees it."""
+
+    digest: str
+    nbytes: int
+    atime: float
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What :meth:`ArtifactStore.gc` scanned, kept and evicted."""
+
+    scanned: int
+    total_bytes: int
+    evicted: tuple[EntryInfo, ...]
+    reclaimed_bytes: int
+    dry_run: bool
+
+    @property
+    def kept_bytes(self) -> int:
+        return self.total_bytes - self.reclaimed_bytes
 
 
 # ----------------------------------------------------------------------

@@ -49,10 +49,21 @@ TOPOLOGIES.register("mary-complete-tree", mary_complete_tree)
 TOPOLOGIES.register("slimmed-two-level", slimmed_two_level)
 
 
-def resolve_topology(spec: str | XGFT) -> XGFT:
-    """Resolve a topology spec (string or live instance) to an :class:`XGFT`."""
+def resolve_topology(spec: str | XGFT):
+    """Resolve a topology spec (string or live instance) to a topology.
+
+    Returns an :class:`XGFT` for the paper's families, or whatever live
+    topology a registered builder produces — general-graph families
+    (``leafspine``, ``dragonfly``, ``random-regular``; see
+    :mod:`repro.graphs`) build a
+    :class:`~repro.graphs.graph.GeneralGraph`.  Live topology instances
+    (anything exposing the ``num_leaves`` / ``num_directed_links`` /
+    ``spec()`` surface) pass through unchanged.
+    """
     if isinstance(spec, XGFT):
         return spec
+    if not isinstance(spec, str) and hasattr(spec, "num_directed_links"):
+        return spec  # a live non-XGFT topology (e.g. graphs.GeneralGraph)
     text = str(spec).strip()
     lowered = text.lower()
     if lowered.startswith("xgft("):

@@ -303,11 +303,9 @@ class DynamicDriver:
             idx = self._rows[src * n + dst]
             kept = idx >= 0
             idx = idx[kept]
-            full = self._full
-            table = RouteTable(
-                self.topo, full.src[idx], full.dst[idx], full.nca_level[idx], full.ports[idx]
-            )
-            return table, kept
+            # take() keeps this path table-representation-agnostic:
+            # XGFT port tables and graph path tables subset identically
+            return self._full.take(idx), kept
         table = self.algorithm.build_table(list(zip(src.tolist(), dst.tolist())))
         if self.degraded is not None:
             from ..faults import repair_table

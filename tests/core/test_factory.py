@@ -31,8 +31,11 @@ class TestFactory:
     def test_make_each(self, topo):
         for name in available_algorithms():
             alg = make_algorithm(name, topo, seed=1)
-            route = alg.route(0, 5)
-            route.validate(topo)
+            if hasattr(alg, "pair_arcs"):
+                # path-emitting graph schemes route arcs, not port digits
+                alg.build_table([(0, 5)]).validate()
+            else:
+                alg.route(0, 5).validate(topo)
 
     def test_unknown_name(self, topo):
         with pytest.raises(ValueError, match="unknown algorithm"):

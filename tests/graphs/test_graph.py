@@ -1,0 +1,245 @@
+"""GeneralGraph structure, BFS, XGFT lowering and the registered builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contention.link_load import link_flow_counts
+from repro.core.factory import make_algorithm
+from repro.graphs import GeneralGraph, GraphError, dragonfly, leafspine, random_regular
+from repro.topology import XGFT
+from repro.topology.registry import resolve_topology
+
+
+def triangle() -> GeneralGraph:
+    """Two hosts (0, 1) on a 3-switch triangle (2, 3, 4)."""
+    edges = [(0, 2), (1, 3), (2, 3), (3, 4), (4, 2)]
+    return GeneralGraph(5, edges, [True, True, False, False, False], "tri()")
+
+
+class TestGeneralGraph:
+    def test_basic_counts(self):
+        g = triangle()
+        assert g.num_nodes == 5
+        assert g.num_leaves == 2
+        assert g.num_switches == 3
+        assert g.num_edges == 5
+        assert g.num_directed_links == 10
+        assert g.spec() == "tri()"
+
+    def test_arc_reverse_is_an_involution(self):
+        g = triangle()
+        rev = g.arc_reverse
+        assert np.array_equal(rev[rev], np.arange(g.num_directed_links))
+        # reversed arcs swap tail and head
+        assert np.array_equal(g.arc_tail[rev], g.indices)
+        assert np.array_equal(g.indices[rev], g.arc_tail)
+
+    def test_arcs_group_by_tail(self):
+        g = triangle()
+        for node in range(g.num_nodes):
+            for arc in g.out_arcs(node):
+                assert g.arc_tail[arc] == node
+        assert sorted(g.neighbors(3).tolist()) == [1, 2, 4]
+
+    def test_describe_link(self):
+        g = triangle()
+        kind, tail, head = g.describe_link(0)
+        assert kind == "arc"
+        assert (tail, head) == (0, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            g.describe_link(10)
+
+    def test_host_leaf_mapping(self):
+        g = triangle()
+        assert g.host_node(0) == 0
+        assert g.host_node(1) == 1
+        assert g.leaf_of_node[0] == 0
+        assert g.leaf_of_node[2] == -1
+        with pytest.raises(ValueError, match="out of range"):
+            g.host_node(2)
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(GraphError, match="self-loops"):
+            GeneralGraph(2, [(1, 1)], [True, False], "bad()")
+
+    def test_endpoint_range_checked(self):
+        with pytest.raises(GraphError, match="out of node range"):
+            GeneralGraph(2, [(0, 5)], [True, False], "bad()")
+
+    def test_needs_a_host(self):
+        with pytest.raises(GraphError, match="at least one host"):
+            GeneralGraph(2, [(0, 1)], [False, False], "bad()")
+
+    def test_capacities_map_to_both_arcs(self):
+        g = GeneralGraph(
+            3, [(0, 1), (1, 2)], [True, False, True], "cap()", capacities=[2.0, 3.0]
+        )
+        assert np.array_equal(np.sort(np.unique(g.capacity)), [2.0, 3.0])
+        for arc in range(g.num_directed_links):
+            assert g.capacity[arc] == g.capacity[g.arc_reverse[arc]]
+        with pytest.raises(GraphError, match="positive"):
+            GeneralGraph(3, [(0, 1), (1, 2)], [True, False, True], "c()", capacities=[1, 0])
+
+    def test_parallel_edges_stay_distinct(self):
+        g = GeneralGraph(2, [(0, 1), (0, 1)], [True, False], "par()")
+        assert g.num_directed_links == 4
+        assert np.array_equal(np.sort(g.arc_edge), [0, 0, 1, 1])
+        rev = g.arc_reverse
+        assert np.array_equal(g.arc_edge, g.arc_edge[rev])
+
+
+class TestBFS:
+    def test_distances_on_triangle(self):
+        g = triangle()
+        dist, parent = g.bfs_parents(0)
+        assert dist[0] == 0
+        assert dist[2] == 1
+        assert dist[3] == 2
+        assert dist[1] == 3
+        assert parent[0] == -1
+
+    def test_deterministic(self):
+        g = random_regular(switches=8, degree=4, hosts=2, seed=5)
+        a = g.bfs_parents(0)
+        b = g.bfs_parents(0)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_shortest_path_arcs_form_a_chain(self):
+        g = triangle()
+        arcs = g.shortest_path_arcs(0, 1)
+        assert g.arc_tail[arcs[0]] == 0
+        assert g.indices[arcs[-1]] == 1
+        for first, second in zip(arcs, arcs[1:]):
+            assert g.indices[first] == g.arc_tail[second]
+        assert len(arcs) == 3
+
+    def test_disconnected_raises(self):
+        g = GeneralGraph(4, [(0, 1), (2, 3)], [True, False, False, True], "split()")
+        with pytest.raises(GraphError, match="disconnected"):
+            g.shortest_path_arcs(0, 3)
+        assert not g.is_connected()
+
+    def test_blocked_nodes_are_reached_but_not_expanded(self):
+        # 0 - 1 - 2 with node 1 blocked: 2 is unreachable, 1 still reached
+        g = GeneralGraph(3, [(0, 1), (1, 2)], [True, False, True], "line()")
+        blocked = np.array([False, True, False])
+        dist, _ = g.bfs_parents(0, blocked=blocked)
+        assert dist[1] == 1
+        assert dist[2] == -1
+
+    def test_blocked_source_still_expands(self):
+        g = GeneralGraph(3, [(0, 1), (1, 2)], [True, False, True], "line()")
+        blocked = np.array([True, False, True])
+        dist, _ = g.bfs_parents(0, blocked=blocked)
+        assert dist[2] == 2
+
+    def test_host_distances_matrix(self):
+        g = triangle()
+        d = g.host_distances
+        assert d.shape == (2, 5)
+        assert d[0, 0] == 0 and d[0, 1] == 3
+        assert d[1, 1] == 0 and d[1, 0] == 3
+
+
+class TestFromXGFT:
+    @pytest.mark.parametrize("spec", ["XGFT(2;4,4;1,2)", "XGFT(2;8,8;1,4)", "XGFT(1;4;2)"])
+    def test_counts_and_link_map(self, spec):
+        topo = resolve_topology(spec)
+        g = GeneralGraph.from_xgft(topo)
+        assert g.num_leaves == topo.num_leaves
+        assert g.num_directed_links == topo.num_directed_links
+        assert g.spec() == topo.spec()
+        assert g.xgft is topo
+        # the link map is a bijection between index spaces
+        assert np.array_equal(
+            np.sort(g.xgft_link_map), np.arange(g.num_directed_links)
+        )
+
+    def test_up_and_down_map_to_reversed_arcs(self):
+        topo = resolve_topology("XGFT(2;4,4;1,2)")
+        g = GeneralGraph.from_xgft(topo)
+        half = topo.num_links_per_direction
+        up, down = g.xgft_link_map[:half], g.xgft_link_map[half:]
+        assert np.array_equal(g.arc_reverse[up], down)
+
+    def test_link_loads_translate_index_for_index(self):
+        topo = resolve_topology("XGFT(2;4,4;1,2)")
+        g = GeneralGraph.from_xgft(topo)
+        alg = make_algorithm("d-mod-k", topo)
+        pairs = [(s, d) for s in range(8) for d in range(8) if s != d]
+        loads = link_flow_counts(alg.build_table(pairs))
+        # hand-census the same routes as arc traversals on the graph
+        arc_loads = np.zeros(g.num_directed_links, dtype=np.int64)
+        for s, d in pairs:
+            for link in alg.route(s, d).links(topo):
+                arc_loads[g.xgft_link_map[link]] += 1
+        assert np.array_equal(arc_loads[g.xgft_link_map], loads)
+
+
+class TestBuilders:
+    def test_leafspine_shape(self):
+        g = leafspine(leaves=4, spines=2, hosts=3)
+        assert g.num_leaves == 12
+        assert g.num_switches == 6
+        assert g.num_edges == 12 + 4 * 2
+        assert g.is_connected()
+        assert g.spec() == "leafspine(fail=0,hosts=3,leaves=4,seed=0,spines=2)"
+
+    def test_leafspine_fail_removes_exactly_k_and_stays_connected(self):
+        pristine = leafspine(leaves=8, spines=4, hosts=2)
+        failed = leafspine(leaves=8, spines=4, hosts=2, fail=5, seed=7)
+        assert failed.num_edges == pristine.num_edges - 5
+        assert failed.is_connected()
+
+    def test_leafspine_fail_is_seed_deterministic(self):
+        a = leafspine(leaves=8, spines=4, hosts=2, fail=3, seed=1)
+        b = leafspine(leaves=8, spines=4, hosts=2, fail=3, seed=1)
+        c = leafspine(leaves=8, spines=4, hosts=2, fail=3, seed=2)
+        assert np.array_equal(a.edges, b.edges)
+        assert not np.array_equal(a.edges, c.edges)
+
+    def test_leafspine_cannot_fail_everything(self):
+        with pytest.raises(GraphError, match="cannot fail"):
+            leafspine(leaves=2, spines=2, hosts=1, fail=4)
+        with pytest.raises(GraphError, match="keep the fabric connected"):
+            leafspine(leaves=2, spines=2, hosts=1, fail=3)
+
+    def test_dragonfly_shape(self):
+        g = dragonfly(groups=3, routers=4, hosts=2)
+        assert g.num_leaves == 24
+        assert g.num_switches == 12
+        intra = 3 * (4 * 3 // 2)
+        global_links = 3 * 2 // 2
+        assert g.num_edges == 24 + intra + global_links
+        assert g.is_connected()
+
+    def test_random_regular_is_regular_and_connected(self):
+        g = random_regular(switches=10, degree=3, hosts=2, seed=0)
+        assert g.is_connected()
+        switches = np.nonzero(~g.host_mask)[0]
+        for v in switches:
+            # degree = fabric degree + attached hosts
+            assert g.degree(int(v)) == 3 + 2
+
+    def test_random_regular_rejects_bad_parameters(self):
+        with pytest.raises(GraphError, match="must be even"):
+            random_regular(switches=5, degree=3)
+        with pytest.raises(GraphError, match="degree must be"):
+            random_regular(switches=4, degree=4)
+
+    def test_builders_resolve_through_the_registry(self):
+        g = resolve_topology("leafspine(leaves=4,spines=2,hosts=2)")
+        assert isinstance(g, GeneralGraph)
+        # the canonical spec round-trips to an equal graph
+        again = resolve_topology(g.spec())
+        assert again == g
+
+    def test_live_graph_passes_through_resolve(self):
+        g = leafspine(leaves=2, spines=2, hosts=1)
+        assert resolve_topology(g) is g
+
+    def test_xgft_still_resolves(self):
+        assert isinstance(resolve_topology("XGFT(2;4,4;1,2)"), XGFT)

@@ -1,0 +1,101 @@
+"""Hypothesis properties of the graph routing subsystem.
+
+Three invariant families the issue pins:
+
+* every emitted path is a connected **simple** src -> dst walk that
+  never transits a third host (:meth:`PathTable.validate`);
+* **load conservation** — the per-arc load census sums to the total
+  hop count of the table, under any subset/concat shuffling;
+* **seeded determinism** — random-walk routes are a pure function of
+  ``(seed, src, dst)``, independent of batch composition and order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import RackeTreeRouting, RandomWalkRouting, arc_loads
+from repro.topology.registry import resolve_topology
+
+TOPOLOGY_POOL = (
+    "XGFT(2;4,4;1,2)",
+    "leafspine(leaves=4,spines=2,hosts=2)",
+    "leafspine(leaves=4,spines=3,hosts=2,fail=2,seed=1)",
+    "dragonfly(groups=3,routers=2,hosts=1)",
+    "random-regular(switches=8,degree=4,hosts=1,seed=3)",
+)
+
+SCHEMES = (RandomWalkRouting, RackeTreeRouting)
+
+# live graphs are immutable; resolve each spec once for the whole run
+_CACHE = {spec: resolve_topology(spec) for spec in TOPOLOGY_POOL}
+
+
+@st.composite
+def routed_table(draw):
+    """A scheme instance and a routed batch of random pairs."""
+    topo = _CACHE[draw(st.sampled_from(TOPOLOGY_POOL))]
+    scheme = draw(st.sampled_from(SCHEMES))
+    seed = draw(st.integers(0, 3))
+    n = topo.num_leaves
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    alg = scheme(topo, seed=seed)
+    return alg, pairs, alg.build_table(pairs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(routed_table())
+def test_paths_are_connected_simple_walks(routed):
+    _, pairs, table = routed
+    table.validate()
+    assert table.src.tolist() == [p[0] for p in pairs]
+    assert table.dst.tolist() == [p[1] for p in pairs]
+
+
+@settings(max_examples=40, deadline=None)
+@given(routed_table())
+def test_load_conservation(routed):
+    """sum(per-arc loads) == sum(per-flow hop counts), always."""
+    _, _, table = routed
+    loads = arc_loads(table)
+    assert loads.sum() == table.hop_counts().sum()
+    # and the census is stable under row-subset gathering
+    idx = np.arange(len(table))[::2]
+    sub = table.take(idx)
+    assert arc_loads(sub).sum() == sub.hop_counts().sum()
+
+
+@settings(max_examples=40, deadline=None)
+@given(routed_table(), st.randoms(use_true_random=False))
+def test_batch_composition_cannot_change_a_route(routed, shuffler):
+    """Routes are per-(seed, src, dst): any batch yields the same path."""
+    alg, pairs, table = routed
+    reordered = list(pairs)
+    shuffler.shuffle(reordered)
+    again = alg.build_table(reordered)
+    position = {pair: i for i, pair in enumerate(pairs)}
+    for row, pair in enumerate(reordered):
+        assert np.array_equal(
+            again.path_arcs(row), table.path_arcs(position[pair])
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(TOPOLOGY_POOL), st.integers(0, 5))
+def test_random_walk_fresh_instance_determinism(spec, seed):
+    """Two independent instances with one seed route identically."""
+    topo = _CACHE[spec]
+    n = topo.num_leaves
+    pairs = [(s, (s + 1) % n) for s in range(n)]
+    a = RandomWalkRouting(topo, seed=seed).build_table(pairs)
+    b = RandomWalkRouting(topo, seed=seed).build_table(pairs)
+    assert np.array_equal(a.offsets, b.offsets)
+    assert np.array_equal(a.arcs, b.arcs)

@@ -1,0 +1,133 @@
+"""PathTable: CSR invariants, transforms and walk validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import GeneralGraph, GraphError, PathTable
+
+
+def line_graph() -> GeneralGraph:
+    """Hosts 0 and 3 on a 0-1-2-3 line (1, 2 are switches)."""
+    return GeneralGraph(
+        4, [(0, 1), (1, 2), (2, 3)], [True, False, False, True], "line4()"
+    )
+
+
+def table_over(g: GeneralGraph, rows: list[tuple[int, int, list[int]]]) -> PathTable:
+    src = np.array([r[0] for r in rows], dtype=np.int64)
+    dst = np.array([r[1] for r in rows], dtype=np.int64)
+    counts = np.array([len(r[2]) for r in rows], dtype=np.int64)
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    arcs = np.array([a for r in rows for a in r[2]], dtype=np.int64)
+    return PathTable(g, src, dst, offsets, arcs)
+
+
+@pytest.fixture
+def simple_table() -> PathTable:
+    g = line_graph()
+    forward = g.shortest_path_arcs(0, 3)
+    backward = g.shortest_path_arcs(3, 0)
+    return table_over(g, [(0, 1, forward), (1, 0, backward), (0, 0, [])])
+
+
+class TestConstruction:
+    def test_len_and_hops(self, simple_table):
+        assert len(simple_table) == 3
+        assert simple_table.hop_counts().tolist() == [3, 3, 0]
+        assert simple_table.nbytes > 0
+
+    def test_offsets_must_cover_arcs(self):
+        g = line_graph()
+        with pytest.raises(GraphError, match="offsets\\[-1\\]"):
+            PathTable(g, [0], [1], [0, 2], [0])
+        with pytest.raises(GraphError, match="non-decreasing"):
+            PathTable(g, [0, 1], [1, 0], [0, 2, 1], [0, 1])
+        with pytest.raises(GraphError, match="shape"):
+            PathTable(g, [0], [1], [0], [])
+
+    def test_arc_range_checked(self):
+        g = line_graph()
+        with pytest.raises(GraphError, match="arc id out of range"):
+            PathTable(g, [0], [1], [0, 1], [99])
+
+
+class TestAccess:
+    def test_path_nodes_includes_endpoints(self, simple_table):
+        nodes = simple_table.path_nodes(0)
+        assert nodes.tolist() == [0, 1, 2, 3]
+        # the empty self-flow reports just its source host
+        assert simple_table.path_nodes(2).tolist() == [0]
+
+    def test_flow_links_coo(self, simple_table):
+        flow_ids, link_ids = simple_table.flow_links()
+        assert flow_ids.tolist() == [0, 0, 0, 1, 1, 1]
+        assert len(link_ids) == 6
+        assert np.array_equal(link_ids, simple_table.arcs)
+
+
+class TestTransforms:
+    def test_take_reorders_rows(self, simple_table):
+        sub = simple_table.take([1, 0])
+        assert sub.src.tolist() == [1, 0]
+        assert np.array_equal(sub.path_arcs(0), simple_table.path_arcs(1))
+        assert np.array_equal(sub.path_arcs(1), simple_table.path_arcs(0))
+        sub.validate()
+
+    def test_take_empty(self, simple_table):
+        sub = simple_table.take(np.array([], dtype=np.int64))
+        assert len(sub) == 0
+        assert len(sub.arcs) == 0
+
+    def test_concat(self, simple_table):
+        both = simple_table.concat(simple_table)
+        assert len(both) == 6
+        assert np.array_equal(both.path_arcs(3), simple_table.path_arcs(0))
+        both.validate()
+
+    def test_concat_rejects_different_graphs(self, simple_table):
+        other = GeneralGraph(2, [(0, 1)], [True, True], "pair()")
+        table = table_over(other, [(0, 1, [0])])
+        with pytest.raises(GraphError, match="different graphs"):
+            simple_table.concat(table)
+
+
+class TestValidate:
+    def test_valid_table_passes(self, simple_table):
+        simple_table.validate()
+
+    def test_wrong_start_detected(self):
+        g = line_graph()
+        back = g.shortest_path_arcs(3, 0)
+        with pytest.raises(GraphError, match="starts at"):
+            table_over(g, [(0, 1, back)]).validate()
+
+    def test_wrong_end_detected(self):
+        g = line_graph()
+        partial = g.shortest_path_arcs(0, 3)[:-1]
+        with pytest.raises(GraphError, match="ends at"):
+            table_over(g, [(0, 1, partial)]).validate()
+
+    def test_broken_chain_detected(self):
+        g = line_graph()
+        arcs = g.shortest_path_arcs(0, 3)
+        arcs[1] = int(g.arc_reverse[arcs[1]])  # flip a middle arc
+        with pytest.raises(GraphError, match="broken|revisits|ends at"):
+            table_over(g, [(0, 1, arcs)]).validate()
+
+    def test_revisit_detected(self):
+        g = line_graph()
+        a01 = g.arc_between(0, 1)
+        a10 = int(g.arc_reverse[a01])
+        arcs = [a01, a10, a01] + g.shortest_path_arcs(0, 3)[1:]
+        with pytest.raises(GraphError, match="revisits"):
+            table_over(g, [(0, 1, arcs)]).validate()
+
+    def test_host_transit_detected(self):
+        # hosts 0, 1, 2 on a line 0-1-2: routing 0->2 transits host 1
+        g = GeneralGraph(3, [(0, 1), (1, 2)], [True, True, True], "line3()")
+        arcs = [g.arc_between(0, 1), g.arc_between(1, 2)]
+        with pytest.raises(GraphError, match="transits a host"):
+            table_over(g, [(0, 2, arcs)]).validate()

@@ -21,11 +21,17 @@ def assert_tables_equal(a: RouteTable, b: RouteTable) -> None:
     assert np.array_equal(a.ports, b.ports)
 
 
+# graph schemes emit PathTables, which have no compact port encoding
+PORT_TABLE_ALGORITHMS = sorted(
+    name for name in ALGORITHMS if not getattr(ALGORITHMS.get(name), "emits_paths", False)
+)
+
+
 class TestRoundTrip:
     @settings(max_examples=40, deadline=None)
     @given(
         topo=xgft_examples(max_h=2),
-        algorithm=st.sampled_from(sorted(ALGORITHMS)),
+        algorithm=st.sampled_from(PORT_TABLE_ALGORITHMS),
         seed=st.integers(0, 3),
     )
     def test_bit_exact_for_every_registered_algorithm(self, topo, algorithm, seed):

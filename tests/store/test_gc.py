@@ -1,0 +1,112 @@
+"""ArtifactStore garbage collection: LRU eviction under a byte budget."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.store import ArtifactStore, StoreKey, open_table
+
+SPECS = [
+    ("XGFT(2;4,4;1,2)", "d-mod-k"),
+    ("XGFT(2;4,4;1,2)", "s-mod-k"),
+    ("XGFT(2;8,8;1,4)", "d-mod-k"),
+]
+
+
+@pytest.fixture
+def populated(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    for i, (topo, alg) in enumerate(SPECS):
+        open_table(topo, alg, store=store)
+        key = StoreKey.make(topo, alg)
+        # spread access stamps so LRU order is unambiguous regardless
+        # of filesystem atime granularity
+        stamp = 1_000_000 + i * 1000
+        for f in store.entry_dir(key).iterdir():
+            os.utime(f, (stamp, stamp))
+    return store
+
+
+class TestEntrySizes:
+    def test_reports_every_complete_entry(self, populated):
+        infos = populated.entry_sizes()
+        assert len(infos) == 3
+        assert all(info.nbytes > 0 for info in infos)
+        digests = {key.digest for key in populated.keys()}
+        assert {info.digest for info in infos} == digests
+
+    def test_empty_store(self, tmp_path):
+        assert ArtifactStore(tmp_path / "missing").entry_sizes() == []
+
+    def test_ignores_incomplete_entries(self, populated):
+        # a writer's hidden temp dir is not an entry
+        tmp = populated.root / ".tmp-deadbeef-1-aa"
+        tmp.mkdir()
+        (tmp / "col0.npy").write_bytes(b"x" * 4096)
+        assert len(populated.entry_sizes()) == 3
+
+
+class TestGC:
+    def test_under_budget_evicts_nothing(self, populated):
+        report = populated.gc(max_bytes=10**9)
+        assert report.evicted == ()
+        assert report.scanned == 3
+        assert report.reclaimed_bytes == 0
+        assert len(list(populated.keys())) == 3
+
+    def test_zero_budget_evicts_everything(self, populated):
+        report = populated.gc(max_bytes=0)
+        assert len(report.evicted) == 3
+        assert report.kept_bytes == 0
+        assert list(populated.keys()) == []
+
+    def test_evicts_least_recently_used_first(self, populated):
+        infos = populated.entry_sizes()
+        total = sum(i.nbytes for i in infos)
+        oldest = min(infos, key=lambda i: (i.atime, i.digest))
+        report = populated.gc(max_bytes=total - 1)
+        assert [i.digest for i in report.evicted] == [oldest.digest]
+        assert not (populated.root / oldest.digest).exists()
+        # the survivors still open
+        assert len(list(populated.keys())) == 2
+
+    def test_recent_access_protects_an_entry(self, populated):
+        infos = populated.entry_sizes()
+        oldest = min(infos, key=lambda i: (i.atime, i.digest))
+        now = time.time()
+        for f in (populated.root / oldest.digest).iterdir():
+            os.utime(f, (now, now))
+        report = populated.gc(max_bytes=sum(i.nbytes for i in infos) - 1)
+        assert oldest.digest not in [i.digest for i in report.evicted]
+
+    def test_dry_run_deletes_nothing(self, populated):
+        report = populated.gc(max_bytes=0, dry_run=True)
+        assert report.dry_run
+        assert len(report.evicted) == 3
+        assert report.reclaimed_bytes == report.total_bytes
+        # stat-only survival check: keys() *reads* meta.json, which would
+        # refresh every entry's atime (that is the LRU working as intended)
+        # and scramble the order the real run is about to be compared with
+        assert len(populated.entry_sizes()) == 3
+        # a later real run evicts exactly what the dry run predicted
+        real = populated.gc(max_bytes=0)
+        assert [i.digest for i in real.evicted] == [i.digest for i in report.evicted]
+        assert list(populated.keys()) == []
+
+    def test_in_flight_temp_dirs_survive(self, populated):
+        tmp = populated.root / ".tmp-deadbeef-1-aa"
+        tmp.mkdir()
+        (tmp / "col0.npy").write_bytes(b"x" * 64)
+        populated.gc(max_bytes=0)
+        assert tmp.is_dir()
+
+    def test_negative_budget_rejected(self, populated):
+        with pytest.raises(ValueError, match="non-negative"):
+            populated.gc(max_bytes=-1)
+
+    def test_report_arithmetic(self, populated):
+        report = populated.gc(max_bytes=0, dry_run=True)
+        assert report.kept_bytes == report.total_bytes - report.reclaimed_bytes

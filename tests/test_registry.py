@@ -138,6 +138,41 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown widget 'gamma'.*alpha, beta"):
             reg.get("gamma")
 
+    def test_unknown_name_suggests_close_matches(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(ValueError, match="did you mean 'alpha'"):
+            reg.get("alpah")
+        with pytest.raises(ValueError, match="did you mean 'beta'"):
+            reg.get("betta")
+
+    def test_distant_typos_get_no_suggestion(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        try:
+            reg.get("zzzzzz")
+        except ValueError as err:
+            assert "did you mean" not in str(err)
+
+    def test_suggestions_across_live_registries(self):
+        from repro.core.factory import ALGORITHMS
+        from repro.metrics import METRICS
+        from repro.patterns.registry import PATTERNS
+        from repro.topology.registry import TOPOLOGIES
+        from repro.workloads import WORKLOADS
+
+        cases = [
+            (ALGORITHMS, "d-mod-j", "d-mod-k"),
+            (TOPOLOGIES, "leafspin", "leafspine"),
+            (PATTERNS, "trnspose", "transpose"),
+            (WORKLOADS, "posson", "poisson"),
+            (METRICS, "max_link_laod", "max_link_load"),
+        ]
+        for registry, typo, expected in cases:
+            with pytest.raises(ValueError, match=f"did you mean.*{expected}"):
+                registry.get(typo)
+
     def test_unregister(self):
         reg = Registry("widget")
         reg.register("a", 1)
