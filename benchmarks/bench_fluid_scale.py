@@ -1,9 +1,10 @@
 """Fluid-engine scaling benchmark (the reduced grid of ``repro scale``).
 
 Runs the smoke preset of :mod:`repro.experiments.scale` under
-pytest-benchmark timing, asserts the vectorized engine's speedup and
-the scalar/vectorized equivalence, and records the rendered curve to
-``benchmarks/results/``.  The committed repository-root
+pytest-benchmark timing, asserts both vectorized engines' speedups
+over the scalar baseline and the cross-engine equivalence (phase
+rate agreement plus dynamic-cell FCT agreement), and records the
+rendered curve to ``benchmarks/results/``.  The committed repository-root
 ``BENCH_fluid.json`` holds the *full* preset (10k+ flows, frontier
 topologies); refresh it with ``repro scale --preset full -o
 BENCH_fluid.json`` — see ``docs/performance.md``.

@@ -430,7 +430,16 @@ def build_parser() -> argparse.ArgumentParser:
     psc.add_argument(
         "--check",
         action="store_true",
-        help="nonzero exit if scalar and vectorized sim times disagree",
+        help="nonzero exit if paired engines disagree (phase sim times, "
+        "dynamic FCT statistics)",
+    )
+    psc.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FLOORS.json",
+        help="nonzero exit if the run violates a committed floors "
+        "document (telemetry presence/magnitude gate)",
     )
     psc.add_argument(
         "--output", "-o", type=Path, default=None, help="write the BENCH_fluid JSON document"
@@ -901,13 +910,21 @@ def _cmd_scale(args: argparse.Namespace) -> int:
             # check_agreement itself flags an empty pairing (a gate that
             # compared nothing must not pass); label the two failure
             # modes the way CI logs grep for them
-            if not data["speedups"]:
+            if not data["speedups"] and not data.get("dynamic_pairs"):
                 print(f"CHECK INEFFECTIVE: {problems[0]}", file=sys.stderr)
             else:
                 for problem in problems:
                     print(f"DISAGREEMENT: {problem}", file=sys.stderr)
             return 1
-        print("scalar and vectorized engines agree on every paired grid cell")
+        print("paired engines agree on every shared grid cell")
+    if args.baseline is not None:
+        floors = experiments.load_floors(args.baseline)
+        violations = experiments.check_floors(data, floors)
+        if violations:
+            for violation in violations:
+                print(f"FLOOR: {violation}", file=sys.stderr)
+            return 1
+        print(f"all floors in {args.baseline} hold")
     return 0
 
 

@@ -1,21 +1,31 @@
 """The fluid-engine scaling benchmark (``repro scale`` / ``BENCH_fluid.json``).
 
-Times the registered fluid backends — the scalar ``fluid`` reference
-and the vectorized ``fluid-vec`` default — on one contended
-bulk-synchronous phase of ``N`` uniformly random flows over an XGFT,
-across a (topology × flow-count) grid.  The committed
-``BENCH_fluid.json`` at the repository root is the perf trajectory the
-ROADMAP's "fast as the hardware allows" north star is measured against;
-``benchmarks/bench_fluid_scale.py`` runs a reduced grid of the same
-harness under pytest, and CI regenerates that reduced grid on every
-push (agreement-checked, artifact uploaded).
+Times the registered fluid backends — the scalar ``fluid`` reference,
+the vectorized ``fluid-vec`` default, and the incremental
+``fluid-vec-inc`` — across two kinds of grid cell:
 
-Beyond wall time, every scalar/vectorized row pair is an *equivalence
-check*: the max-min allocation is unique, so the two engines must
-agree on the simulated phase time to float precision
-(:func:`check_agreement`), and the grid extends past the scalar
-engine's feasibility horizon (``scalar_cap``) into vectorized-only
-territory — the configurations the paper's evaluation could not reach.
+* *phase* cells: one contended bulk-synchronous phase of ``N``
+  uniformly random flows over an XGFT, across a (topology ×
+  flow-count × size-mode) grid — the historical BENCH_fluid shape;
+* *dynamic* cells: a full open-loop arrival stream driven through
+  :class:`repro.workloads.DynamicDriver` — the regime the incremental
+  engine exists for, where per-event refill work (links/flows touched)
+  rather than one batch fill dominates.
+
+The committed ``BENCH_fluid.json`` at the repository root is the perf
+trajectory the ROADMAP's "fast as the hardware allows" north star is
+measured against; ``benchmarks/bench_fluid_scale.py`` runs a reduced
+grid of the same harness under pytest, and CI regenerates that reduced
+grid on every push (agreement-checked against the committed floors in
+``benchmarks/baseline_fluid_smoke.json``, artifact uploaded).
+
+Beyond wall time, every paired grid cell is an *equivalence check*: the
+max-min allocation is unique, so any two engines must agree on the
+simulated phase time to float precision, and paired dynamic cells must
+produce the same flow-completion-time statistics to 1e-9
+(:func:`check_agreement`).  The grid extends past the scalar engine's
+feasibility horizon (``scalar_cap``) into vectorized-only territory —
+the configurations the paper's evaluation could not reach.
 """
 
 from __future__ import annotations
@@ -41,15 +51,19 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "PRESETS",
     "check_agreement",
+    "check_floors",
     "format_scale_results",
     "load_bench",
+    "load_floors",
     "run_scale",
     "scale_workload",
     "write_bench",
 ]
 
-#: version stamp of the BENCH_fluid.json layout
-BENCH_SCHEMA_VERSION = 1
+#: version stamp of the BENCH_fluid.json layout.  v2 added dynamic
+#: (open-loop driver) rows, generalized engine pairing in ``speedups``,
+#: and the ``dynamic_pairs`` FCT-agreement section.
+BENCH_SCHEMA_VERSION = 2
 
 #: the two workload shapes: ``uniform`` message sizes are the sweep
 #: production case (a pattern phase sends equal-size messages, so flows
@@ -59,10 +73,13 @@ SIZE_MODES = ("uniform", "mixed")
 
 #: named grids: ``smoke`` is the CI job (seconds); ``full`` is the
 #: committed ``BENCH_fluid.json`` trajectory (minutes — the scalar rows
-#: at 10k+ flows dominate, which is exactly the point).  Each case is a
-#: (topology x flow-count x size-mode) block; ``scalar_caps`` bounds the
-#: flow count the scalar engine is asked to run per size mode (its
-#: per-completion recompute makes mixed sizes brutally slower).
+#: at 10k+ flows dominate, which is exactly the point).  A case with a
+#: ``workload`` key is a *dynamic* cell (open-loop arrival stream
+#: through the driver; ``engines`` pins which backends run it);
+#: otherwise it is a (topology x flow-count x size-mode) phase block.
+#: ``scalar_caps`` bounds the flow count the scalar engine is asked to
+#: run per size mode (its per-completion recompute makes mixed sizes
+#: brutally slower).
 PRESETS: dict[str, dict] = {
     "smoke": {
         "cases": (
@@ -70,6 +87,17 @@ PRESETS: dict[str, dict] = {
                 "topology": "XGFT(2;8,8;1,4)",
                 "flows": (200, 1000),
                 "sizes": ("uniform", "mixed"),
+            },
+            {
+                # dynamic agreement cell: mixed-analogue sizes so every
+                # completion is distinct, locality bias so the
+                # incremental engine's component refills stay local
+                "topology": "XGFT(2;8,8;1,4)",
+                "workload": (
+                    "poisson(load=0.7,sizes=uniform,spread=0.5,"
+                    "flows=600,locality=0.9,group=8)"
+                ),
+                "engines": ("fluid-vec", "fluid-vec-inc"),
             },
         ),
         "scalar_caps": {"uniform": 1000, "mixed": 1000},
@@ -95,6 +123,43 @@ PRESETS: dict[str, dict] = {
                 "topology": "XGFT(2;32,64;1,16)",
                 "flows": (50000,),
                 "sizes": ("uniform",),
+            },
+            {
+                # dynamic FCT-agreement pair on the three-level tree:
+                # incremental vs from-scratch over a full Poisson
+                # stream, gated at 1e-9 by check_agreement
+                "topology": "XGFT(3;8,8,8;1,4,4)",
+                "workload": "poisson(load=0.7,flows=4000)",
+                "engines": ("fluid-vec", "fluid-vec-inc"),
+            },
+            {
+                # the mixed-sizes dynamic worst case (every completion
+                # distinct -> one refill per event): the cell where the
+                # incremental engine must win wall clock
+                "topology": "XGFT(2;16,16;1,8)",
+                "workload": (
+                    "poisson(load=0.7,sizes=uniform,spread=0.5,"
+                    "flows=10000,locality=0.9,group=16)"
+                ),
+                "engines": ("fluid-vec", "fluid-vec-inc"),
+            },
+            {
+                # the headline scale row: >=50k concurrent flows on a
+                # 2048-leaf fabric, incremental-only (a from-scratch
+                # refill per event is off the table at this scale —
+                # that is the point).  load=3.0 is a burst regime: the
+                # arrival wave outruns the drain, stacking the active
+                # set to ~0.96 x flows; locality=1.0 confines every
+                # bottleneck component to one 32-leaf sub-tree (the
+                # incremental win is a locality property of the
+                # traffic — docs/performance.md documents how symmetric
+                # cross-traffic degenerates)
+                "topology": "XGFT(2;32,64;1,16)",
+                "workload": (
+                    "poisson(load=3.0,sizes=uniform,spread=0.5,"
+                    "flows=60000,locality=1.0,group=32)"
+                ),
+                "engines": ("fluid-vec-inc",),
             },
         ),
         "scalar_caps": {"uniform": 20000, "mixed": 10000},
@@ -149,9 +214,10 @@ def _time_engine(
         wall = time.perf_counter() - t0
         if wall < best:
             best = wall
-        sim_time, recomputes = duration, sim.recomputes
-        # full fill telemetry when the engine exposes it (third-party
-        # engine registrations may not)
+        # a third-party registration may expose neither counter; None
+        # (not 0) records "not instrumented" — the formatter renders '-'
+        sim_time = duration
+        recomputes = getattr(sim, "recomputes", None)
         telemetry = sim.telemetry() if hasattr(sim, "telemetry") else {}
     return {
         "engine": engine,
@@ -161,6 +227,52 @@ def _time_engine(
         "nnz": int(len(coo_flow)),
         **({"telemetry": telemetry} if telemetry else {}),
     }
+
+
+def _time_dynamic(
+    engine: str,
+    topo,
+    workload: str,
+    seed: int,
+    config: NetworkConfig,
+) -> dict:
+    """One open-loop dynamic run of ``workload`` through ``engine``.
+
+    The row carries the driver's FCT statistics (the agreement surface
+    for paired dynamic cells), the engine telemetry dict, and — when
+    the engine reports refill work — ``refill_work_reduction``: the
+    full-refill-equivalent link work divided by the link work actually
+    done (``links_active / links_touched``), the headline incremental
+    win.
+    """
+    from ..workloads import DynamicDriver, resolve_workload
+
+    wl = resolve_workload(workload, topo.num_leaves)
+    algo = make_algorithm("d-mod-k", topo)
+    driver = DynamicDriver(topo, algo, engine=engine, config=config)
+    stream = wl.generate(seed)
+    res = driver.run(stream, workload=wl.spec, seed=seed)
+    tel = dict(res.stats.engine) if res.stats is not None else {}
+    row = {
+        "engine": engine,
+        "dynamic": True,
+        "workload": wl.spec,
+        "flows": res.num_arrivals,
+        "completed": res.num_completed,
+        "wall_s": round(res.wall_time_s, 6),
+        "sim_time": res.makespan,
+        "recomputes": res.stats.recomputes if res.stats is not None else None,
+        "events": res.stats.events if res.stats is not None else None,
+        "fct_mean": res.fct.mean,
+        "fct_p99": res.fct.p99,
+        "makespan": res.makespan,
+        **({"telemetry": tel} if tel else {}),
+    }
+    links_touched = tel.get("links_touched")
+    links_active = tel.get("links_active")
+    if links_touched and links_active is not None:
+        row["refill_work_reduction"] = round(links_active / links_touched, 3)
+    return row
 
 
 def run_scale(
@@ -179,7 +291,8 @@ def run_scale(
     With no explicit axes the chosen preset's case list runs; passing
     any of ``topologies`` / ``flow_counts`` / ``size_modes`` replaces
     the case list with the single custom (topologies × flows × sizes)
-    block, filling unspecified axes from the preset's first case.
+    phase block, filling unspecified axes from the preset's first case
+    (dynamic preset cells do not run under custom axes).
     ``scalar_cap`` bounds the flow count the scalar engine is asked to
     run in *every* size mode (its progressive-filling loop is O(links ×
     flows) per bottleneck round, re-run after every completion — past
@@ -212,13 +325,34 @@ def run_scale(
             raise ValueError(f"engine {name!r} is not a fluid backend")
 
     rows: list[dict] = []
+    trace = _obs_active()
     for case in cases:
         topo = resolve_topology(case["topology"])
         space = xgft_link_space(topo)
+        base_ids = {
+            "topology": case["topology"],
+            "num_leaves": topo.num_leaves,
+            "num_links": space.num_links,
+        }
+        if "workload" in case:
+            # a dynamic cell: the case pins its engine list (an explicit
+            # --engines selection intersects it, so `--engines fluid`
+            # never drags the scalar engine through a 100k-event stream)
+            case_engines = tuple(
+                e for e in case.get("engines", engines) if e in engines
+            )
+            for engine in case_engines:
+                with (
+                    TRACER.span("scale.dynamic", engine=engine)
+                    if trace
+                    else nullcontext()
+                ):
+                    row = _time_dynamic(engine, topo, case["workload"], seed, config)
+                rows.append(base_ids | row)
+            continue
         for num_flows in case["flows"]:
             for mode in case["sizes"]:
                 # a handful of spans per grid cell (noops unless tracing)
-                trace = _obs_active()
                 with (
                     TRACER.span("scale.workload", flows=num_flows, sizes=mode)
                     if trace
@@ -228,13 +362,7 @@ def run_scale(
                         topo, num_flows, seed=seed, sizes=mode
                     )
                 for engine in engines:
-                    base = {
-                        "topology": case["topology"],
-                        "num_leaves": topo.num_leaves,
-                        "num_links": space.num_links,
-                        "flows": num_flows,
-                        "sizes": mode,
-                    }
+                    base = base_ids | {"flows": num_flows, "sizes": mode}
                     cap = scalar_caps.get(mode, 0)
                     if engine == "fluid" and num_flows > cap:
                         rows.append(
@@ -266,6 +394,7 @@ def run_scale(
         "environment": _environment(),
         "rows": rows,
         "speedups": _speedups(rows),
+        "dynamic_pairs": _dynamic_pairs(rows),
     }
 
 
@@ -275,59 +404,202 @@ def _environment() -> dict:
     return sweep_environment()
 
 
+def _reference_engine(by_engine: dict[str, dict]) -> str | None:
+    """The baseline of a cell: the scalar reference when it ran, else
+    the vectorized default — everything else is timed *against* it."""
+    for name in ("fluid", "fluid-vec"):
+        if name in by_engine:
+            return name
+    return None
+
+
 def _speedups(rows: Sequence[dict]) -> list[dict]:
-    """Scalar-vs-vectorized pairing per (topology, flows, sizes) cell."""
+    """Per-cell engine pairing against the cell's reference engine.
+
+    Every phase row that shares a (topology, flows, sizes) cell with
+    the reference engine (``fluid`` when it ran, else ``fluid-vec``)
+    gets a pair row: wall-time speedup plus the simulated-phase-time
+    relative difference the agreement gate checks.
+    """
     cells: dict[tuple, dict[str, dict]] = {}
     for row in rows:
-        if "wall_s" in row:
+        if "wall_s" in row and not row.get("dynamic"):
             key = (row["topology"], row["flows"], row["sizes"])
             cells.setdefault(key, {})[row["engine"]] = row
     out = []
     for (topo_spec, flows, mode), by_engine in cells.items():
-        scalar, vec = by_engine.get("fluid"), by_engine.get("fluid-vec")
-        if not scalar or not vec:
+        ref_name = _reference_engine(by_engine)
+        if ref_name is None:
             continue
-        pair = max(abs(scalar["sim_time"]), abs(vec["sim_time"]))
-        out.append(
-            {
-                "topology": topo_spec,
-                "flows": flows,
-                "sizes": mode,
-                "scalar_wall_s": scalar["wall_s"],
-                "vec_wall_s": vec["wall_s"],
-                "speedup": round(scalar["wall_s"] / vec["wall_s"], 3),
-                "sim_time_rel_diff": (
-                    abs(scalar["sim_time"] - vec["sim_time"]) / pair if pair else 0.0
-                ),
-            }
-        )
+        ref = by_engine[ref_name]
+        for name, row in by_engine.items():
+            if name == ref_name:
+                continue
+            pair = max(abs(ref["sim_time"]), abs(row["sim_time"]))
+            out.append(
+                {
+                    "topology": topo_spec,
+                    "flows": flows,
+                    "sizes": mode,
+                    "baseline": ref_name,
+                    "engine": name,
+                    "baseline_wall_s": ref["wall_s"],
+                    "wall_s": row["wall_s"],
+                    "speedup": round(ref["wall_s"] / row["wall_s"], 3),
+                    "sim_time_rel_diff": (
+                        abs(ref["sim_time"] - row["sim_time"]) / pair if pair else 0.0
+                    ),
+                }
+            )
     return out
 
 
-def check_agreement(data: dict, rel_tol: float = 1e-6) -> list[str]:
-    """Scalar/vectorized sim-time disagreements beyond ``rel_tol``.
+def _dynamic_pairs(rows: Sequence[dict]) -> list[dict]:
+    """FCT-agreement pairing of dynamic cells sharing an engine pair.
+
+    ``fct_rel_diff`` is the worst relative difference across the FCT
+    mean, FCT p99 and makespan; a completed-count mismatch is an
+    immediate infinite divergence (the engines did not even agree on
+    *which* flows finished).
+    """
+    cells: dict[tuple, dict[str, dict]] = {}
+    for row in rows:
+        if row.get("dynamic") and "wall_s" in row:
+            key = (row["topology"], row["workload"])
+            cells.setdefault(key, {})[row["engine"]] = row
+    out = []
+    for (topo_spec, workload), by_engine in cells.items():
+        ref_name = _reference_engine(by_engine)
+        if ref_name is None:
+            continue
+        ref = by_engine[ref_name]
+        for name, row in by_engine.items():
+            if name == ref_name:
+                continue
+            if row["completed"] != ref["completed"]:
+                rel = float("inf")
+            else:
+                rel = 0.0
+                for key in ("fct_mean", "fct_p99", "makespan"):
+                    denom = max(abs(ref[key]), abs(row[key]))
+                    if denom:
+                        rel = max(rel, abs(ref[key] - row[key]) / denom)
+            out.append(
+                {
+                    "topology": topo_spec,
+                    "workload": workload,
+                    "baseline": ref_name,
+                    "engine": name,
+                    "baseline_wall_s": ref["wall_s"],
+                    "wall_s": row["wall_s"],
+                    "speedup": round(ref["wall_s"] / row["wall_s"], 3),
+                    "fct_rel_diff": rel,
+                }
+            )
+    return out
+
+
+def check_agreement(
+    data: dict, rel_tol: float = 1e-6, fct_rel_tol: float = 1e-9
+) -> list[str]:
+    """Engine disagreements beyond tolerance, across both cell kinds.
 
     The max-min allocation is unique, so any real divergence is an
     engine bug, not noise; an empty list means every paired grid cell
-    agrees.  A document with *zero* paired cells (e.g. a vec-only run
-    where every scalar row fell past the cap) is itself a problem: a
-    check that compared nothing must not green-light the run.
+    agrees.  Phase pairs compare the simulated phase time at
+    ``rel_tol``; dynamic pairs compare FCT statistics (mean, p99,
+    makespan) at the much tighter ``fct_rel_tol`` — the incremental
+    engine's exactness contract.  A document with *zero* paired cells
+    (e.g. a vec-only run where every scalar row fell past the cap) is
+    itself a problem: a check that compared nothing must not
+    green-light the run.
     """
-    if not data.get("speedups"):
+    if not data.get("speedups") and not data.get("dynamic_pairs"):
         return [
-            "no scalar/vectorized row pair ran — the agreement check "
-            "verified nothing; raise the scalar cap or lower the flow "
-            "counts so both engines share at least one grid cell"
+            "no engine row pair ran — the agreement check verified "
+            "nothing; raise the scalar cap or lower the flow counts so "
+            "two engines share at least one grid cell"
         ]
     problems = []
     for pair in data.get("speedups", ()):
         if pair["sim_time_rel_diff"] > rel_tol:
             problems.append(
                 f"{pair['topology']} @ {pair['flows']} {pair['sizes']} flows: "
-                f"scalar and vectorized sim times differ by "
+                f"{pair.get('baseline', 'fluid')} and {pair.get('engine', 'fluid-vec')} "
+                f"sim times differ by "
                 f"{pair['sim_time_rel_diff']:.3g} (tolerance {rel_tol:g})"
             )
+    for pair in data.get("dynamic_pairs", ()):
+        if pair["fct_rel_diff"] > fct_rel_tol:
+            problems.append(
+                f"{pair['topology']} @ {pair['workload']}: "
+                f"{pair['baseline']} and {pair['engine']} FCT statistics "
+                f"differ by {pair['fct_rel_diff']:.3g} "
+                f"(tolerance {fct_rel_tol:g})"
+            )
     return problems
+
+
+def _lookup(row: dict, dotted: str):
+    """Resolve ``a.b.c`` through nested dicts (None when absent)."""
+    node = row
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_floors(data: dict, floors: dict) -> list[str]:
+    """Violations of a committed floors document (the CI perf/telemetry gate).
+
+    ``floors`` is a ``repro-fluid-scale-floors`` JSON document::
+
+        {"kind": "repro-fluid-scale-floors",
+         "floors": [
+           {"match": {"engine": "fluid-vec-inc", "dynamic": true},
+            "min": {"telemetry.partial_refills": 50,
+                    "refill_work_reduction": 2.0}}]}
+
+    Every ``floors`` entry must match at least one bench row (all
+    ``match`` keys equal), and every matched row must carry each
+    dotted-path ``min`` field at or above its floor.  Floors gate
+    *presence and magnitude* of the new telemetry — a refactor that
+    silently drops ``partial_refills`` from the row fails the gate, not
+    just one that regresses its value.
+    """
+    if floors.get("kind") != "repro-fluid-scale-floors":
+        raise ValueError("not a fluid scale floors document")
+    problems = []
+    for entry in floors.get("floors", ()):
+        match = entry.get("match", {})
+        matched = [
+            row
+            for row in data.get("rows", ())
+            if all(row.get(k) == v for k, v in match.items())
+        ]
+        if not matched:
+            problems.append(f"no bench row matches floor selector {match}")
+            continue
+        for row in matched:
+            label = (
+                f"{row.get('topology')} {row.get('engine')} "
+                f"{'dynamic' if row.get('dynamic') else row.get('sizes')}"
+            )
+            for dotted, floor in entry.get("min", {}).items():
+                value = _lookup(row, dotted)
+                if value is None:
+                    problems.append(f"{label}: field {dotted!r} missing from row")
+                elif value < floor:
+                    problems.append(
+                        f"{label}: {dotted} = {value:g} below floor {floor:g}"
+                    )
+    return problems
+
+
+def _fmt(value, spec: str) -> str:
+    """Format ``value``, rendering None (uninstrumented) as ``-``."""
+    return "-" if value is None else format(value, spec)
 
 
 def format_scale_results(data: dict) -> str:
@@ -336,39 +608,85 @@ def format_scale_results(data: dict) -> str:
         f"fluid-engine scaling (preset={data['preset']}, seed={data['seed']}, "
         f"repeats={data['repeats']})",
         "",
-        f"{'topology':<22} {'flows':>7} {'sizes':<8} {'engine':<10} {'wall [s]':>10} "
+        f"{'topology':<22} {'flows':>7} {'sizes':<8} {'engine':<13} {'wall [s]':>10} "
         f"{'recomputes':>10} {'sim time [s]':>13}",
-        "-" * 86,
+        "-" * 89,
     ]
+    dynamic_rows = []
     for row in data["rows"]:
-        if "skipped" in row:
+        if row.get("dynamic"):
+            dynamic_rows.append(row)
+        elif "skipped" in row:
             lines.append(
                 f"{row['topology']:<22} {row['flows']:>7} {row['sizes']:<8} "
-                f"{row['engine']:<10} {'—':>10} {'—':>10}   skipped: {row['skipped']}"
+                f"{row['engine']:<13} {'—':>10} {'—':>10}   skipped: {row['skipped']}"
             )
         else:
             lines.append(
                 f"{row['topology']:<22} {row['flows']:>7} {row['sizes']:<8} "
-                f"{row['engine']:<10} {row['wall_s']:>10.4f} {row['recomputes']:>10} "
-                f"{row['sim_time']:>13.6g}"
+                f"{row['engine']:<13} {_fmt(row['wall_s'], '>10.4f')} "
+                f"{_fmt(row['recomputes'], '>10')} "
+                f"{_fmt(row['sim_time'], '>13.6g')}"
             )
+    if dynamic_rows:
+        lines += [
+            "",
+            "dynamic (open-loop driver) cells:",
+            f"{'topology':<22} {'flows':>7} {'engine':<13} {'wall [s]':>10} "
+            f"{'recomputes':>10} {'fct mean [s]':>13} {'work redux':>10}",
+            "-" * 92,
+        ]
+        for row in dynamic_rows:
+            redux = row.get("refill_work_reduction")
+            redux_s = f"{redux:>9.1f}x" if redux is not None else f"{'-':>10}"
+            lines.append(
+                f"{row['topology']:<22} {row['flows']:>7} "
+                f"{row['engine']:<13} {_fmt(row['wall_s'], '>10.4f')} "
+                f"{_fmt(row['recomputes'], '>10')} "
+                f"{_fmt(row['fct_mean'], '>13.6g')} {redux_s}"
+            )
+            lines.append(f"{'':<31} workload: {row['workload']}")
     if data["speedups"]:
         lines += [
             "",
-            f"{'topology':<22} {'flows':>7} {'sizes':<8} {'speedup':>9} {'rel diff':>10}",
-            "-" * 62,
+            f"{'topology':<22} {'flows':>7} {'sizes':<8} {'engine':<13} "
+            f"{'speedup':>9} {'rel diff':>10}",
+            "-" * 74,
         ]
         for pair in data["speedups"]:
             lines.append(
                 f"{pair['topology']:<22} {pair['flows']:>7} {pair['sizes']:<8} "
-                f"{pair['speedup']:>8.1f}x {pair['sim_time_rel_diff']:>10.2e}"
+                f"{pair['engine']:<13} {pair['speedup']:>8.1f}x "
+                f"{pair['sim_time_rel_diff']:>10.2e}"
+            )
+    if data.get("dynamic_pairs"):
+        lines += [
+            "",
+            f"{'topology':<22} {'engine':<13} {'speedup':>9} {'fct rel diff':>13}",
+            "-" * 60,
+        ]
+        for pair in data["dynamic_pairs"]:
+            lines.append(
+                f"{pair['topology']:<22} {pair['engine']:<13} "
+                f"{pair['speedup']:>8.1f}x {pair['fct_rel_diff']:>13.2e}"
             )
     return "\n".join(lines)
 
 
 def write_bench(data: dict, path: str | Path) -> Path:
-    """Serialize a BENCH_fluid document (deterministic layout)."""
+    """Serialize a BENCH_fluid document (deterministic layout).
+
+    The ``environment.repro`` version is (re)stamped from the live
+    source package *at write time*: the historical bug was a bench
+    regenerated in a new tree carrying the version of a stale installed
+    distribution — the committed artifact must record the tree that
+    produced it.
+    """
+    from .. import __version__
+
     path = Path(path)
+    data = dict(data)
+    data["environment"] = dict(data.get("environment", {})) | {"repro": __version__}
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path
 
@@ -384,3 +702,11 @@ def load_bench(path: str | Path) -> dict:
             f"supported v{BENCH_SCHEMA_VERSION}"
         )
     return data
+
+
+def load_floors(path: str | Path) -> dict:
+    """Load and kind-check a floors document (see :func:`check_floors`)."""
+    floors = json.loads(Path(path).read_text())
+    if floors.get("kind") != "repro-fluid-scale-floors":
+        raise ValueError(f"{path}: not a fluid scale floors document")
+    return floors

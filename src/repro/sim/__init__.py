@@ -27,6 +27,7 @@ from .engines import (
 )
 from .events import EventQueue
 from .fluid import FlowResult, FluidSimulator
+from .fluid_inc import IncFluidSimulator
 from .fluid_vec import VecFluidSimulator
 from .network import (
     LinkSpace,
@@ -45,6 +46,7 @@ __all__ = [
     "PAPER_CONFIG",
     "EventQueue",
     "FluidSimulator",
+    "IncFluidSimulator",
     "VecFluidSimulator",
     "FlowResult",
     "DEFAULT_ENGINE",

@@ -35,6 +35,7 @@ from typing import Callable
 
 from ..registry import Registry
 from .fluid import FluidSimulator
+from .fluid_inc import IncFluidSimulator
 from .fluid_vec import VecFluidSimulator
 
 __all__ = [
@@ -130,6 +131,17 @@ register_engine(
         kind="fluid",
         factory=VecFluidSimulator,
         description="vectorized batch max-min fluid engine (default)",
+    )
+)
+register_engine(
+    Engine(
+        name="fluid-vec-inc",
+        kind="fluid",
+        factory=IncFluidSimulator,
+        description=(
+            "incremental max-min fluid engine: component-local refills "
+            "with exact-agreement fallback to full filling"
+        ),
     )
 )
 register_engine(

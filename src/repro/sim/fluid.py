@@ -258,6 +258,12 @@ class FluidSimulator:
         """Advance the clock to ``t`` (< next completion), draining bytes."""
         if t < self.now - _EPS:
             raise ValueError(f"cannot rewind time: {t} < {self.now}")
+        if t <= self.now:
+            # same-instant advance: a no-op, and deliberately *before*
+            # the next-completion query so a completion group and an
+            # arrival batch landing at one timestamp stay in the same
+            # refill epoch (one recompute serves both)
+            return []
         nc = self.next_completion_time()
         if nc is not None and t > nc + _EPS:
             raise ValueError(

@@ -21,6 +21,7 @@ from .generators import (
     DEFAULT_FLOWS,
     WORKLOADS,
     Workload,
+    local_pairs,
     register_workload,
     resolve_workload,
     uniform_pairs,
@@ -47,6 +48,7 @@ __all__ = [
     "UtilSeries",
     "WORKLOADS",
     "Workload",
+    "local_pairs",
     "read_trace",
     "register_size_dist",
     "register_workload",

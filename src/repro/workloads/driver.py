@@ -74,13 +74,18 @@ class DriverStats:
     arrival time — table lookup happens inside the arrival phase).
     ``engine`` is the engine's :meth:`telemetry()
     <repro.sim.fluid.FluidSimulator.telemetry>` dict (recomputes,
-    fill_rounds, frozen_links, compactions, active_flows_hwm).
+    fill_rounds, frozen_links, compactions, active_flows_hwm; the
+    incremental engine adds partial/full refill counters — see
+    :meth:`repro.sim.fluid_inc.IncFluidSimulator.telemetry`).
+    ``recomputes`` is ``None`` — not 0 — when the engine exposes no
+    such counter: "never refilled" and "not instrumented" are
+    different facts.
     """
 
     events: int
     arrival_batches: int
     completion_events: int
-    recomputes: int
+    recomputes: int | None
     wall_time_s: float
     arrivals_s: float
     completions_s: float
@@ -433,7 +438,9 @@ class DynamicDriver:
             events=events,
             arrival_batches=arrival_batches,
             completion_events=completion_events,
-            recomputes=int(getattr(sim, "recomputes", 0)),
+            recomputes=(
+                int(sim.recomputes) if hasattr(sim, "recomputes") else None
+            ),
             wall_time_s=wall_time_s,
             arrivals_s=arrivals_s,
             completions_s=completions_s,
@@ -446,7 +453,12 @@ class DynamicDriver:
             _metrics.counter("driver.events").inc(events)
             _metrics.counter("driver.arrival_batches").inc(arrival_batches)
             _metrics.counter("driver.completion_events").inc(completion_events)
-            _metrics.counter("driver.recomputes").inc(stats.recomputes)
+            if stats.recomputes is not None:
+                _metrics.counter("driver.recomputes").inc(stats.recomputes)
+            # incremental-engine refill split, when the engine reports it
+            for key in ("partial_refills", "full_refills"):
+                if key in engine_tel:
+                    _metrics.counter(f"driver.{key}").inc(engine_tel[key])
             _metrics.counter("driver.rejected").inc(num_rejected)
             _metrics.counter("driver.completed").inc(num_completed)
 

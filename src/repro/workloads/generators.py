@@ -38,6 +38,7 @@ __all__ = [
     "DEFAULT_FLOWS",
     "WORKLOADS",
     "Workload",
+    "local_pairs",
     "register_workload",
     "resolve_workload",
     "uniform_pairs",
@@ -113,6 +114,36 @@ def _flow_rate(load: float, num_leaves: int, dist: SizeDist, bandwidth: float) -
     return load * num_leaves * bandwidth / dist.mean
 
 
+def local_pairs(
+    rng: np.random.Generator,
+    num_leaves: int,
+    n: int,
+    locality: float,
+    group: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` ordered pairs, locality-biased toward ``group``-sized blocks.
+
+    Each flow independently stays local with probability ``locality``:
+    its destination is drawn inside the source's block of ``group``
+    consecutive leaves (the sub-tree under one first-level switch when
+    ``group`` matches the topology's ``m1``).  Otherwise the pair is
+    machine-wide uniform.  ``src != dst`` always.
+    """
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError("locality must be within [0, 1]")
+    if group < 2:
+        raise ValueError("locality groups need at least two leaves")
+    if num_leaves % group:
+        raise ValueError(f"group {group} must divide num_leaves {num_leaves}")
+    src, dst = uniform_pairs(rng, num_leaves, n)
+    local = rng.random(n) < locality
+    k = int(local.sum())
+    if k:
+        base = (src[local] // group) * group
+        dst[local] = base + (src[local] - base + rng.integers(1, group, k)) % group
+    return src, dst
+
+
 @register_workload("poisson")
 def _poisson(
     num_leaves: int,
@@ -120,6 +151,8 @@ def _poisson(
     sizes: str = "fixed",
     flows: int = DEFAULT_FLOWS,
     bandwidth: float = PAPER_CONFIG.link_bandwidth,
+    locality: float = 0.0,
+    group: int = 0,
     **size_params,
 ) -> Workload:
     """Memoryless open-loop traffic: exponential inter-arrivals, uniform pairs.
@@ -127,6 +160,9 @@ def _poisson(
     The canonical churn workload: ``load`` fixes the aggregate byte
     arrival rate, ``sizes`` (+ flattened distribution parameters, e.g.
     ``sizes=pareto,alpha=1.5``) decides how the bytes clump into flows.
+    ``locality``/``group`` bias destination choice toward the source's
+    block of ``group`` consecutive leaves (see :func:`local_pairs`) —
+    the regime where contention stays confined to sub-trees.
     """
     dist = resolve_size_dist(sizes, **size_params)
     rate = _flow_rate(load, num_leaves, dist, bandwidth)
@@ -138,11 +174,28 @@ def _poisson(
         # the spec is the workload's run identity: a non-default
         # bandwidth changes the arrival rate and must round-trip
         params["bandwidth"] = float(bandwidth)
+    locality = float(locality)
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError("locality must be within [0, 1]")
+    if locality > 0.0:
+        # validate eagerly (the builder, not the first generate, should
+        # reject a bad group size); spec keys only when the bias is on,
+        # so pre-existing canonical specs stay byte-identical
+        group = int(group)
+        if group < 2:
+            raise ValueError("poisson locality needs group >= 2")
+        if num_leaves % group:
+            raise ValueError(f"group {group} must divide num_leaves {num_leaves}")
+        params["locality"] = locality
+        params["group"] = group
     spec = format_spec("poisson", params)
 
     def generate(rng: np.random.Generator, n: int) -> ArrivalStream:
         times = np.cumsum(rng.exponential(1.0 / rate, n))
-        src, dst = uniform_pairs(rng, num_leaves, n)
+        if locality > 0.0:
+            src, dst = local_pairs(rng, num_leaves, n, locality, group)
+        else:
+            src, dst = uniform_pairs(rng, num_leaves, n)
         return ArrivalStream(times, src, dst, dist.sample(rng, n))
 
     return Workload("poisson", spec, num_leaves, int(flows), generate)

@@ -11,13 +11,17 @@ from repro.cli import main
 from repro.experiments.scale import (
     BENCH_SCHEMA_VERSION,
     PRESETS,
+    _time_dynamic,
     check_agreement,
+    check_floors,
     format_scale_results,
     load_bench,
+    load_floors,
     run_scale,
     scale_workload,
     write_bench,
 )
+from repro.sim.config import PAPER_CONFIG
 from repro.topology.registry import resolve_topology
 
 TINY = dict(
@@ -57,14 +61,18 @@ class TestRunScale:
     def test_document_shape(self, data):
         assert data["kind"] == "repro-fluid-scale-bench"
         assert data["schema_version"] == BENCH_SCHEMA_VERSION
-        # 1 topology x 1 flow count x 2 size modes x 2 engines
-        assert len(data["rows"]) == 4
+        # 1 topology x 1 flow count x 2 size modes x 3 engines
+        assert len(data["rows"]) == 6
         for row in data["rows"]:
             assert row["flows"] == 40
             assert "skipped" not in row
             assert row["recomputes"] >= 1
             assert row["wall_s"] >= 0
-        assert len(data["speedups"]) == 2
+        # per cell: the scalar reference paired against both others
+        assert len(data["speedups"]) == 4
+        assert all(p["baseline"] == "fluid" for p in data["speedups"])
+        # no dynamic cells under custom axes
+        assert data["dynamic_pairs"] == []
 
     def test_engines_agree(self, data):
         assert check_agreement(data) == []
@@ -88,18 +96,34 @@ class TestRunScale:
             by_mode[("uniform", "fluid-vec")]["recomputes"]
             < by_mode[("mixed", "fluid-vec")]["recomputes"]
         )
-        # and the engines agree on the recompute schedule
+        # and the engines agree on the recompute schedule (the
+        # incremental engine refills once per epoch like the others —
+        # its partial/full split changes the work, not the count)
         for mode in ("uniform", "mixed"):
             assert (
                 by_mode[(mode, "fluid")]["recomputes"]
                 == by_mode[(mode, "fluid-vec")]["recomputes"]
+                == by_mode[(mode, "fluid-vec-inc")]["recomputes"]
             )
+
+    def test_incremental_rows_carry_refill_split(self, data):
+        for row in data["rows"]:
+            if row["engine"] != "fluid-vec-inc":
+                continue
+            telemetry = row["telemetry"]
+            assert (
+                telemetry["partial_refills"] + telemetry["full_refills"]
+                == telemetry["recomputes"]
+            )
+            assert telemetry["links_touched"] <= telemetry["links_active"]
+            assert telemetry["flows_touched"] <= telemetry["flows_active"]
 
     def test_scalar_cap_skips(self):
         data = run_scale(
             topologies=("XGFT(2;4,4;1,2)",),
             flow_counts=(40,),
             size_modes=("uniform",),
+            engines=("fluid", "fluid-vec"),
             scalar_cap=10,
             repeats=1,
         )
@@ -111,7 +135,22 @@ class TestRunScale:
         # vacuously: a gate that compared nothing verified nothing
         assert data["speedups"] == []
         problems = check_agreement(data)
-        assert len(problems) == 1 and "no scalar/vectorized row pair" in problems[0]
+        assert len(problems) == 1 and "no engine row pair" in problems[0]
+
+    def test_cap_skip_still_pairs_vectorized_engines(self):
+        """Past the scalar cap the vectorized engines pair with each
+        other — the agreement gate keeps verifying something."""
+        data = run_scale(
+            topologies=("XGFT(2;4,4;1,2)",),
+            flow_counts=(40,),
+            size_modes=("uniform",),
+            scalar_cap=10,
+            repeats=1,
+        )
+        assert [(p["baseline"], p["engine"]) for p in data["speedups"]] == [
+            ("fluid-vec", "fluid-vec-inc")
+        ]
+        assert check_agreement(data) == []
 
     def test_unknown_preset(self):
         with pytest.raises(ValueError, match="preset"):
@@ -122,10 +161,16 @@ class TestRunScale:
             run_scale(engines=("replay",), **TINY)
 
     def test_presets_resolve(self):
+        from repro.workloads import resolve_workload
+
         for preset in PRESETS.values():
             for case in preset["cases"]:
-                resolve_topology(case["topology"])  # specs must parse
-                assert case["flows"] and case["sizes"]
+                topo = resolve_topology(case["topology"])  # specs must parse
+                if "workload" in case:
+                    resolve_workload(case["workload"], topo.num_leaves)
+                    assert case["engines"]
+                else:
+                    assert case["flows"] and case["sizes"]
 
     def test_format_renders_all_rows(self, data):
         text = format_scale_results(data)
@@ -140,6 +185,134 @@ class TestRunScale:
         problems = check_agreement(doctored)
         assert len(problems) == 1 and "differ" in problems[0]
 
+    def test_format_renders_uninstrumented_rows(self, data):
+        """Regression: a third-party engine without recompute/sim-time
+        counters used to crash the ``:>10``/``:>13.6g`` format specs —
+        None now renders as ``-``."""
+        doctored = dict(data)
+        doctored["rows"] = [
+            dict(data["rows"][0], recomputes=None, sim_time=None)
+        ] + list(data["rows"][1:])
+        text = format_scale_results(doctored)
+        first_data_line = text.splitlines()[4]
+        assert " - " in first_data_line
+
+
+class TestDynamicCells:
+    WORKLOAD = "poisson(load=0.5,sizes=uniform,spread=0.5,flows=40)"
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        topo = resolve_topology("XGFT(2;4,4;1,2)")
+        return [
+            {"topology": "XGFT(2;4,4;1,2)"}
+            | _time_dynamic(engine, topo, self.WORKLOAD, 0, PAPER_CONFIG)
+            for engine in ("fluid-vec", "fluid-vec-inc")
+        ]
+
+    def test_row_shape(self, rows):
+        for row in rows:
+            assert row["dynamic"] is True
+            assert row["flows"] == 40
+            assert row["completed"] <= 40  # self-pairs never enter
+            assert row["recomputes"] >= 1
+            assert row["fct_mean"] > 0 and row["makespan"] > 0
+        # only the incremental engine reports refill work
+        assert "refill_work_reduction" not in rows[0]
+        assert rows[1]["refill_work_reduction"] > 0
+
+    def test_engines_agree_on_fct(self, rows):
+        from repro.experiments.scale import _dynamic_pairs
+
+        pairs = _dynamic_pairs(rows)
+        assert len(pairs) == 1
+        assert pairs[0]["baseline"] == "fluid-vec"
+        assert pairs[0]["engine"] == "fluid-vec-inc"
+        assert pairs[0]["fct_rel_diff"] <= 1e-9
+
+    def test_completed_mismatch_is_infinite_divergence(self, rows):
+        from repro.experiments.scale import _dynamic_pairs
+
+        doctored = [rows[0], dict(rows[1], completed=rows[1]["completed"] - 1)]
+        (pair,) = _dynamic_pairs(doctored)
+        assert pair["fct_rel_diff"] == float("inf")
+        data = {"speedups": [], "dynamic_pairs": [pair]}
+        problems = check_agreement(data)
+        assert len(problems) == 1 and "FCT statistics" in problems[0]
+
+
+class TestFloors:
+    FLOORS = {
+        "kind": "repro-fluid-scale-floors",
+        "floors": [
+            {
+                "match": {"engine": "fluid-vec-inc"},
+                "min": {"telemetry.recomputes": 1, "wall_s": 0},
+            }
+        ],
+    }
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_scale(
+            topologies=("XGFT(2;4,4;1,2)",),
+            flow_counts=(30,),
+            size_modes=("uniform",),
+            repeats=1,
+        )
+
+    def test_floors_hold(self, data):
+        assert check_floors(data, self.FLOORS) == []
+
+    def test_floor_violation(self, data):
+        floors = {
+            "kind": "repro-fluid-scale-floors",
+            "floors": [
+                {
+                    "match": {"engine": "fluid-vec-inc"},
+                    "min": {"telemetry.recomputes": 10**9},
+                }
+            ],
+        }
+        problems = check_floors(data, floors)
+        assert len(problems) == 1 and "below floor" in problems[0]
+
+    def test_missing_field_fails(self, data):
+        floors = {
+            "kind": "repro-fluid-scale-floors",
+            "floors": [
+                {
+                    "match": {"engine": "fluid-vec"},
+                    "min": {"telemetry.partial_refills": 0},
+                }
+            ],
+        }
+        problems = check_floors(data, floors)
+        assert len(problems) == 1 and "missing" in problems[0]
+
+    def test_unmatched_selector_fails(self, data):
+        floors = {
+            "kind": "repro-fluid-scale-floors",
+            "floors": [{"match": {"engine": "fluid-gpu"}, "min": {}}],
+        }
+        problems = check_floors(data, floors)
+        assert len(problems) == 1 and "no bench row matches" in problems[0]
+
+    def test_committed_smoke_baseline_parses(self):
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+        floors = load_floors(bench_dir / "baseline_fluid_smoke.json")
+        assert floors["floors"]
+
+    def test_rejects_foreign_floors(self, data, tmp_path):
+        with pytest.raises(ValueError, match="floors document"):
+            check_floors(data, {"kind": "something-else"})
+        path = tmp_path / "floors.json"
+        path.write_text('{"kind": "nope"}')
+        with pytest.raises(ValueError, match="floors document"):
+            load_floors(path)
+
 
 class TestBenchIO:
     def test_round_trip(self, tmp_path):
@@ -151,6 +324,26 @@ class TestBenchIO:
         )
         path = write_bench(data, tmp_path / "bench.json")
         assert load_bench(path)["rows"] == json.loads(path.read_text())["rows"]
+
+    def test_write_stamps_live_version(self, tmp_path):
+        """Regression: the committed bench once carried the version of a
+        stale installed distribution — the writer must stamp the source
+        tree's version at write time, even over a doctored document."""
+        from repro import __version__
+
+        data = run_scale(
+            topologies=("XGFT(2;4,4;1,2)",),
+            flow_counts=(20,),
+            size_modes=("uniform",),
+            engines=("fluid-vec",),
+            repeats=1,
+        )
+        data["environment"]["repro"] = "1.3.0"
+        path = write_bench(data, tmp_path / "bench.json")
+        written = json.loads(path.read_text())
+        assert written["environment"]["repro"] == __version__
+        # the rest of the environment survives the stamp
+        assert written["environment"]["numpy"] == data["environment"]["numpy"]
 
     def test_rejects_foreign_documents(self, tmp_path):
         path = tmp_path / "x.json"
@@ -181,9 +374,9 @@ class TestCli:
         )
         assert rc == 0
         data = load_bench(out)
-        assert len(data["rows"]) == 2
+        assert len(data["rows"]) == 3
         captured = capsys.readouterr().out
-        assert "agree on every paired grid cell" in captured
+        assert "agree on every shared grid cell" in captured
 
     def test_check_with_no_pairs_is_an_error(self, capsys):
         """--check must not pass vacuously when the cap skipped every
@@ -197,6 +390,9 @@ class TestCli:
                 "30",
                 "--sizes",
                 "uniform",
+                "--engines",
+                "fluid",
+                "fluid-vec",
                 "--scalar-cap",
                 "10",
                 "--check",
@@ -204,6 +400,52 @@ class TestCli:
         )
         assert rc == 1
         assert "CHECK INEFFECTIVE" in capsys.readouterr().err
+
+    def test_baseline_gate(self, tmp_path, capsys):
+        floors = tmp_path / "floors.json"
+        floors.write_text(
+            json.dumps(
+                {
+                    "kind": "repro-fluid-scale-floors",
+                    "floors": [
+                        {
+                            "match": {"engine": "fluid-vec-inc"},
+                            "min": {"telemetry.partial_refills": 10**9},
+                        }
+                    ],
+                }
+            )
+        )
+        args = [
+            "scale",
+            "--topologies",
+            "XGFT(2;4,4;1,2)",
+            "--flows",
+            "20",
+            "--sizes",
+            "uniform",
+            "--baseline",
+            str(floors),
+        ]
+        rc = main(args)
+        assert rc == 1
+        assert "FLOOR:" in capsys.readouterr().err
+        floors.write_text(
+            json.dumps(
+                {
+                    "kind": "repro-fluid-scale-floors",
+                    "floors": [
+                        {
+                            "match": {"engine": "fluid-vec-inc"},
+                            "min": {"telemetry.partial_refills": 0},
+                        }
+                    ],
+                }
+            )
+        )
+        rc = main(args)
+        assert rc == 0
+        assert "floors" in capsys.readouterr().out
 
     def test_scale_check_failure_exit_code(self, monkeypatch, capsys):
         from repro import cli as cli_mod

@@ -21,8 +21,8 @@ from repro.sim.engines import (
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert set(available_engines()) >= {"fluid", "fluid-vec", "replay"}
-        assert set(fluid_engine_names()) >= {"fluid", "fluid-vec"}
+        assert set(available_engines()) >= {"fluid", "fluid-vec", "fluid-vec-inc", "replay"}
+        assert set(fluid_engine_names()) >= {"fluid", "fluid-vec", "fluid-vec-inc"}
         assert "replay" not in fluid_engine_names()
 
     def test_default_is_the_vectorized_engine(self):

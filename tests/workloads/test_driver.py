@@ -303,3 +303,56 @@ class TestDriverStats:
         # gated engine counters stay zero when instrumentation is compiled out
         assert stats.engine["fill_rounds"] == 0
         assert stats.engine["active_flows_hwm"] == 0
+
+    def test_incremental_engine_telemetry_embedded(self):
+        wl = resolve_workload("poisson(load=0.5,flows=120)", TOPO.num_leaves)
+        stats = _run("fluid-vec-inc", wl.generate(seed=3)).stats
+        engine = stats.engine
+        assert (
+            engine["partial_refills"] + engine["full_refills"]
+            == engine["recomputes"]
+            == stats.recomputes
+        )
+        assert engine["links_touched"] <= engine["links_active"]
+        assert engine["component_size_hwm"] >= 0
+
+    def test_uninstrumented_engine_reports_none(self):
+        """Regression: an engine without a `recomputes` counter used to
+        report 0 — conflating "no refills" with "not instrumented".
+        The stats must carry None, end to end through to_dict()."""
+        import json
+
+        from repro.sim import VecFluidSimulator
+        from repro.sim.engines import Engine, register_engine
+
+        class _Opaque:
+            # delegate the simulator surface but hide the telemetry
+            def __init__(self, inner):
+                object.__setattr__(self, "_inner", inner)
+
+            def __getattr__(self, name):
+                if name in ("recomputes", "telemetry"):
+                    raise AttributeError(name)
+                return getattr(self._inner, name)
+
+        register_engine(
+            Engine(
+                name="fluid-opaque-test",
+                kind="fluid",
+                factory=lambda n, c: _Opaque(VecFluidSimulator(n, c)),
+            ),
+            override=True,
+        )
+        try:
+            wl = resolve_workload("poisson(load=0.5,flows=60)", TOPO.num_leaves)
+            result = _run("fluid-opaque-test", wl.generate(seed=1))
+            stats = result.stats
+            assert stats.recomputes is None
+            assert stats.engine == {}
+            record = stats.to_dict()
+            assert record["recomputes"] is None
+            json.dumps(result.to_record())  # None survives serialization
+        finally:
+            from repro.sim.engines import ENGINES
+
+            ENGINES.unregister("fluid-opaque-test")

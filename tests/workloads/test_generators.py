@@ -137,6 +137,37 @@ class TestPoisson:
         with pytest.raises(ValueError, match="load"):
             resolve_workload("poisson(load=0)", LEAVES)
 
+    def test_locality_keeps_canonical_spec_stable(self):
+        """locality/group join the spec only when the bias is on —
+        existing committed workload identities must stay byte-equal."""
+        plain = resolve_workload("poisson(load=0.5)", LEAVES)
+        assert "locality" not in plain.spec and "group" not in plain.spec
+        biased = resolve_workload("poisson(load=0.5,locality=0.9,group=8)", LEAVES)
+        assert "locality=0.9" in biased.spec and "group=8" in biased.spec
+
+    def test_locality_confines_pairs_to_groups(self):
+        wl = resolve_workload("poisson(load=0.5,locality=1.0,group=8,flows=2000)", LEAVES)
+        stream = wl.generate(seed=5)
+        assert (stream.src // 8 == stream.dst // 8).all()
+        assert (stream.src != stream.dst).all()
+
+    def test_locality_fraction_is_respected(self):
+        wl = resolve_workload("poisson(load=0.5,locality=0.5,group=8,flows=4000)", LEAVES)
+        stream = wl.generate(seed=5)
+        local = (stream.src // 8 == stream.dst // 8).mean()
+        # 0.5 local by construction plus the uniform draws that land
+        # in-group by chance ((8-1)/(LEAVES-1) of the other half)
+        expected = 0.5 + 0.5 * 7 / (LEAVES - 1)
+        assert local == pytest.approx(expected, abs=0.06)
+
+    def test_locality_validation(self):
+        with pytest.raises(ValueError, match="group"):
+            resolve_workload("poisson(load=0.5,locality=0.9)", LEAVES)
+        with pytest.raises(ValueError, match="divide"):
+            resolve_workload("poisson(load=0.5,locality=0.9,group=7)", LEAVES)
+        with pytest.raises(ValueError, match="locality"):
+            resolve_workload("poisson(load=0.5,locality=1.5,group=8)", LEAVES)
+
 
 class TestOnOff:
     def test_same_average_load_burstier_arrivals(self):
