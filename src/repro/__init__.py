@@ -68,7 +68,7 @@ from .topology import (
     slimmed_two_level,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "XGFT",

@@ -34,9 +34,10 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, cast
 
 import numpy as np
+import numpy.typing as npt
 
 from .core.base import RouteTable, RoutingAlgorithm
 from .core.factory import ALGORITHMS, is_oblivious, make_algorithm
@@ -112,6 +113,12 @@ def format_run_id(
 # is stateless, so one instance can be reused)
 _NULL_CM = nullcontext()
 
+#: the in-memory route-table cache key: (topology spec, algorithm key, seed)
+MemoKey = tuple[str, str, int]
+
+#: opaque per-run memo shared by the crossbar-reference metrics
+CrossbarMemo = dict[object, object]
+
 
 # ----------------------------------------------------------------------
 # Route-table memoization
@@ -134,9 +141,9 @@ class RouteTableCache:
     the in-memory keying.
     """
 
-    def __init__(self, store: "ArtifactStore | str | None" = None):
-        self._tables: dict[tuple, RouteTable] = {}
-        self._rows: dict[tuple, np.ndarray] = {}
+    def __init__(self, store: "ArtifactStore | str | None" = None) -> None:
+        self._tables: dict[MemoKey, RouteTable] = {}
+        self._rows: dict[MemoKey, npt.NDArray[np.int64]] = {}
         self.store = ArtifactStore.ensure(store) if store is not None else None
         self.builds = 0
         self.hits = 0
@@ -146,7 +153,7 @@ class RouteTableCache:
 
     def all_pairs_table(
         self,
-        key: tuple,
+        key: MemoKey,
         algorithm: RoutingAlgorithm,
         store_key: StoreKey | None = None,
     ) -> RouteTable:
@@ -179,7 +186,7 @@ class RouteTableCache:
                 _metrics.counter("cache.store_puts").inc()
         return table
 
-    def row_index(self, key: tuple) -> np.ndarray:
+    def row_index(self, key: MemoKey) -> npt.NDArray[np.int64]:
         """``(n*n,)`` flat-pair -> row lookup for the cached table."""
         rows = self._rows.get(key)
         if rows is None:
@@ -190,7 +197,7 @@ class RouteTableCache:
             self._rows[key] = rows
         return rows
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         out = {"table_builds": self.builds, "table_hits": self.hits}
         if self.store is not None:
             out["store_hits"] = self.store_hits
@@ -199,7 +206,7 @@ class RouteTableCache:
 
 
 def subset_table(
-    full: RouteTable, rows: np.ndarray, pairs: Sequence[tuple[int, int]]
+    full: RouteTable, rows: npt.NDArray[np.int64], pairs: Sequence[tuple[int, int]]
 ) -> RouteTable:
     """The rows of an all-pairs table covering ``pairs`` (order kept)."""
     n = full.topo.num_leaves
@@ -252,7 +259,7 @@ class Scenario:
     seed: int = 0
     workload: str | Workload = "none"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self._raw_workload != "none" and self.pattern_spec != "none":
             # a dynamic scenario's traffic IS its workload; a real
             # pattern here would be silently ignored while still naming
@@ -264,7 +271,7 @@ class Scenario:
                 f"{self.pattern_spec!r}"
             )
         self._cache = RouteTableCache()
-        self._crossbar_memo: dict = {}
+        self._crossbar_memo: CrossbarMemo = {}
         self._degraded: DegradedTopology | None = None
         self._degraded_done = False
         self._pristine: list[RouteTable] | None = None
@@ -328,7 +335,7 @@ class Scenario:
         )
 
     @property
-    def memo_key(self) -> tuple[str, str, int]:
+    def memo_key(self) -> MemoKey:
         """Route tables are shared across patterns and fault scenarios
         (repair filters the *pristine* table), never across these.
 
@@ -388,7 +395,7 @@ class Scenario:
             return f"{self.pattern.name}#{id(self.pattern):x}"
         return str(self.pattern)
 
-    def with_(self, **changes) -> "Scenario":
+    def with_(self, **changes: object) -> "Scenario":
         """A copy with some axes replaced (``compare`` ergonomics)."""
         return replace(self, **changes)
 
@@ -573,9 +580,9 @@ class ScenarioResult:
     def __getitem__(self, metric: str) -> object:
         return self.metrics[metric]
 
-    def to_record(self) -> dict:
+    def to_record(self) -> dict[str, object]:
         """The sweep-artifact run record (``docs/sweep_schema.md``)."""
-        record = {
+        record: dict[str, object] = {
             "topology": self.scenario.topology_spec,
             "pattern": self.scenario.pattern_spec,
             "algorithm": self.scenario.algorithm_spec,
@@ -600,14 +607,14 @@ class ScenarioResult:
         return record
 
 
-def _round(value):
+def _round(value: object) -> object:
     return round(value, 10) if isinstance(value, float) else value
 
 
 # ----------------------------------------------------------------------
 # The evaluation engine
 # ----------------------------------------------------------------------
-def _reject_graph_faults(topo, algorithm, faults_label: str) -> None:
+def _reject_graph_faults(topo: object, algorithm: object, faults_label: str) -> None:
     """Fault injection (and repair) is NCA machinery — XGFT-only.
 
     General graphs model failures at build time instead (e.g.
@@ -632,7 +639,7 @@ def evaluate_scenario(
     engine: str = DEFAULT_ENGINE,
     config: NetworkConfig = PAPER_CONFIG,
     cache: RouteTableCache | None = None,
-    crossbar_memo: dict | None = None,
+    crossbar_memo: CrossbarMemo | None = None,
 ) -> ScenarioResult:
     """Evaluate one scenario and return its :class:`ScenarioResult`.
 
@@ -835,13 +842,15 @@ class Comparison:
         scored = [r for r in self.results if metric in r.metrics]
         if not scored:
             raise ValueError(f"no result carries metric {metric!r}")
-        return min(scored, key=lambda r: r.metrics[metric])
+        # metric values compare as floats; the Mapping's value type is
+        # object, so state the comparison contract for the key
+        return min(scored, key=lambda r: cast(float, r.metrics[metric]))
 
     def format(self) -> str:
         """A plain-text table, one row per scenario."""
-        headers = ["scenario"] + list(self.metrics)
+        headers = ["scenario", *self.metrics]
         rows = [
-            [r.run_id] + [_format_cell(r.metrics.get(m)) for m in self.metrics]
+            [r.run_id, *(_format_cell(r.metrics.get(m)) for m in self.metrics)]
             for r in self.results
         ]
         widths = [
@@ -860,7 +869,7 @@ class Comparison:
         return self.format()
 
 
-def _format_cell(value) -> str:
+def _format_cell(value: object) -> str:
     if value is None:
         return "-"
     if isinstance(value, float):
@@ -884,7 +893,7 @@ def compare(
         raise ValueError("compare needs at least one scenario")
     names = tuple(metrics) if metrics is not None else DEFAULT_METRICS
     cache = RouteTableCache()
-    memo: dict = {}
+    memo: CrossbarMemo = {}
     results = tuple(
         evaluate_scenario(
             s, metrics=names, engine=engine, config=config, cache=cache, crossbar_memo=memo

@@ -600,6 +600,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_trace_arg(pg, "repro_graphs")
 
+    pl = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis: determinism, registry, "
+        "instrumentation, concurrency, and numpy invariants",
+    )
+    pl.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests); "
+        "directories are walked for *.py and *.md, skipping fixtures",
+    )
+    pl.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule selection: ids (REP001), id prefixes "
+        "(REP00) or families (determinism); default: all",
+    )
+    pl.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is the schema-versioned artifact CI uploads)",
+    )
+    pl.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule counts and scan totals (text format)",
+    )
+    pl.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     pst = sub.add_parser("store", help="artifact-store maintenance")
     store_sub = pst.add_subparsers(dest="store_command", required=True)
     pgc = store_sub.add_parser(
@@ -1017,7 +1052,9 @@ def _parse_bytes(text: str) -> int:
     try:
         return int(float(digits) * scale)
     except ValueError:
-        raise SystemExit(f"error: cannot parse size {text!r} (try 1048576, 1M, 2.5G)")
+        raise SystemExit(
+            f"error: cannot parse size {text!r} (try 1048576, 1M, 2.5G)"
+        ) from None
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -1045,6 +1082,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     print(experiments.format_sweep_compare(comparison))
     return 0 if comparison.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from . import lint as lint_mod
+
+    if args.list_rules:
+        for rid in lint_mod.rule_ids():
+            rule = lint_mod.LINT_RULES.get(rid)
+            print(f"{rule.id}  {rule.family:<15} {rule.name:<28} {rule.summary}")
+        return 0
+    selection = None
+    if args.rules is not None:
+        selection = [item for item in args.rules.split(",") if item.strip()]
+    try:
+        result = lint_mod.run_lint(args.paths, rules=selection)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(lint_mod.result_to_json(result))
+    else:
+        text = result.format_text(statistics=args.statistics)
+        if text:
+            print(text)
+    return 0 if result.ok else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -1107,6 +1169,8 @@ def _run(args: argparse.Namespace) -> int:
         return _cmd_compare(args)
     elif args.command == "graphs":
         return _cmd_graphs(args)
+    elif args.command == "lint":
+        return _cmd_lint(args)
     elif args.command == "store":
         return _cmd_store(args)
     elif args.command == "profile":

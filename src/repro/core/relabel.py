@@ -144,4 +144,4 @@ class RelabelMaps:
         """
         leaf_arr = np.asarray([leaf], dtype=np.int64)
         digits = [int(self.port_array(level, leaf_arr)[0]) for level in range(self.topo.h)]
-        return tuple([-1] + list(reversed(digits[1:]))) if self.topo.h > 1 else (-1,)
+        return (-1, *reversed(digits[1:])) if self.topo.h > 1 else (-1,)

@@ -27,9 +27,10 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, cast
 
 import numpy as np
+import numpy.typing as npt
 
 from ..topology import XGFT
 
@@ -37,6 +38,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..store.compact import CompactRouteTable
 
 __all__ = ["Route", "RouteError", "RouteTable"]
+
+#: the table's column type: dense int64 index/port arrays
+IntArray = npt.NDArray[np.int64]
 
 
 class RouteError(ValueError):
@@ -154,26 +158,26 @@ class RouteTable:
     def __init__(
         self,
         topo: XGFT,
-        src: np.ndarray,
-        dst: np.ndarray,
-        nca_level: np.ndarray,
-        ports: np.ndarray,
-    ):
+        src: npt.ArrayLike,
+        dst: npt.ArrayLike,
+        nca_level: npt.ArrayLike,
+        ports: npt.ArrayLike,
+    ) -> None:
         self.topo = topo
-        self.src = np.asarray(src, dtype=np.int64)
-        self.dst = np.asarray(dst, dtype=np.int64)
-        self.nca_level = np.asarray(nca_level, dtype=np.int64)
-        self.ports = np.asarray(ports, dtype=np.int64)
+        self.src: IntArray = np.asarray(src, dtype=np.int64)
+        self.dst: IntArray = np.asarray(dst, dtype=np.int64)
+        self.nca_level: IntArray = np.asarray(nca_level, dtype=np.int64)
+        self.ports: IntArray = np.asarray(ports, dtype=np.int64)
         if self.ports.shape != (len(self.src), topo.h):
             raise ValueError(
                 f"ports must have shape (F, h)={(len(self.src), topo.h)}, got {self.ports.shape}"
             )
-        self._pair_rows: np.ndarray | None = None
+        self._pair_rows: IntArray | None = None
 
     def __len__(self) -> int:
         return len(self.src)
 
-    def __getitem__(self, key: str):
+    def __getitem__(self, key: str) -> IntArray:
         """Legacy dict-of-arrays access (``table["ports"]``), deprecated.
 
         The table predates its typed API as an ad-hoc mapping of arrays;
@@ -187,7 +191,7 @@ class RouteTable:
                 DeprecationWarning,
                 stacklevel=2,
             )
-            return getattr(self, key)
+            return cast(IntArray, getattr(self, key))
         raise KeyError(
             f"RouteTable has no column {key!r}; dict-style access covers "
             f"{', '.join(_DICT_FIELDS)} only (deprecated — use attributes)"
@@ -196,7 +200,7 @@ class RouteTable:
     # ------------------------------------------------------------------
     # Point and batch lookup
     # ------------------------------------------------------------------
-    def _rows(self) -> np.ndarray:
+    def _rows(self) -> IntArray:
         """Lazy ``(n*n,)`` flat-pair -> row index (first occurrence wins)."""
         if self._pair_rows is None:
             n = self.topo.num_leaves
@@ -223,7 +227,7 @@ class RouteTable:
             raise KeyError(f"pair ({src}, {dst}) has no route in this table")
         return self.route(row)
 
-    def batch_lookup(self, srcs: np.ndarray, dsts: np.ndarray) -> "RouteTable":
+    def batch_lookup(self, srcs: npt.ArrayLike, dsts: npt.ArrayLike) -> "RouteTable":
         """The stored rows of many pairs, as a new table (order kept).
 
         Vectorized; raises ``KeyError`` naming the first missing pair.
@@ -289,7 +293,7 @@ class RouteTable:
     # ------------------------------------------------------------------
     # Vectorized link expansion
     # ------------------------------------------------------------------
-    def flow_links(self) -> tuple[np.ndarray, np.ndarray]:
+    def flow_links(self) -> tuple[IntArray, IntArray]:
         """COO expansion ``(flow_idx, link_idx)`` of all traversed links.
 
         For every flow ``f`` with NCA level ``l`` the expansion contains
@@ -297,8 +301,8 @@ class RouteTable:
         links at the same levels (see :class:`Route`).
         """
         topo = self.topo
-        flows: list[np.ndarray] = []
-        links: list[np.ndarray] = []
+        flows: list[IntArray] = []
+        links: list[IntArray] = []
         # r_prefix[f] accumulates the mixed-radix value of ports[:, :i]
         # (the W_1..W_i digits shared by the up and down path nodes).
         r_prefix = np.zeros(len(self), dtype=np.int64)
@@ -326,7 +330,7 @@ class RouteTable:
             return empty, empty
         return np.concatenate(flows), np.concatenate(links)
 
-    def nca_nodes(self) -> np.ndarray:
+    def nca_nodes(self) -> IntArray:
         """``(F,)`` array: the chosen NCA node id of every flow.
 
         Note the id is only meaningful together with ``nca_level``; flows
@@ -360,7 +364,7 @@ class RouteTable:
             np.vstack([self.ports, other.ports]),
         )
 
-    def take(self, idx: np.ndarray) -> "RouteTable":
+    def take(self, idx: npt.ArrayLike) -> "RouteTable":
         """A new table holding rows ``idx`` (gathered, copies).
 
         The row-subsetting primitive shared with

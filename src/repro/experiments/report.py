@@ -47,10 +47,10 @@ def _cell(value: float | BoxStats, precision: int = 2) -> str:
 def format_sweep(sweep: FigureSweep, title: str = "") -> str:
     """Render a Fig.-2/5 slimming sweep as an aligned text table."""
     names = [s.algorithm for s in sweep.series]
-    header = ["w2"] + names
+    header = ["w2", *names]
     rows = [header]
     for w2 in sweep.w2_values:
-        rows.append([str(w2)] + [_cell(s.values[w2]) for s in sweep.series])
+        rows.append([str(w2), *(_cell(s.values[w2]) for s in sweep.series)])
     widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
     lines = [title or f"slowdown vs Full-Crossbar — {sweep.application}"]
     for i, row in enumerate(rows):
@@ -198,10 +198,10 @@ def format_fault_sweep(artifact) -> str:
                 text += f" (-{lost:.1%})"
         return text
 
-    header = ["faults"] + algorithms
+    header = ["faults", *algorithms]
     rows = [header]
     for faults in fault_axis:
-        rows.append([faults] + [render(faults, a) for a in algorithms])
+        rows.append([faults, *(render(faults, a) for a in algorithms)])
     widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
     title = (
         f"{headline} vs fault scenario — {spec['patterns'][0]} on "
@@ -261,13 +261,13 @@ def format_dynamic_sweep(artifact) -> str:
             text += f" (-{rejected:.1%})"
         return text
 
-    header = ["workload"] + algorithms
+    header = ["workload", *algorithms]
     rows = [header]
     for workload in workload_axis:
         for faults in fault_axis:
             label = workload if faults == "none" else f"{workload}+{faults}"
             rows.append(
-                [label] + [render(workload, faults, a) for a in algorithms]
+                [label, *(render(workload, faults, a) for a in algorithms)]
             )
     widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
     title = (

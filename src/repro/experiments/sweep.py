@@ -453,7 +453,9 @@ def _execute_group(
     crossbar_memo: dict = {}
     base_spans = 0
     if trace:
-        TRACER.enable()  # spawn-started workers don't inherit the flag
+        # re-arming per-process infrastructure, not sharing state:
+        # spawn-started workers don't inherit the parent's tracer flag
+        TRACER.enable()  # repro: noqa[REP030]
         base_spans = len(TRACER.spans())
     out = []
     for index, run_d in indexed_runs:

@@ -327,7 +327,7 @@ class RepairedRouting(RoutingAlgorithm):
                     src, dst, f"greedy-dst dead end: no live up-port at level {i}"
                 )
             want = base_ports[i]
-            port = min(alive_ports, key=lambda p: (p - want) % topo.w[i])
+            port = min(alive_ports, key=lambda p, want=want, w=topo.w[i]: (p - want) % w)
             chosen.append(port)
         # the descent to dst is forced; verify it survives
         for i in range(level):

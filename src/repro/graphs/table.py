@@ -138,7 +138,7 @@ class PathTable:
         walk must be simple), or transit through a third host.
         """
         g = self.topo
-        host_set = set(int(h) for h in g.hosts)
+        host_set = {int(h) for h in g.hosts}
         for f in range(len(self)):
             nodes = self.path_nodes(f)
             src_node = g.host_node(int(self.src[f]))
@@ -153,7 +153,7 @@ class PathTable:
                 raise GraphError(f"flow {f}: arc chain is broken")
             if len(np.unique(nodes)) != len(nodes):
                 raise GraphError(f"flow {f}: walk revisits a node (not simple)")
-            interior = set(int(n) for n in nodes[1:-1]) if len(nodes) > 2 else set()
+            interior = {int(n) for n in nodes[1:-1]} if len(nodes) > 2 else set()
             if interior & host_set:
                 raise GraphError(f"flow {f}: walk transits a host node")
 

@@ -1,0 +1,59 @@
+"""Domain-aware static analysis for the repro package.
+
+``repro lint`` enforces the invariants the test suite cannot see until
+they bite: determinism (seeded RNG, clock- and order-independence of
+artifact content), registry hygiene (every spec literal resolves),
+instrumentation discipline (spans close, hot loops stay cheap,
+counters stay monotone), concurrency rules (pool workers are pure,
+async handlers never block), and numpy dtype hygiene in the simulation
+hot paths.
+
+Programmatic entry point::
+
+    from repro.lint import run_lint
+    result = run_lint(["src", "tests"])
+    assert result.ok, result.format_text()
+
+The rule catalogue lives in ``docs/lint.md``; suppress a finding with
+``# repro: noqa[REP001]`` on any line of the flagged statement (unused
+suppressions are themselves findings).
+"""
+
+from __future__ import annotations
+
+from .context import DETERMINISM_ROOTS, FileContext, ProjectScope, extract_fences
+from .diagnostics import (
+    SCHEMA_VERSION,
+    Diagnostic,
+    LintResult,
+    result_from_json,
+    result_to_json,
+)
+from .engine import (
+    LINT_RULES,
+    Rule,
+    discover,
+    register_rule,
+    rule_ids,
+    run_lint,
+    select_rules,
+)
+
+__all__ = [
+    "DETERMINISM_ROOTS",
+    "Diagnostic",
+    "FileContext",
+    "LINT_RULES",
+    "LintResult",
+    "ProjectScope",
+    "Rule",
+    "SCHEMA_VERSION",
+    "discover",
+    "extract_fences",
+    "register_rule",
+    "result_from_json",
+    "result_to_json",
+    "rule_ids",
+    "run_lint",
+    "select_rules",
+]

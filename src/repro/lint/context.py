@@ -1,0 +1,392 @@
+"""Per-file and cross-file analysis context for the lint engine.
+
+:class:`FileContext` wraps one parsed source unit: AST with a parent
+map, resolved import aliases (so a rule asks for the *qualified* name
+``numpy.random.seed`` regardless of the ``import numpy as np`` /
+``from numpy import random`` spelling at the call site), the
+``# repro: noqa[...]`` suppression table, and the file's *scope tags*.
+
+Scope tags drive rule applicability:
+
+``src``
+    a module of the ``repro`` package (under ``src/repro/``);
+``test``
+    anything under a ``tests`` directory or named ``test_*.py``;
+``sim`` / ``serve`` / ``obs``
+    the subsystem submodules, by dotted module name;
+``determinism``
+    modules whose behavior can reach a reproducibility artifact —
+    ``repro.store``, ``repro.core``, ``repro.graphs``,
+    ``repro.experiments.sweep`` and (via :class:`ProjectScope`'s import
+    graph) everything they transitively import inside the package.
+
+A fixture or a one-off file can pin its tags explicitly with a
+``# repro: scope[sim,determinism]`` comment, which *replaces* the
+computed tags — that is how the rule fixtures under ``tests/lint/``
+exercise path-scoped rules from outside the package tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections import deque
+from pathlib import Path
+
+__all__ = [
+    "FileContext",
+    "ProjectScope",
+    "extract_fences",
+    "module_name_for",
+]
+
+#: ``# repro: noqa[REP001,REP010]`` — suppress the named rules on this
+#: line.  Directives are anchored at the start of the comment (matched,
+#: not searched) so prose that merely *mentions* the syntax — like this
+#: very comment — is not a directive.
+_NOQA_RULES = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+#: ``# repro: noqa`` — suppress every rule on this line
+_NOQA_ALL = re.compile(r"#\s*repro:\s*noqa(?!\[)")
+#: ``# repro: scope[sim,determinism]`` — override the file's scope tags
+_SCOPE = re.compile(r"#\s*repro:\s*scope\[([a-z,\s-]*)\]")
+
+#: dotted-module prefixes whose behavior reaches a reproducibility
+#: artifact (route tables, store entries, sweep records)
+DETERMINISM_ROOTS = ("repro.store", "repro.core", "repro.graphs", "repro.experiments.sweep")
+
+
+def module_name_for(path: Path) -> str | None:
+    """The dotted ``repro.*`` module name of ``path``, or ``None``.
+
+    Derived purely from the path (``.../src/repro/sim/fluid.py`` →
+    ``repro.sim.fluid``), so it works on uninstalled trees and on
+    fixture copies alike.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro" and i and parts[i - 1] == "src":
+            dotted = list(parts[i:-1])
+            stem = path.stem
+            if stem != "__init__":
+                dotted.append(stem)
+            return ".".join(dotted)
+    return None
+
+
+class ProjectScope:
+    """The cross-file side of a lint run: the package import graph.
+
+    Built once from every ``repro.*`` module in the linted set; answers
+    "is this module reachable from a determinism root?" by walking the
+    roots' transitive imports.  Files outside the package (tests,
+    fixtures, fences) are never determinism-scoped by the graph — they
+    opt in via the ``# repro: scope[...]`` directive.
+    """
+
+    def __init__(self, imports: dict[str, set[str]]):
+        self._imports = imports
+        self._determinism = self._reach(DETERMINISM_ROOTS)
+
+    @staticmethod
+    def build(paths: list[Path]) -> "ProjectScope":
+        imports: dict[str, set[str]] = {}
+        for path in paths:
+            module = module_name_for(path)
+            if module is None:
+                continue
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+            except (SyntaxError, OSError, UnicodeDecodeError):
+                continue
+            imports[module] = _repro_imports(tree, module)
+        return ProjectScope(imports)
+
+    def _reach(self, roots: tuple[str, ...]) -> set[str]:
+        # seed with every known module under a root prefix, then close
+        # over the import edges (a package import pulls its __init__,
+        # whose own imports are edges here too)
+        seen: set[str] = set()
+        queue: deque[str] = deque(
+            m for m in self._imports if m.startswith(roots) or m in roots
+        )
+        while queue:
+            module = queue.popleft()
+            if module in seen:
+                continue
+            seen.add(module)
+            for imported in self._imports.get(module, ()):
+                # an import of a package also executes its __init__:
+                # repro.store -> repro.store.__init__'s imports are the
+                # same key (module_name_for maps __init__ to the package)
+                if imported not in seen:
+                    queue.append(imported)
+                # importing repro.a.b implicitly imports repro.a
+                parent = imported.rpartition(".")[0]
+                if parent and parent not in seen and parent in self._imports:
+                    queue.append(parent)
+        return seen
+
+    def determinism_scoped(self, module: str | None) -> bool:
+        if module is None:
+            return False
+        if module.startswith(DETERMINISM_ROOTS) or module in DETERMINISM_ROOTS:
+            return True
+        return module in self._determinism
+
+
+def _repro_imports(tree: ast.Module, module: str) -> set[str]:
+    """Every ``repro.*`` module ``module`` imports (relative resolved)."""
+    out: set[str] = set()
+    package_parts = module.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    out.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            base: str | None
+            if node.level:
+                # relative import: climb `level` packages from here
+                # (level=1 from repro.a.b means package repro.a)
+                anchor = package_parts[: len(package_parts) - node.level]
+                if not anchor:
+                    continue
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            else:
+                base = node.module
+            if base is None or not (base == "repro" or base.startswith("repro.")):
+                continue
+            out.add(base)
+            # `from repro.a import b` may mean module repro.a.b
+            for alias in node.names:
+                out.add(f"{base}.{alias.name}")
+    return out
+
+
+class FileContext:
+    """One parsed source unit plus everything rules ask about it."""
+
+    def __init__(
+        self,
+        path: Path | str,
+        source: str,
+        *,
+        display: str | None = None,
+        line_offset: int = 0,
+        scope: ProjectScope | None = None,
+        kind: str = "python",
+    ):
+        self.path = Path(path)
+        self.display = display if display is not None else str(path)
+        self.source = source
+        self.kind = kind
+        self.line_offset = line_offset
+        self.tree: ast.Module | None = None
+        self.parse_error: SyntaxError | None = None
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as exc:
+            self.parse_error = exc
+        self.module = module_name_for(self.path)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self._aliases: dict[str, str] | None = None
+        self.noqa: dict[int, set[str] | None] = {}
+        self.noqa_used: dict[int, set[str]] = {}
+        self._scope_directive: set[str] | None = None
+        self._collect_comments()
+        self.scopes = self._compute_scopes(scope)
+
+    # -- comments: suppressions and scope directives --------------------
+    def _collect_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            comments = [
+                (i + 1, line[line.index("#") :])
+                for i, line in enumerate(self.source.splitlines())
+                if "#" in line
+            ]
+        for line, text in comments:
+            match = _NOQA_RULES.match(text)
+            if match:
+                rules = {r.strip().upper() for r in match.group(1).split(",") if r.strip()}
+                if rules:
+                    self.noqa[line] = rules
+                continue
+            if _NOQA_ALL.match(text):
+                self.noqa[line] = None  # blanket: every rule
+                continue
+            match = _SCOPE.match(text)
+            if match:
+                self._scope_directive = {
+                    t.strip() for t in match.group(1).split(",") if t.strip()
+                }
+
+    def _compute_scopes(self, scope: ProjectScope | None) -> frozenset[str]:
+        if self._scope_directive is not None:
+            return frozenset(self._scope_directive)
+        tags: set[str] = set()
+        parts = self.path.parts
+        if self.module is not None:
+            tags.add("src")
+            for subsystem in ("sim", "serve", "obs", "store", "lint"):
+                if self.module.startswith(f"repro.{subsystem}"):
+                    tags.add(subsystem)
+            if self.module.startswith(DETERMINISM_ROOTS) or (
+                scope is not None and scope.determinism_scoped(self.module)
+            ):
+                tags.add("determinism")
+        if "tests" in parts or self.path.name.startswith("test_"):
+            tags.add("test")
+            tags.discard("src")
+        return frozenset(tags)
+
+    # -- AST services ----------------------------------------------------
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = {}
+            assert self.tree is not None
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    self._parents[child] = node
+        return self._parents
+
+    def ancestors(self, node: ast.AST):
+        """Yield ``node``'s ancestors, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> dotted origin, from the file's imports.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from time import
+        time as now`` maps ``now -> time.time``; relative imports map
+        into the resolved ``repro.*`` namespace when the file is a
+        package module.
+        """
+        if self._aliases is None:
+            self._aliases = {}
+            if self.tree is not None:
+                for node in ast.walk(self.tree):
+                    if isinstance(node, ast.Import):
+                        for alias in node.names:
+                            local = alias.asname or alias.name.partition(".")[0]
+                            target = alias.name if alias.asname else alias.name.partition(".")[0]
+                            self._aliases[local] = target
+                    elif isinstance(node, ast.ImportFrom):
+                        base = self._resolve_from(node)
+                        if base is None:
+                            continue
+                        for alias in node.names:
+                            if alias.name == "*":
+                                continue
+                            local = alias.asname or alias.name
+                            self._aliases[local] = f"{base}.{alias.name}"
+        return self._aliases
+
+    def _resolve_from(self, node: ast.ImportFrom) -> str | None:
+        if not node.level:
+            return node.module
+        if self.module is None:
+            return node.module  # relative import outside the package: best effort
+        parts = self.module.split(".")
+        anchor = parts[: len(parts) - node.level]
+        if not anchor:
+            return node.module
+        return ".".join(anchor + ([node.module] if node.module else []))
+
+    def qualified(self, node: ast.AST) -> str | None:
+        """The dotted, alias-resolved name of a Name/Attribute chain.
+
+        ``np.random.seed`` (with ``import numpy as np``) resolves to
+        ``"numpy.random.seed"``; unresolvable shapes (calls on call
+        results, subscripts) return ``None``.
+        """
+        chain: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        chain.append(current.id)
+        chain.reverse()
+        head = self.aliases.get(chain[0], chain[0])
+        return ".".join([head, *chain[1:]])
+
+    def line(self, node: ast.AST) -> int:
+        return getattr(node, "lineno", 1) + self.line_offset
+
+    def end_line(self, node: ast.AST) -> int:
+        end = getattr(node, "end_lineno", None) or getattr(node, "lineno", 1)
+        return end + self.line_offset
+
+    def col(self, node: ast.AST) -> int:
+        return getattr(node, "col_offset", 0) + 1
+
+    def walk(self):
+        if self.tree is None:
+            return iter(())
+        return ast.walk(self.tree)
+
+
+# ----------------------------------------------------------------------
+# Markdown code fences (docs hygiene)
+# ----------------------------------------------------------------------
+_FENCE = re.compile(r"^(\s*)```\s*([A-Za-z0-9_+-]*)\s*$")
+_DOCTEST_PREFIX = re.compile(r"^\s*(?:>>>|\.\.\.)\s?")
+
+
+def extract_fences(text: str) -> list[tuple[int, str]]:
+    """``(first_code_line, code)`` for every python-looking fence.
+
+    Fences tagged with a non-python language are skipped; untagged and
+    ``python``/``py``/``pycon`` fences are kept when they parse (prose
+    or shell fragments inside untagged fences simply fail ``ast.parse``
+    downstream and are dropped by the caller).  Doctest prompts are
+    stripped, non-doctest output lines inside doctest blocks dropped.
+    """
+    fences: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    in_fence = False
+    lang = ""
+    start = 0
+    buffer: list[str] = []
+    for i, line in enumerate(lines, start=1):
+        match = _FENCE.match(line)
+        if match and not in_fence:
+            in_fence, lang, start, buffer = True, match.group(2).lower(), i + 1, []
+            continue
+        if match and in_fence:
+            in_fence = False
+            if lang in ("", "python", "py", "pycon"):
+                code = _strip_doctest("\n".join(buffer))
+                if code.strip():
+                    fences.append((start, code))
+            continue
+        if in_fence:
+            buffer.append(line)
+    return fences
+
+
+def _strip_doctest(code: str) -> str:
+    lines = code.splitlines()
+    if not any(line.lstrip().startswith(">>>") for line in lines):
+        return code
+    kept = [
+        _DOCTEST_PREFIX.sub("", line)
+        for line in lines
+        if _DOCTEST_PREFIX.match(line)
+    ]
+    return "\n".join(kept)

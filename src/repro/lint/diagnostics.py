@@ -1,0 +1,139 @@
+"""Diagnostics: the unit of lint output.
+
+A :class:`Diagnostic` is one finding of one rule at one source anchor.
+Anchors are 1-based ``file:line:col`` (the editor/CI convention);
+``end_line`` extends the anchor over multi-line statements so a
+``# repro: noqa[RULE]`` on any physical line of the flagged statement
+suppresses it.
+
+The JSON document (:func:`result_to_json` / :func:`result_from_json`)
+is schema-versioned like every other artifact in the package, so the
+CI job can upload it and downstream tooling can trend it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Diagnostic",
+    "LintResult",
+    "SCHEMA_VERSION",
+    "result_from_json",
+    "result_to_json",
+]
+
+#: bumped whenever the JSON document shape changes
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule finding at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    end_line: int = 0  # 0 -> same as line
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
+
+    @property
+    def anchor(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def format(self) -> str:
+        return f"{self.anchor}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "message": self.message,
+        }
+
+    @staticmethod
+    def from_dict(d: dict[str, object]) -> "Diagnostic":
+        return Diagnostic(
+            rule=str(d["rule"]),
+            path=str(d["path"]),
+            line=int(d["line"]),  # type: ignore[arg-type]
+            col=int(d["col"]),  # type: ignore[arg-type]
+            message=str(d["message"]),
+            end_line=int(d.get("end_line", 0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Everything one lint run produced.
+
+    ``diagnostics`` are sorted by ``(path, line, col, rule)``;
+    ``statistics`` counts findings per rule id (only rules that fired),
+    plus the scan totals the ``--statistics`` flag prints.
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+    files: int
+    rules: tuple[str, ...]
+    suppressed: int = 0
+    statistics: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def format_text(self, statistics: bool = False) -> str:
+        lines = [d.format() for d in self.diagnostics]
+        if statistics:
+            lines.append("")
+            for rule, count in sorted(self.statistics.items()):
+                lines.append(f"{rule:>8}  {count}")
+            lines.append(
+                f"{len(self.diagnostics)} finding(s) in {self.files} file(s), "
+                f"{self.suppressed} suppressed, {len(self.rules)} rule(s) enabled"
+            )
+        elif not self.diagnostics:
+            lines.append(f"clean: {self.files} file(s), {len(self.rules)} rule(s)")
+        return "\n".join(lines)
+
+
+def result_to_json(result: LintResult) -> str:
+    """The schema-versioned JSON document for a lint run."""
+    doc = {
+        "kind": "repro-lint",
+        "schema_version": SCHEMA_VERSION,
+        "files": result.files,
+        "rules": list(result.rules),
+        "suppressed": result.suppressed,
+        "statistics": dict(sorted(result.statistics.items())),
+        "diagnostics": [d.to_dict() for d in result.diagnostics],
+    }
+    return json.dumps(doc, indent=1, sort_keys=True)
+
+
+def result_from_json(text: str) -> LintResult:
+    """Inverse of :func:`result_to_json` (round-trip tested)."""
+    doc = json.loads(text)
+    if doc.get("kind") != "repro-lint":
+        raise ValueError(f"not a repro-lint document (kind={doc.get('kind')!r})")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported lint schema_version {doc.get('schema_version')!r} "
+            f"(this build reads {SCHEMA_VERSION})"
+        )
+    return LintResult(
+        diagnostics=tuple(Diagnostic.from_dict(d) for d in doc["diagnostics"]),
+        files=int(doc["files"]),
+        rules=tuple(doc["rules"]),
+        suppressed=int(doc.get("suppressed", 0)),
+        statistics={str(k): int(v) for k, v in doc.get("statistics", {}).items()},
+    )

@@ -1,0 +1,382 @@
+"""The lint engine: rule registration, discovery, suppression, output.
+
+Rules are components of the unified registry machinery
+(:class:`repro.registry.Registry`), registered by id::
+
+    @register_rule(
+        "REP001", name="numpy-global-rng", family="determinism",
+        summary="module-level numpy RNG call",
+    )
+    def check(ctx: FileContext) -> Iterator[Diagnostic]: ...
+
+A rule is a function from a :class:`~repro.lint.context.FileContext`
+to diagnostics; ``scopes``/``exclude_scopes`` gate where it runs (see
+the scope-tag table in :mod:`repro.lint.context`), and ``docs=True``
+additionally runs it on python code fences extracted from markdown.
+
+Suppression is per line: ``# repro: noqa[REP001]`` (or a blanket
+``# repro: noqa``) on any physical line of the flagged statement.
+Suppressions that suppress nothing are themselves findings
+(``REP090``), so stale annotations cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from ..registry import Registry
+from .context import FileContext, ProjectScope, extract_fences
+from .diagnostics import Diagnostic, LintResult
+
+__all__ = [
+    "LINT_RULES",
+    "Rule",
+    "register_rule",
+    "rule_ids",
+    "run_lint",
+    "select_rules",
+]
+
+#: rule ids always enabled regardless of ``--rules`` selection
+META_RULES = ("REP000", "REP090")
+
+#: path components never descended into during directory discovery;
+#: deliberately includes ``fixtures`` so the rule fixtures under
+#: ``tests/lint/fixtures/`` (true-positive files!) keep CI green while
+#: staying lintable by explicit file argument
+SKIP_DIR_PARTS = frozenset(
+    {"__pycache__", ".git", ".ruff_cache", ".mypy_cache", ".pytest_cache",
+     ".hypothesis", "fixtures", "node_modules", ".venv", "venv", ".eggs"}
+)
+
+CheckFn = Callable[[FileContext], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check."""
+
+    id: str
+    name: str
+    family: str
+    summary: str
+    check: CheckFn
+    scopes: frozenset[str] = frozenset()  # required tags (any-of); empty = everywhere
+    exclude_scopes: frozenset[str] = frozenset()
+    docs: bool = False  # also run on markdown code fences
+
+    def applies(self, ctx: FileContext) -> bool:
+        if ctx.kind == "fence" and not self.docs:
+            return False
+        if self.exclude_scopes & ctx.scopes:
+            return False
+        if self.scopes and not (self.scopes & ctx.scopes):
+            return False
+        return True
+
+
+#: the lint-rule registry — extensible like every other component family
+LINT_RULES: Registry = Registry("lint rule")
+
+
+def register_rule(
+    rule_id: str,
+    *,
+    name: str,
+    family: str,
+    summary: str,
+    scopes: Iterable[str] = (),
+    exclude_scopes: Iterable[str] = (),
+    docs: bool = False,
+    override: bool = False,
+) -> Callable[[CheckFn], CheckFn]:
+    """Decorator registering a check function under ``rule_id``."""
+
+    def decorator(fn: CheckFn) -> CheckFn:
+        LINT_RULES.register(
+            rule_id,
+            Rule(
+                id=rule_id,
+                name=name,
+                family=family,
+                summary=summary,
+                check=fn,
+                scopes=frozenset(scopes),
+                exclude_scopes=frozenset(exclude_scopes),
+                docs=docs,
+            ),
+            override=override,
+        )
+        return fn
+
+    return decorator
+
+
+def rule_ids() -> tuple[str, ...]:
+    """Every registered rule id, sorted."""
+    _load_rule_pack()
+    return LINT_RULES.names()
+
+
+def select_rules(selection: Iterable[str] | None) -> tuple[Rule, ...]:
+    """Resolve a ``--rules`` selection to rule objects.
+
+    Items match an exact id (``REP001``), an id prefix (``REP00``) or a
+    family name (``determinism``).  Meta rules (parse errors, unused
+    suppressions) are always included.  Unknown selectors raise.
+    """
+    _load_rule_pack()
+    all_rules = [LINT_RULES.get(rid) for rid in LINT_RULES.names()]
+    if selection is None:
+        return tuple(all_rules)
+    chosen: dict[str, Rule] = {}
+    for item in selection:
+        key = item.strip()
+        if not key:
+            continue
+        matched = [
+            r
+            for r in all_rules
+            if r.id == key.upper()
+            or r.id.startswith(key.upper())
+            or r.family == key.lower()
+            or r.name == key.lower()
+        ]
+        if not matched:
+            families = sorted({r.family for r in all_rules})
+            raise ValueError(
+                f"unknown rule selector {item!r}; use an id/prefix from "
+                f"{', '.join(r.id for r in all_rules)} or a family from "
+                f"{', '.join(families)}"
+            )
+        for rule in matched:
+            chosen[rule.id] = rule
+    for rid in META_RULES:
+        if rid in LINT_RULES:
+            chosen[rid] = LINT_RULES.get(rid)
+    return tuple(chosen[rid] for rid in sorted(chosen))
+
+
+def _load_rule_pack() -> None:
+    """Import the bundled rule modules (registration side effects)."""
+    from . import rules as _rules  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# Discovery
+# ----------------------------------------------------------------------
+def discover(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand paths to the files to lint (sorted, deduplicated).
+
+    Directories are walked for ``*.py`` and ``*.md``, skipping caches
+    and ``fixtures`` directories; explicitly named files are always
+    included — lint a fixture directly to see its findings.
+    """
+    out: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for found in sorted(path.rglob("*.py")) + sorted(path.rglob("*.md")):
+                if any(part in SKIP_DIR_PARTS for part in found.parts):
+                    continue
+                out[found] = None
+        elif path.exists():
+            out[path] = None
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+# ----------------------------------------------------------------------
+# The run
+# ----------------------------------------------------------------------
+@dataclass
+class _FileOutcome:
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    *,
+    rules: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint ``paths`` and return the aggregate :class:`LintResult`."""
+    selected = select_rules(rules)
+    files = discover(paths)
+    scope = ProjectScope.build([p for p in files if p.suffix == ".py"])
+    enabled_ids = {r.id for r in selected}
+
+    diagnostics: list[Diagnostic] = []
+    suppressed_total = 0
+    scanned = 0
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            diagnostics.append(
+                Diagnostic("REP000", str(path), 1, 1, f"unreadable file: {exc}")
+            )
+            continue
+        scanned += 1
+        if path.suffix == ".md":
+            for ctx in _fence_contexts(path, source, scope):
+                outcome = _lint_context(ctx, selected, enabled_ids)
+                diagnostics.extend(outcome.diagnostics)
+                suppressed_total += outcome.suppressed
+            continue
+        ctx = FileContext(path, source, scope=scope)
+        outcome = _lint_context(ctx, selected, enabled_ids)
+        diagnostics.extend(outcome.diagnostics)
+        suppressed_total += outcome.suppressed
+
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    statistics: dict[str, int] = {}
+    for d in diagnostics:
+        statistics[d.rule] = statistics.get(d.rule, 0) + 1
+    return LintResult(
+        diagnostics=tuple(diagnostics),
+        files=scanned,
+        rules=tuple(sorted(enabled_ids)),
+        suppressed=suppressed_total,
+        statistics=statistics,
+    )
+
+
+def _fence_contexts(path: Path, text: str, scope: ProjectScope) -> Iterator[FileContext]:
+    for index, (first_line, code) in enumerate(extract_fences(text), start=1):
+        ctx = FileContext(
+            path,
+            code,
+            display=f"{path}#fence{index}",
+            line_offset=first_line - 1,
+            scope=scope,
+            kind="fence",
+        )
+        if ctx.parse_error is not None:
+            continue  # prose/shell inside an untagged fence: not code
+        yield ctx
+
+
+def _lint_context(
+    ctx: FileContext, selected: tuple[Rule, ...], enabled_ids: set[str]
+) -> _FileOutcome:
+    outcome = _FileOutcome()
+    if ctx.parse_error is not None:
+        if ctx.kind == "python":
+            exc = ctx.parse_error
+            outcome.diagnostics.append(
+                Diagnostic(
+                    "REP000",
+                    ctx.display,
+                    (exc.lineno or 1) + ctx.line_offset,
+                    (exc.offset or 1),
+                    f"file does not parse: {exc.msg}",
+                )
+            )
+        return outcome
+
+    raw: list[Diagnostic] = []
+    for rule in selected:
+        if rule.id in META_RULES or not rule.applies(ctx):
+            continue
+        for diag in rule.check(ctx):
+            raw.append(diag)
+
+    # apply suppressions; remember which noqa lines earned their keep
+    for diag in raw:
+        if _suppressed(ctx, diag):
+            outcome.suppressed += 1
+        else:
+            outcome.diagnostics.append(diag)
+
+    # unused-suppression findings (REP090) — a noqa naming only rules
+    # outside the enabled set is not reportable (we cannot know whether
+    # it would have matched), and doc fences are exempt so the docs can
+    # illustrate the suppression syntax
+    if "REP090" in enabled_ids and ctx.kind != "fence":
+        for line, named in sorted(ctx.noqa.items()):
+            used = ctx.noqa_used.get(line, set())
+            if named is None:
+                if not used:
+                    outcome.diagnostics.append(
+                        Diagnostic(
+                            "REP090",
+                            ctx.display,
+                            line + ctx.line_offset,
+                            1,
+                            "blanket '# repro: noqa' suppresses nothing on this line",
+                        )
+                    )
+                continue
+            stale = sorted((named & enabled_ids) - used)
+            if stale and not (named - enabled_ids):
+                outcome.diagnostics.append(
+                    Diagnostic(
+                        "REP090",
+                        ctx.display,
+                        line + ctx.line_offset,
+                        1,
+                        "unused suppression: "
+                        + ", ".join(stale)
+                        + " did not fire on this line",
+                    )
+                )
+    return outcome
+
+
+def _suppressed(ctx: FileContext, diag: Diagnostic) -> bool:
+    first = diag.line - ctx.line_offset
+    last = max(first, diag.end_line - ctx.line_offset)
+    for line in range(first, last + 1):
+        if line not in ctx.noqa:
+            continue
+        named = ctx.noqa[line]
+        if named is None or diag.rule in named:
+            ctx.noqa_used.setdefault(line, set()).add(diag.rule)
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Small AST helpers shared by the rule modules
+# ----------------------------------------------------------------------
+def call_qualified(ctx: FileContext, node: ast.Call) -> str | None:
+    """Alias-resolved dotted name of the called object, or ``None``."""
+    return ctx.qualified(node.func)
+
+
+def string_arg(node: ast.Call, position: int, *keywords: str) -> ast.Constant | None:
+    """The string literal at ``position`` (or one of ``keywords``), if any."""
+    if len(node.args) > position:
+        arg = node.args[position]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg
+        return None
+    for kw in node.keywords:
+        if kw.arg in keywords and isinstance(kw.value, ast.Constant) and isinstance(
+            kw.value.value, str
+        ):
+            return kw.value
+    return None
+
+
+def has_keyword(node: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in node.keywords)
+
+
+def in_with_context(ctx: FileContext, node: ast.AST) -> bool:
+    """Is ``node`` (part of) a ``with`` item's context expression?"""
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.withitem):
+            return _contains(ancestor.context_expr, node)
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return False
+    return False
+
+
+def _contains(root: ast.AST, target: ast.AST) -> bool:
+    return any(child is target for child in ast.walk(root))

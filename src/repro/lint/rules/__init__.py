@@ -1,0 +1,48 @@
+"""The bundled rule pack.
+
+Importing this package registers every rule with
+:data:`repro.lint.engine.LINT_RULES`.  Third-party packs can do the
+same — register via :func:`repro.lint.engine.register_rule` before
+calling :func:`repro.lint.run_lint`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..engine import register_rule
+from . import (  # noqa: F401  (registration side effects)
+    concurrency,
+    determinism,
+    instrumentation,
+    numpy_hygiene,
+    registry_hygiene,
+)
+
+__all__: list[str] = []
+
+
+# The meta rules are emitted by the engine itself (parse failures and
+# stale suppressions have no per-node check to run); they are
+# registered so they appear in --list-rules, the docs catalogue, and
+# rule selection like every other id.
+@register_rule(
+    "REP000",
+    name="parse-error",
+    family="meta",
+    summary="file is unreadable or does not parse",
+)
+def _parse_error_placeholder(ctx: FileContext) -> Iterator[Diagnostic]:
+    return iter(())
+
+
+@register_rule(
+    "REP090",
+    name="unused-suppression",
+    family="meta",
+    summary="'# repro: noqa' suppresses nothing",
+)
+def _unused_suppression_placeholder(ctx: FileContext) -> Iterator[Diagnostic]:
+    return iter(())

@@ -1,0 +1,277 @@
+"""REP03x — concurrency and asyncio invariants.
+
+* **REP030** — functions dispatched to process pools (``imap``,
+  ``apply_async``, ``Process(target=...)``, executor ``submit``) run in
+  a forked/spawned interpreter: mutating module-level state there is
+  invisible to the parent *and* breaks the ``jobs=1`` ≡ ``jobs=N``
+  equivalence the sweep runner guarantees.  Workers take everything
+  through their payload and return everything through their result.
+  (Re-arming per-process infrastructure — e.g. enabling the tracer in
+  a spawned worker — is a deliberate exception; annotate it.)
+* **REP031** — ``async def`` bodies in the serve layer must not call
+  blocking I/O (``open``, ``time.sleep``, ``np.load`` …) directly: one
+  blocked coroutine stalls every connection on the loop.  Preload
+  before the loop starts or push the work into an executor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..engine import call_qualified, register_rule
+
+__all__: list[str] = []
+
+#: pool/executor methods whose first positional argument is a worker fn
+_DISPATCH_METHODS = frozenset(
+    {
+        "map",
+        "map_async",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "starmap_async",
+        "apply",
+        "apply_async",
+        "submit",
+    }
+)
+
+#: method names that mutate their receiver in place
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "clear",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "setdefault",
+        "enable",
+        "disable",
+        "reset",
+        "register",
+        "unregister",
+        "write",
+    }
+)
+
+_BLOCKING_CALLS = frozenset(
+    {
+        "open",
+        "input",
+        "time.sleep",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "numpy.load",
+        "numpy.save",
+        "numpy.savez",
+        "numpy.savez_compressed",
+        "json.load",
+        "json.dump",
+        "pickle.load",
+        "pickle.dump",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "shutil.copy",
+        "shutil.copytree",
+        "shutil.rmtree",
+    }
+)
+
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes", "mkdir", "unlink", "rename"}
+)
+
+
+def _diag(rule: str, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+    return Diagnostic(
+        rule, ctx.display, ctx.line(node), ctx.col(node), message, end_line=ctx.end_line(node)
+    )
+
+
+# ----------------------------------------------------------------------
+# REP030 — worker functions must not mutate module state
+# ----------------------------------------------------------------------
+@register_rule(
+    "REP030",
+    name="worker-mutates-module-state",
+    family="concurrency",
+    summary="pool worker mutates module-level state",
+)
+def check_worker_mutation(ctx: FileContext) -> Iterator[Diagnostic]:
+    if ctx.tree is None:
+        return
+    workers = _worker_names(ctx)
+    if not workers:
+        return
+    module_names = _module_level_names(ctx.tree)
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name in workers:
+            yield from _scan_worker(ctx, node, module_names)
+
+
+def _worker_names(ctx: FileContext) -> set[str]:
+    """Names of functions handed to a pool/executor/Process in this file."""
+    names: set[str] = set()
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _DISPATCH_METHODS:
+            if node.args and isinstance(node.args[0], ast.Name):
+                names.add(node.args[0].id)
+        qualified = call_qualified(ctx, node)
+        leaf = qualified.rpartition(".")[2] if qualified else None
+        if leaf in ("Process", "Pool", "ProcessPoolExecutor", "ThreadPoolExecutor"):
+            for kw in node.keywords:
+                if kw.arg in ("target", "initializer") and isinstance(kw.value, ast.Name):
+                    names.add(kw.value.id)
+    return names
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).partition(".")[0])
+    return names
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for element in target.elts:
+            out.update(_target_names(element))
+        return out
+    return set()
+
+
+def _scan_worker(
+    ctx: FileContext, fn: ast.AST, module_names: set[str]
+) -> Iterator[Diagnostic]:
+    declared_global: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+            yield _diag(
+                "REP030",
+                ctx,
+                node,
+                f"pool worker declares global {', '.join(node.names)}; "
+                "worker-side writes are invisible to the parent process — "
+                "pass state through the payload and the return value",
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+                if not isinstance(node, ast.Delete)
+                else node.targets
+            )
+            for target in targets:
+                base = _subscript_base(target)
+                if base is not None and base in module_names and base not in declared_global:
+                    yield _diag(
+                        "REP030",
+                        ctx,
+                        node,
+                        f"pool worker writes into module-level {base!r}; the "
+                        "mutation exists only in the worker process",
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr not in _MUTATORS:
+                continue
+            root = _attribute_root(node.func.value)
+            if root is not None and root in module_names:
+                yield _diag(
+                    "REP030",
+                    ctx,
+                    node,
+                    f"pool worker calls .{node.func.attr}() on module-level "
+                    f"{root!r}; the mutation exists only in the worker process",
+                )
+
+
+def _subscript_base(target: ast.expr) -> str | None:
+    """Module-level name written through a subscript/attribute store."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _attribute_root(node: ast.expr) -> str | None:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+# ----------------------------------------------------------------------
+# REP031 — no blocking I/O directly inside ``async def``
+# ----------------------------------------------------------------------
+@register_rule(
+    "REP031",
+    name="blocking-io-in-async",
+    family="concurrency",
+    summary="blocking call directly inside an async def",
+)
+def check_blocking_async(ctx: FileContext) -> Iterator[Diagnostic]:
+    if ctx.tree is None:
+        return
+    for node in ctx.walk():
+        if isinstance(node, ast.AsyncFunctionDef):
+            for stmt in node.body:
+                yield from _scan_async(ctx, stmt)
+
+
+def _scan_async(ctx: FileContext, node: ast.AST) -> Iterator[Diagnostic]:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return  # nested defs run when called, not on this coroutine's path
+    if isinstance(node, ast.Call):
+        reason = _blocking_reason(ctx, node)
+        if reason is not None:
+            yield _diag(
+                "REP031",
+                ctx,
+                node,
+                f"{reason} blocks the event loop; preload before serving or "
+                "run it in an executor (loop.run_in_executor)",
+            )
+    for child in ast.iter_child_nodes(node):
+        yield from _scan_async(ctx, child)
+
+
+def _blocking_reason(ctx: FileContext, node: ast.Call) -> str | None:
+    qualified = call_qualified(ctx, node)
+    if qualified in _BLOCKING_CALLS:
+        return f"{qualified}(...)"
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in _BLOCKING_METHODS
+        and (qualified is None or not qualified.startswith("asyncio"))
+    ):
+        return f".{node.func.attr}(...)"
+    return None

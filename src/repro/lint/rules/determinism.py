@@ -1,0 +1,193 @@
+"""REP00x — determinism rules.
+
+The repo's correctness claims are reproducibility claims: bit-exact
+baselines, content-keyed store entries, seeded workloads.  These rules
+statically ban the classic ways a change silently breaks them:
+
+* **REP001** — module-level numpy RNG calls (``np.random.shuffle``)
+  draw from hidden global state; every draw must come from a seeded
+  ``np.random.default_rng(seed)`` / ``Generator``.
+* **REP002** — the stdlib ``random`` module's top-level functions share
+  one process-global state; only seeded ``random.Random(seed)``
+  instances are allowed (and nothing in the package should need even
+  that — numpy generators are the house RNG).
+* **REP003** — wall-clock reads (``time.time``, ``datetime.now``) in
+  any module reachable from the store/core/graphs subsystems or the
+  sweep record emitter: artifact content and identity must be pure
+  functions of their canonical key.  Monotonic duration clocks
+  (``perf_counter``/``monotonic``) are fine — durations are telemetry,
+  not identity.
+* **REP004** — iteration over unordered collections (sets, unsorted
+  directory listings) in determinism-scoped modules: set order varies
+  with hash randomization and history, directory order with the
+  filesystem.  Wrap in ``sorted(...)`` or iterate an ordered source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..engine import call_qualified, register_rule
+
+__all__: list[str] = []
+
+#: ``numpy.random`` attributes that *construct seeded state* (allowed)
+#: rather than drawing from the hidden global generator (banned)
+_NP_RANDOM_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+        "RandomState",  # legacy, but explicitly seeded construction
+    }
+)
+
+#: stdlib ``random`` attributes that construct seeded instances
+_STDLIB_RANDOM_OK = frozenset({"Random"})
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_LISTING_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob", "glob.iglob"})
+_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+def _diag(rule: str, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+    return Diagnostic(
+        rule, ctx.display, ctx.line(node), ctx.col(node), message, end_line=ctx.end_line(node)
+    )
+
+
+@register_rule(
+    "REP001",
+    name="numpy-global-rng",
+    family="determinism",
+    summary="call into numpy's hidden global RNG",
+)
+def check_numpy_global_rng(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = call_qualified(ctx, node)
+        if qualified is None or not qualified.startswith("numpy.random."):
+            continue
+        leaf = qualified.rpartition(".")[2]
+        if leaf in _NP_RANDOM_OK:
+            continue
+        yield _diag(
+            "REP001",
+            ctx,
+            node,
+            f"np.random.{leaf} draws from the process-global RNG; use a "
+            "seeded np.random.default_rng(seed) Generator",
+        )
+
+
+@register_rule(
+    "REP002",
+    name="stdlib-global-random",
+    family="determinism",
+    summary="stdlib random module-level call",
+)
+def check_stdlib_random(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = call_qualified(ctx, node)
+        if qualified is None or not qualified.startswith("random."):
+            continue
+        leaf = qualified.rpartition(".")[2]
+        if leaf in _STDLIB_RANDOM_OK:
+            continue
+        yield _diag(
+            "REP002",
+            ctx,
+            node,
+            f"random.{leaf} shares process-global state; construct a seeded "
+            "random.Random(seed) (or better, a numpy Generator)",
+        )
+
+
+@register_rule(
+    "REP003",
+    name="wall-clock-read",
+    family="determinism",
+    summary="wall-clock read in a determinism-scoped module",
+    scopes=("determinism",),
+)
+def check_wall_clock(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = call_qualified(ctx, node)
+        if qualified in _WALL_CLOCK:
+            yield _diag(
+                "REP003",
+                ctx,
+                node,
+                f"{qualified} read in a module reachable from artifact "
+                "machinery; artifact content must not depend on the clock "
+                "(durations may use time.perf_counter)",
+            )
+
+
+@register_rule(
+    "REP004",
+    name="unordered-iteration",
+    family="determinism",
+    summary="iteration order depends on set/filesystem ordering",
+    scopes=("determinism",),
+)
+def check_unordered_iteration(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ctx.walk():
+        iters: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for expr in iters:
+            reason = _unordered_reason(ctx, expr)
+            if reason is not None:
+                yield _diag(
+                    "REP004",
+                    ctx,
+                    expr,
+                    f"iterating {reason} has no deterministic order here; "
+                    "wrap in sorted(...) or iterate an ordered source",
+                )
+
+
+def _unordered_reason(ctx: FileContext, expr: ast.expr) -> str | None:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    if not isinstance(expr, ast.Call):
+        return None
+    qualified = call_qualified(ctx, expr)
+    if qualified in ("set", "frozenset"):
+        return f"{qualified}(...)"
+    if qualified in _LISTING_CALLS:
+        return f"{qualified}(...) (filesystem order)"
+    if (
+        isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in _LISTING_METHODS
+        and qualified not in _LISTING_CALLS  # glob.glob handled above
+    ):
+        return f".{expr.func.attr}(...) (filesystem order)"
+    return None

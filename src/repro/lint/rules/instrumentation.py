@@ -1,0 +1,217 @@
+"""REP02x — instrumentation discipline.
+
+The observability layer (:mod:`repro.obs`) is designed to be free when
+off and honest when on.  That only holds if call sites follow three
+conventions:
+
+* **REP020** — ``TRACER.span(...)`` is a context manager; calling it
+  as a bare statement opens a span that is never closed, corrupting
+  the span tree.  The only legal shapes are ``with TRACER.span(...)``
+  (possibly behind an ``... if trace else nullcontext()`` conditional)
+  and returning the span for a caller to enter.
+* **REP021** — obs calls inside loops must sit behind a cheap guard
+  captured *outside* the loop (the ``self._obs_on and TRACER.enabled``
+  idiom): attribute lookups and no-op calls per iteration are exactly
+  the overhead the paper's timing methodology excludes.
+* **REP022** — counters are monotone.  ``.inc(-n)`` or ``.dec()`` on a
+  counter turns a rate metric into a lie; gauges exist for values that
+  go down.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..engine import call_qualified, in_with_context, register_rule
+
+__all__: list[str] = []
+
+#: identifier substrings that mark a conditional as an obs on/off guard
+_GUARD_TOKENS = ("obs", "active", "trace", "tracing", "span", "enabled", "telemetry")
+
+#: repro.obs entry points that *emit* per call (vs. pure aggregation
+#: helpers like merge_span_aggregates, which are loop-safe)
+_EMIT_LEAFS = frozenset(
+    {"span", "counter", "gauge", "histogram", "event", "record", "observe", "inc"}
+)
+
+
+def _diag(rule: str, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+    return Diagnostic(
+        rule, ctx.display, ctx.line(node), ctx.col(node), message, end_line=ctx.end_line(node)
+    )
+
+
+def _is_span_call(ctx: FileContext, node: ast.Call) -> bool:
+    if not (isinstance(node.func, ast.Attribute) and node.func.attr == "span"):
+        return False
+    qualified = call_qualified(ctx, node)
+    if qualified is None:
+        return False
+    head = qualified.rpartition(".")[0]
+    return (
+        head == "TRACER"
+        or head.endswith(".TRACER")
+        or head.lower().endswith("tracer")
+        or qualified.startswith("repro.obs")
+    )
+
+
+def _is_obs_emission(ctx: FileContext, node: ast.Call) -> bool:
+    if _is_span_call(ctx, node):
+        return True
+    qualified = call_qualified(ctx, node)
+    return (
+        qualified is not None
+        and qualified.startswith("repro.obs")
+        and qualified.rpartition(".")[2] in _EMIT_LEAFS
+    )
+
+
+@register_rule(
+    "REP020",
+    name="span-not-context-manager",
+    family="instrumentation",
+    summary="TRACER.span(...) used outside a with/return",
+)
+def check_span_context(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ctx.walk():
+        if not (isinstance(node, ast.Call) and _is_span_call(ctx, node)):
+            continue
+        if in_with_context(ctx, node) or _returned_or_yielded(ctx, node):
+            continue
+        yield _diag(
+            "REP020",
+            ctx,
+            node,
+            "span opened outside a context manager; use "
+            "'with TRACER.span(...)' (or return the span for the caller "
+            "to enter) so it always closes",
+        )
+
+
+def _returned_or_yielded(ctx: FileContext, node: ast.AST) -> bool:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return False
+        if isinstance(ancestor, ast.stmt):
+            return False
+    return False
+
+
+@register_rule(
+    "REP021",
+    name="unguarded-hot-loop-obs",
+    family="instrumentation",
+    summary="obs call in a loop without an enabled-state guard",
+    scopes=("src",),
+    exclude_scopes=("obs", "test"),
+)
+def check_hot_loop_guard(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ctx.walk():
+        if not (isinstance(node, ast.Call) and _is_obs_emission(ctx, node)):
+            continue
+        if _enclosing_loop(ctx, node) is None:
+            continue
+        if _guarded(ctx, node):
+            continue
+        yield _diag(
+            "REP021",
+            ctx,
+            node,
+            "telemetry call inside a loop without an enabled-state guard; "
+            "capture obs.active()/TRACER.enabled once outside the loop and "
+            "gate the call (the 'self._obs_on and TRACER.enabled' idiom)",
+        )
+
+
+def _enclosing_loop(ctx: FileContext, node: ast.AST) -> ast.AST | None:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.For, ast.AsyncFor, ast.While)):
+            return ancestor
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return None
+    return None
+
+
+def _guarded(ctx: FileContext, node: ast.AST) -> bool:
+    """Any If/IfExp on the path to the function boundary testing an obs
+    switch?  The guard may sit above the loop (the preferred idiom —
+    captured once) or inside it."""
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return False
+        if isinstance(ancestor, (ast.If, ast.IfExp)) and _mentions_guard(ancestor.test):
+            return True
+    return False
+
+
+def _mentions_guard(test: ast.expr) -> bool:
+    for sub in ast.walk(test):
+        name: str | None = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None and any(tok in name.lower() for tok in _GUARD_TOKENS):
+            return True
+    return False
+
+
+@register_rule(
+    "REP022",
+    name="counter-decrement",
+    family="instrumentation",
+    summary="monotone counter decremented",
+    exclude_scopes=("obs",),
+)
+def check_counter_decrement(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ctx.walk():
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        receiver = node.func.value
+        if node.func.attr == "inc" and node.args and _is_negative(node.args[0]):
+            yield _diag(
+                "REP022",
+                ctx,
+                node,
+                "counter incremented by a negative amount; counters are "
+                "monotone — use a gauge for values that go down",
+            )
+        elif node.func.attr == "dec" and _counterish(ctx, receiver):
+            yield _diag(
+                "REP022",
+                ctx,
+                node,
+                ".dec() on a counter; counters are monotone — use a gauge "
+                "for values that go down",
+            )
+
+
+def _is_negative(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return True
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and node.value < 0
+    )
+
+
+def _counterish(ctx: FileContext, receiver: ast.expr) -> bool:
+    if isinstance(receiver, ast.Call):
+        inner = call_qualified(ctx, receiver)
+        if inner is not None and inner.rpartition(".")[2] == "counter":
+            return True
+    name: str | None = None
+    if isinstance(receiver, ast.Name):
+        name = receiver.id
+    elif isinstance(receiver, ast.Attribute):
+        name = receiver.attr
+    return name is not None and ("counter" in name.lower() or name.startswith("_c_"))

@@ -1,0 +1,161 @@
+"""REP04x — numpy hygiene in simulation hot paths.
+
+The fluid engines keep their state in preallocated arrays sized by
+link count × flow count; these rules police the two silent dtype traps
+in that code:
+
+* **REP040** — ``np.zeros``/``ones``/``empty``/``full`` without an
+  explicit ``dtype=`` default to float64.  In a hot path that doubles
+  memory traffic over float32 *and* hides intent: when a later change
+  switches the engine's working dtype, implicit allocations silently
+  upcast every arithmetic result back to float64.
+* **REP041** — ``.astype(<narrower dtype>)`` without ``casting=`` can
+  silently wrap integers and round floats.  State the contract:
+  ``casting="safe"`` where the values are known to fit, or an explicit
+  ``casting="unsafe"`` (with a bounds check nearby) where narrowing is
+  the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..engine import call_qualified, has_keyword, register_rule
+
+__all__: list[str] = []
+
+_ALLOCATORS = frozenset({"numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full"})
+
+#: dtypes narrower than the float64/int64 house defaults
+_NARROW_ATTRS = frozenset(
+    {
+        "numpy.float32",
+        "numpy.float16",
+        "numpy.int32",
+        "numpy.int16",
+        "numpy.int8",
+        "numpy.uint32",
+        "numpy.uint16",
+        "numpy.uint8",
+    }
+)
+_NARROW_STRINGS = frozenset(
+    {
+        "float32",
+        "float16",
+        "int32",
+        "int16",
+        "int8",
+        "uint32",
+        "uint16",
+        "uint8",
+        "f4",
+        "f2",
+        "i4",
+        "i2",
+        "i1",
+        "u4",
+        "u2",
+        "u1",
+        "<f4",
+        "<f2",
+        "<i4",
+        "<i2",
+        "<u4",
+        "<u2",
+    }
+)
+
+
+def _diag(rule: str, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+    return Diagnostic(
+        rule, ctx.display, ctx.line(node), ctx.col(node), message, end_line=ctx.end_line(node)
+    )
+
+
+@register_rule(
+    "REP040",
+    name="implicit-float64-allocation",
+    family="numpy",
+    summary="array allocation without an explicit dtype",
+    scopes=("sim",),
+)
+def check_implicit_dtype(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = call_qualified(ctx, node)
+        if qualified not in _ALLOCATORS:
+            continue
+        # np.full's second positional argument fixes the dtype too
+        if has_keyword(node, "dtype"):
+            continue
+        if qualified == "numpy.full" and len(node.args) >= 2 and _typed_fill(node.args[1]):
+            continue
+        leaf = qualified.rpartition(".")[2]
+        yield _diag(
+            "REP040",
+            ctx,
+            node,
+            f"np.{leaf}(...) without dtype= allocates float64 in a hot "
+            "path; state the working dtype explicitly",
+        )
+
+
+def _typed_fill(node: ast.expr) -> bool:
+    """A fill value that already carries a dtype (np.float32(0) etc.)."""
+    return isinstance(node, ast.Call)
+
+
+@register_rule(
+    "REP041",
+    name="unvalidated-narrowing-cast",
+    family="numpy",
+    summary=".astype() to a narrower dtype without casting=",
+    scopes=("sim",),
+)
+def check_narrowing_cast(ctx: FileContext) -> Iterator[Diagnostic]:
+    for node in ctx.walk():
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+        ):
+            continue
+        if has_keyword(node, "casting"):
+            continue
+        target = _dtype_argument(node)
+        if target is None:
+            continue
+        narrow = _narrow_name(ctx, target)
+        if narrow is None:
+            continue
+        yield _diag(
+            "REP041",
+            ctx,
+            node,
+            f".astype({narrow}) narrows without casting=; pass "
+            "casting=\"safe\" (or an explicit casting=\"unsafe\" beside a "
+            "bounds check) so overflow is a decision, not an accident",
+        )
+
+
+def _dtype_argument(node: ast.Call) -> ast.expr | None:
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    return None
+
+
+def _narrow_name(ctx: FileContext, node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value in _NARROW_STRINGS else None
+    qualified = ctx.qualified(node)
+    if qualified in _NARROW_ATTRS:
+        return "np." + qualified.rpartition(".")[2]
+    return None

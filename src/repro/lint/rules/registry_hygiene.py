@@ -1,0 +1,258 @@
+"""REP01x — registry hygiene.
+
+Every component axis of the package — algorithms, patterns, topologies,
+workloads, engines, metrics — is addressed by spec strings through the
+unified registries (:mod:`repro.registry`).  A typo'd spec literal
+(``"d-modk"``) is a latent runtime error: in a test it may hide behind
+a broad ``pytest.raises``, in a doc fence it silently rots.  These
+rules resolve every string literal passed to a resolution entry point
+(and every spec list in a sweep-grid keyword) against the *live*
+registries at lint time:
+
+* **REP010** — the spec parses but names no registered component;
+* **REP011** — the spec does not parse under the DSL at all.
+
+Names registered *in the same file* (test components, ad-hoc builders)
+are exempt, so registration-driven tests lint clean; tests that
+deliberately pass unknown names to assert the error message carry a
+``# repro: noqa[REP010]`` stating that intent.
+
+Both rules also run over python code fences in markdown docs.
+"""
+
+from __future__ import annotations
+
+import ast
+from difflib import get_close_matches
+from typing import Callable, Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..engine import call_qualified, register_rule
+
+__all__: list[str] = []
+
+#: function/constructor leaf name -> [(position, keyword, family), ...]
+_SPEC_SITES: dict[str, list[tuple[int | None, str, str]]] = {
+    "make_algorithm": [(0, "name", "algorithm")],
+    "resolve_pattern": [(0, "spec", "pattern")],
+    "resolve_topology": [(0, "spec", "topology")],
+    "resolve_workload": [(0, "workload", "workload")],
+    "resolve_engine": [(0, "name", "engine")],
+    "parse_xgft": [(0, "spec", "topology")],
+    "Scenario": [
+        (0, "topology", "topology"),
+        (1, "pattern", "pattern"),
+        (2, "algorithm", "algorithm"),
+        (None, "workload", "workload"),
+    ],
+    "open_table": [(0, "topology", "topology"), (1, "algorithm", "algorithm")],
+    "store_table": [(1, "algorithm", "algorithm")],
+}
+
+#: keyword lists of grid specs (SweepSpec, dynamic_grid_spec, ...)
+_LIST_KEYWORDS: dict[str, str] = {
+    "topologies": "topology",
+    "patterns": "pattern",
+    "algorithms": "algorithm",
+    "workloads": "workload",
+    "metrics": "metric",
+}
+
+#: calls that *register* names; their string args are local definitions
+_REGISTERING_CONSTRUCTORS = frozenset({"Engine", "Metric"})
+
+_placeholder = "none"
+
+
+@register_rule(
+    "REP010",
+    name="unregistered-spec",
+    family="registry",
+    summary="spec literal names no registered component",
+    docs=True,
+)
+def check_unregistered(ctx: FileContext) -> Iterator[Diagnostic]:
+    yield from _check_specs(ctx, want="REP010")
+
+
+@register_rule(
+    "REP011",
+    name="malformed-spec",
+    family="registry",
+    summary="spec literal does not parse under the spec DSL",
+    docs=True,
+)
+def check_malformed(ctx: FileContext) -> Iterator[Diagnostic]:
+    yield from _check_specs(ctx, want="REP011")
+
+
+def _check_specs(ctx: FileContext, want: str) -> Iterator[Diagnostic]:
+    local_names = _locally_registered(ctx)
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        for literal, family in _spec_literals(ctx, node):
+            text = literal.value
+            if text == _placeholder:
+                continue
+            finding = _validate(family, text)
+            if finding is None:
+                continue
+            rule, message = finding
+            if rule != want:
+                continue
+            if rule == "REP010" and _spec_name(text) in local_names:
+                continue
+            yield Diagnostic(
+                rule,
+                ctx.display,
+                ctx.line(literal),
+                ctx.col(literal),
+                message,
+                end_line=ctx.end_line(literal),
+            )
+
+
+def _spec_literals(
+    ctx: FileContext, node: ast.Call
+) -> Iterator[tuple[ast.Constant, str]]:
+    qualified = call_qualified(ctx, node)
+    leaf = qualified.rpartition(".")[2] if qualified else None
+    if leaf in _SPEC_SITES:
+        for position, keyword, family in _SPEC_SITES[leaf]:
+            literal = _string_at(node, position, keyword)
+            if literal is not None:
+                yield literal, family
+    if qualified is not None and qualified.endswith("StoreKey.make"):
+        for position, keyword, family in (
+            (0, "topology", "topology"),
+            (1, "algorithm", "algorithm"),
+        ):
+            literal = _string_at(node, position, keyword)
+            if literal is not None:
+                yield literal, family
+    for kw in node.keywords:
+        if kw.arg == "engine" and _is_str(kw.value):
+            yield kw.value, "engine"
+        elif kw.arg in _LIST_KEYWORDS and isinstance(kw.value, (ast.List, ast.Tuple, ast.Set)):
+            for element in kw.value.elts:
+                if _is_str(element):
+                    yield element, _LIST_KEYWORDS[kw.arg]
+
+
+def _string_at(node: ast.Call, position: int | None, keyword: str) -> ast.Constant | None:
+    if position is not None and len(node.args) > position:
+        arg = node.args[position]
+        return arg if _is_str(arg) else None
+    for kw in node.keywords:
+        if kw.arg == keyword and _is_str(kw.value):
+            return kw.value
+    return None
+
+
+def _is_str(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def _locally_registered(ctx: FileContext) -> set[str]:
+    """String names registered (or unregistered) in this very file."""
+    names: set[str] = set()
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = call_qualified(ctx, node)
+        leaf = qualified.rpartition(".")[2] if qualified else None
+        registering = (leaf is not None and "register" in leaf) or (
+            isinstance(node.func, ast.Attribute) and "register" in node.func.attr
+        )
+        if registering or leaf in _REGISTERING_CONSTRUCTORS:
+            literal = _string_at(node, 0 if registering else None, "name")
+            if literal is not None:
+                names.add(_spec_name(literal.value))
+    return names
+
+
+def _spec_name(text: str) -> str:
+    return text.strip().partition("(")[0].strip().lower()
+
+
+# ----------------------------------------------------------------------
+# Live-registry validation (lazy: pulls the whole component universe)
+# ----------------------------------------------------------------------
+_VALIDATORS: dict[str, Callable[[str], tuple[str, str] | None]] | None = None
+
+
+def _validate(family: str, text: str) -> tuple[str, str] | None:
+    global _VALIDATORS
+    if _VALIDATORS is None:
+        _VALIDATORS = _build_validators()
+    validator = _VALIDATORS.get(family)
+    return validator(text) if validator is not None else None
+
+
+def _build_validators() -> dict[str, Callable[[str], tuple[str, str] | None]]:
+    # importing the facade wires every registry (graphs included)
+    from ... import api as _api  # noqa: F401
+    from ...core.factory import ALGORITHMS
+    from ...metrics import METRICS
+    from ...patterns.registry import PATTERNS, _parse_pattern_spec
+    from ...registry import parse_spec
+    from ...sim.engines import ENGINES
+    from ...topology.registry import TOPOLOGIES
+    from ...topology.xgft import parse_xgft
+    from ...workloads.generators import WORKLOADS
+
+    def named(kind: str, registry, parse) -> Callable[[str], tuple[str, str] | None]:
+        def validator(text: str) -> tuple[str, str] | None:
+            try:
+                name, _ = parse(text)
+            except ValueError as exc:
+                return "REP011", f"{kind} spec {text!r} does not parse: {exc}"
+            if name in registry:
+                return None
+            close = get_close_matches(name, registry.names(), n=3, cutoff=0.6)
+            hint = f" (did you mean {', '.join(repr(c) for c in close)}?)" if close else ""
+            return (
+                "REP010",
+                f"{kind} spec {text!r} names no registered {kind}{hint}",
+            )
+
+        return validator
+
+    def pattern_parse(text: str) -> tuple[str, dict]:
+        return _parse_pattern_spec(text.strip().lower())
+
+    def topology(text: str) -> tuple[str, str] | None:
+        stripped = text.strip()
+        if stripped.lower().startswith(("xgft(", "xgft:")):
+            try:
+                raw = stripped if "(" in stripped else f"XGFT({stripped[5:]})"
+                parse_xgft(raw if raw.lower().startswith("xgft(") else stripped)
+            except (ValueError, IndexError) as exc:
+                return "REP011", f"topology spec {text!r} does not parse: {exc}"
+            return None
+        return named("topology", TOPOLOGIES, parse_spec)(text)
+
+    def metric(text: str) -> tuple[str, str] | None:
+        if text in METRICS:
+            return None
+        close = get_close_matches(text, METRICS.names(), n=3, cutoff=0.6)
+        hint = f" (did you mean {', '.join(repr(c) for c in close)}?)" if close else ""
+        return "REP010", f"metric {text!r} is not registered{hint}"
+
+    def engine(text: str) -> tuple[str, str] | None:
+        if text in ENGINES:
+            return None
+        close = get_close_matches(text, ENGINES.names(), n=3, cutoff=0.6)
+        hint = f" (did you mean {', '.join(repr(c) for c in close)}?)" if close else ""
+        return "REP010", f"engine {text!r} is not registered{hint}"
+
+    return {
+        "algorithm": named("algorithm", ALGORITHMS, parse_spec),
+        "pattern": named("pattern", PATTERNS, pattern_parse),
+        "topology": topology,
+        "workload": named("workload", WORKLOADS, parse_spec),
+        "engine": engine,
+        "metric": metric,
+    }

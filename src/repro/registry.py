@@ -26,10 +26,11 @@ is what lets run identities round-trip through JSON artifacts.
 from __future__ import annotations
 
 from difflib import get_close_matches
-from typing import Callable, Generic, Iterator, TypeVar
+from typing import Callable, Final, Generic, Iterator, Mapping, TypeVar, cast, overload
 
 __all__ = [
     "Registry",
+    "SpecValue",
     "parse_spec",
     "format_spec",
     "canonical_spec",
@@ -37,7 +38,15 @@ __all__ = [
 
 T = TypeVar("T")
 
-_MISSING = object()
+#: the value types the spec DSL round-trips through text
+SpecValue = bool | int | float | str
+
+
+class _Missing:
+    """Sentinel type distinguishing 'no object' from any registrant."""
+
+
+_MISSING: Final = _Missing()
 
 
 class Registry(Generic[T]):
@@ -50,13 +59,19 @@ class Registry(Generic[T]):
     an accident.
     """
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str) -> None:
         self.kind = kind
         self._items: dict[str, T] = {}
 
     # -- registration ---------------------------------------------------
+    @overload
+    def register(self, name: str, *, override: bool = ...) -> Callable[[T], T]: ...
+
+    @overload
+    def register(self, name: str, obj: T, *, override: bool = ...) -> T: ...
+
     def register(
-        self, name: str, obj: T = _MISSING, *, override: bool = False
+        self, name: str, obj: T | _Missing = _MISSING, *, override: bool = False
     ) -> T | Callable[[T], T]:
         """Register ``obj`` under ``name``; usable as a decorator.
 
@@ -67,7 +82,7 @@ class Registry(Generic[T]):
 
             ALGORITHMS.register("s-mod-k", builder)
         """
-        if obj is _MISSING:
+        if isinstance(obj, _Missing):
 
             def decorator(target: T) -> T:
                 self.register(name, target, override=override)
@@ -108,7 +123,7 @@ class Registry(Generic[T]):
         """Registered names, sorted."""
         return tuple(sorted(self._items))
 
-    def build(self, spec: str, *args, **extra) -> object:
+    def build(self, spec: str, *args: object, **extra: object) -> object:
         """Parse ``spec`` and call its builder: ``builder(*args, **kwargs, **extra)``.
 
         Spec parameters and ``extra`` must not collide — a duplicate
@@ -121,7 +136,8 @@ class Registry(Generic[T]):
                 f"parameter(s) {', '.join(clash)} of {spec!r} collide with "
                 "caller-supplied keyword(s)"
             )
-        return self.get(name)(*args, **kwargs, **extra)
+        builder = cast(Callable[..., object], self.get(name))
+        return builder(*args, **kwargs, **extra)
 
     def __contains__(self, name: object) -> bool:
         return name in self._items
@@ -139,7 +155,7 @@ class Registry(Generic[T]):
 # ----------------------------------------------------------------------
 # The shared spec DSL
 # ----------------------------------------------------------------------
-def parse_spec(spec: str) -> tuple[str, dict]:
+def parse_spec(spec: str) -> tuple[str, dict[str, SpecValue]]:
     """Split ``"name(key=value,...)"`` into ``(name, kwargs)``.
 
     The one spec parser behind every registry (algorithms, patterns,
@@ -158,7 +174,7 @@ def parse_spec(spec: str) -> tuple[str, dict]:
     name = name.strip()
     if not name:
         raise ValueError(f"malformed spec {spec!r} (missing component name)")
-    kwargs: dict = {}
+    kwargs: dict[str, SpecValue] = {}
     for item in filter(None, (s.strip() for s in arglist.split(","))):
         key, sep, value = item.partition("=")
         if not sep or not key.strip():
@@ -167,7 +183,7 @@ def parse_spec(spec: str) -> tuple[str, dict]:
     return name, kwargs
 
 
-def _parse_value(text: str):
+def _parse_value(text: str) -> SpecValue:
     lowered = text.lower()
     if lowered in ("true", "false"):
         return lowered == "true"
@@ -203,7 +219,7 @@ def _format_value(key: str, value: object) -> str:
     raise ValueError(f"unsupported spec value type {type(value).__name__} for {key!r}")
 
 
-def format_spec(name: str, kwargs: dict | None = None) -> str:
+def format_spec(name: str, kwargs: Mapping[str, object] | None = None) -> str:
     """The canonical spec string for ``(name, kwargs)``.
 
     Parameters are emitted in sorted key order, so equal components

@@ -165,7 +165,7 @@ class IncFluidSimulator:
         self._users: list[set[int]] = [set() for _ in range(num_links)]
         self._n_links_used = 0
         # committed water levels: max user rate if saturated, else +inf
-        self._W = np.full(num_links, np.inf)
+        self._W = np.full(num_links, np.inf, dtype=np.float64)
 
         # lazy completion heap: (finish, slot, gen, slack)
         self._heap: list[tuple[float, int, int, float]] = []
@@ -462,8 +462,8 @@ class IncFluidSimulator:
         rate = self._rate
         users = self._users
         k = len(cl)
-        bg_sum = np.zeros(k)
-        bg_max = np.zeros(k)
+        bg_sum = np.zeros(k, dtype=np.float64)
+        bg_max = np.zeros(k, dtype=np.float64)
         for i, l in enumerate(cl.tolist()):
             ssum = 0.0
             smax = 0.0
@@ -491,7 +491,7 @@ class IncFluidSimulator:
         rates_new, e_f, e_l = self._fill_subset(ins, cap_vec.copy())
         entry_rate = rates_new[e_f]
         cons = np.bincount(e_l, weights=entry_rate, minlength=nl)
-        maxu = np.zeros(nl)
+        maxu = np.zeros(nl, dtype=np.float64)
         np.maximum.at(maxu, e_l, entry_rate)
         resid_cl = cap_vec[cl] - cons[cl]
         sat_cl = resid_cl <= _SAT_REL * self.capacity[cl]
@@ -500,7 +500,7 @@ class IncFluidSimulator:
         # path link where the flow's rate is (within slack) maximal
         sat_ext = np.zeros(nl + 1, dtype=bool)
         sat_ext[cl] = sat_cl
-        mx_ext = np.zeros(nl + 1)
+        mx_ext = np.zeros(nl + 1, dtype=np.float64)
         mx_ext[cl] = maxu_cl
         lm = self._lm[ins]
         ok = (
@@ -531,7 +531,7 @@ class IncFluidSimulator:
         entry_rate = rates_new[e_f]
         nl = self.num_links
         cons = np.bincount(e_l, weights=entry_rate, minlength=nl)
-        maxu = np.zeros(nl)
+        maxu = np.zeros(nl, dtype=np.float64)
         np.maximum.at(maxu, e_l, entry_rate)
         counts = np.bincount(e_l, minlength=nl)
         sat = (self.capacity - cons <= _SAT_REL * self.capacity) & (counts > 0)
@@ -561,12 +561,12 @@ class IncFluidSimulator:
         lm0, e_f0, e_l0 = lm, e_f, e_l
 
         counts = np.bincount(e_l, minlength=num_links).astype(np.float64)
-        shares_ext = np.full(num_links + 1, inf)
+        shares_ext = np.full(num_links + 1, inf, dtype=np.float64)
         shares = shares_ext[:num_links]
         np.divide(remaining_cap, counts, out=shares, where=counts > 0.0)
 
-        rate_c = np.zeros(n_act)
-        mbuf = np.empty(n_act)
+        rate_c = np.zeros(n_act, dtype=np.float64)
+        mbuf = np.empty(n_act, dtype=np.float64)
         unfrozen_full = np.ones(n_act, dtype=bool)
         orig = np.arange(n_act, dtype=np.int64)
         unfrozen = np.ones(n_act, dtype=bool)

@@ -219,7 +219,7 @@ class VecFluidSimulator:
         self._start = np.concatenate(
             (self._start, np.asarray(self._pend_starts, dtype=np.float64))
         )
-        self._rate = np.concatenate((self._rate, np.zeros(n_new)))
+        self._rate = np.concatenate((self._rate, np.zeros(n_new, dtype=np.float64)))
         self._active = np.concatenate((self._active, np.ones(n_new, dtype=bool)))
         for i, fid in enumerate(self._pend_ids):
             self._id_to_slot[fid] = base + i
@@ -294,12 +294,12 @@ class VecFluidSimulator:
         counts = np.bincount(e_l, minlength=num_links).astype(np.float64)
         remaining_cap = self.capacity.copy()
         # shares_ext[num_links] is the pad link: share inf, never frozen
-        shares_ext = np.full(num_links + 1, inf)
+        shares_ext = np.full(num_links + 1, inf, dtype=np.float64)
         shares = shares_ext[:num_links]
         np.divide(remaining_cap, counts, out=shares, where=counts > 0.0)
 
-        rate_c = np.zeros(n_act)  # final rates, by original compact id
-        mbuf = np.empty(n_act)  # per-flow bottleneck, by original id
+        rate_c = np.zeros(n_act, dtype=np.float64)  # final rates, by original compact id
+        mbuf = np.empty(n_act, dtype=np.float64)  # per-flow bottleneck, by original id
         unfrozen_full = np.ones(n_act, dtype=bool)  # by original id
         orig = np.arange(n_act, dtype=np.int64)  # current row -> original id
         unfrozen = np.ones(n_act, dtype=bool)  # by current row

@@ -333,7 +333,7 @@ class ArtifactStore:
             entry = meta_path.parent
             nbytes = 0
             atime = 0.0
-            for f in entry.iterdir():
+            for f in sorted(entry.iterdir()):
                 try:
                     st = f.stat()
                 except OSError:  # pragma: no cover - racing writer/GC

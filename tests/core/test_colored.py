@@ -38,7 +38,7 @@ class TestEdgeColoring:
         assert max(colors) == 3  # Δ = 4 colors suffice (König)
 
     def test_multigraph(self):
-        edges = [(0, 0)] * 3 + [(0, 1), (1, 0)]
+        edges = [(0, 0), (0, 0), (0, 0), (0, 1), (1, 0)]
         colors = bipartite_edge_coloring(edges, 2, 2)
         _assert_proper(edges, colors)
         assert max(colors) <= 3  # Δ = 4

@@ -39,7 +39,7 @@ class TestFactory:
 
     def test_unknown_name(self, topo):
         with pytest.raises(ValueError, match="unknown algorithm"):
-            make_algorithm("dijkstra", topo)
+            make_algorithm("dijkstra", topo)  # repro: noqa[REP010] deliberately unknown: error-path test
 
     def test_kwargs_forwarded(self, topo):
         alg = make_algorithm("r-nca-u", topo, seed=2, map_kind="mod")

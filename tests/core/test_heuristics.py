@@ -47,7 +47,7 @@ class TestAutoModK:
         """On a fan-out-heavy pattern the heuristic's pick concentrates
         contention at least as well as the opposite digit rule."""
         rng = np.random.default_rng(3)
-        for trial in range(5):
+        for _trial in range(5):
             sources = rng.choice(64, size=4, replace=False)
             pairs = [
                 (int(s), int(d))

@@ -48,7 +48,7 @@ class TestSpecAxis:
                 topologies=(TOPO,),
                 patterns=("shift-1",),
                 algorithms=("d-mod-k",),
-                workloads=("tidal(load=1)",),
+                workloads=("tidal(load=1)",),  # repro: noqa[REP010] deliberately unknown: error-path test
             )
 
     def test_dynamic_only_sweep_needs_no_patterns(self):
@@ -277,7 +277,7 @@ class TestDynamicCli:
         ]
         assert main(args) == 0
         # same spec vs its own artifact: PASS
-        assert main(args[:-2] + ["--baseline", str(out)]) == 0
+        assert main([*args[:-2], "--baseline", str(out)]) == 0
         assert "PASS" in capsys.readouterr().out
 
     def test_sweep_workloads_flag(self, tmp_path, capsys):

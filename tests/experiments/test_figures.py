@@ -248,7 +248,7 @@ class TestSlowdownHelper:
 
     def test_unknown_engine(self):
         with pytest.raises(ValueError):
-            slowdown(slimmed_two_level(), "d-mod-k", cg_pattern(32), engine="bogus")
+            slowdown(slimmed_two_level(), "d-mod-k", cg_pattern(32), engine="bogus")  # repro: noqa[REP010] deliberately unknown: error-path test
 
     def test_degenerate_pattern_slowdown_is_one(self):
         """Regression: a pattern whose every flow is a self-pair moves

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from typing import Any, ClassVar
 
 import numpy as np
 import pytest
@@ -191,8 +192,9 @@ class TestRunScale:
         None now renders as ``-``."""
         doctored = dict(data)
         doctored["rows"] = [
-            dict(data["rows"][0], recomputes=None, sim_time=None)
-        ] + list(data["rows"][1:])
+            dict(data["rows"][0], recomputes=None, sim_time=None),
+            *data["rows"][1:],
+        ]
         text = format_scale_results(doctored)
         first_data_line = text.splitlines()[4]
         assert " - " in first_data_line
@@ -242,7 +244,7 @@ class TestDynamicCells:
 
 
 class TestFloors:
-    FLOORS = {
+    FLOORS: ClassVar[dict[str, Any]] = {
         "kind": "repro-fluid-scale-floors",
         "floors": [
             {

@@ -51,13 +51,13 @@ class TestSpec:
                 topologies=("XGFT(2;4,4;1,4)",),
                 patterns=("shift-1",),
                 algorithms=("s-mod-k",),
-                metrics=("latency",),
+                metrics=("latency",),  # repro: noqa[REP010] deliberately unknown: error-path test
             )
 
     def test_rejects_bad_topology(self):
         with pytest.raises(ValueError):
             SweepSpec(
-                topologies=("not-a-tree",), patterns=("shift-1",), algorithms=("s-mod-k",)
+                topologies=("not-a-tree",), patterns=("shift-1",), algorithms=("s-mod-k",)  # repro: noqa[REP010] deliberately unknown: error-path test
             )
 
     def test_rejects_bad_engine(self):
@@ -66,7 +66,7 @@ class TestSpec:
                 topologies=("XGFT(2;4,4;1,4)",),
                 patterns=("shift-1",),
                 algorithms=("s-mod-k",),
-                engine="telepathy",
+                engine="telepathy",  # repro: noqa[REP010] deliberately unknown: error-path test
             )
 
 
@@ -101,7 +101,7 @@ class TestPatterns:
 
     def test_unknown_pattern(self):
         with pytest.raises(ValueError, match="unknown pattern"):
-            resolve_pattern("linpack", 16)
+            resolve_pattern("linpack", 16)  # repro: noqa[REP010] deliberately unknown: error-path test
 
 
 class TestPlanning:

@@ -87,7 +87,7 @@ class TestRandomSwitchFaults:
     def test_count_and_levels(self, topo):
         fs = random_switch_faults(topo, count=2, seed=0)
         assert len(fs.switches) == 2 and not fs.links
-        for level, node in fs.switches:
+        for level, _node in fs.switches:
             assert 1 <= level <= topo.h
 
     def test_level_restriction(self, topo):

@@ -121,7 +121,7 @@ class TestValidate:
         g = line_graph()
         a01 = g.arc_between(0, 1)
         a10 = int(g.arc_reverse[a01])
-        arcs = [a01, a10, a01] + g.shortest_path_arcs(0, 3)[1:]
+        arcs = [a01, a10, a01, *g.shortest_path_arcs(0, 3)[1:]]
         with pytest.raises(GraphError, match="revisits"):
             table_over(g, [(0, 1, arcs)]).validate()
 

@@ -1,0 +1,7 @@
+"""True positive: draws from numpy's hidden global RNG."""
+import numpy as np
+
+
+def shuffle(xs):
+    np.random.shuffle(xs)
+    return xs

@@ -1,0 +1,6 @@
+"""True positive: stdlib random's module-level shared state."""
+import random
+
+
+def pick(xs):
+    return random.choice(xs)

@@ -1,0 +1,6 @@
+"""True negative: an explicitly seeded random.Random instance."""
+import random
+
+
+def pick(xs, seed):
+    return random.Random(seed).choice(xs)

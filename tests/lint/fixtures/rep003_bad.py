@@ -1,0 +1,7 @@
+# repro: scope[determinism]
+"""True positive: wall clock read where artifact identity is at stake."""
+import time
+
+
+def stamp():
+    return time.time()

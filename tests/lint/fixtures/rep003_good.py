@@ -1,0 +1,7 @@
+# repro: scope[determinism]
+"""True negative: monotonic duration clocks are telemetry, not identity."""
+import time
+
+
+def elapsed(t0):
+    return time.perf_counter() - t0

@@ -1,0 +1,9 @@
+# repro: scope[determinism]
+"""True positive: set iteration order is not deterministic."""
+
+
+def total(flows):
+    out = 0.0
+    for flow in set(flows):
+        out += flow.rate
+    return out

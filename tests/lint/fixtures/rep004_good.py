@@ -1,0 +1,9 @@
+# repro: scope[determinism]
+"""True negative: sorted() pins the order."""
+
+
+def total(flows):
+    out = 0.0
+    for flow in sorted(set(flows)):
+        out += flow.rate
+    return out

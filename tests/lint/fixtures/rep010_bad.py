@@ -1,0 +1,6 @@
+"""True positive: typo'd algorithm spec resolves against no registry entry."""
+from repro.api import Scenario
+
+
+def build():
+    return Scenario("XGFT(2;4,4;1,4)", "shift-1", "d-modk")

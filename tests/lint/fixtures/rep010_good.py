@@ -1,0 +1,6 @@
+"""True negative: every spec literal resolves."""
+from repro.api import Scenario
+
+
+def build():
+    return Scenario("XGFT(2;4,4;1,4)", "shift-1", "d-mod-k")

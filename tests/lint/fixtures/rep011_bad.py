@@ -1,0 +1,6 @@
+"""True positive: spec literal does not parse under the DSL."""
+from repro.core.factory import make_algorithm
+
+
+def build(topo):
+    return make_algorithm("d-mod-k(", topo)

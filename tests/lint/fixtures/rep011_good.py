@@ -1,0 +1,6 @@
+"""True negative: well-formed parameterized spec."""
+from repro.core.factory import make_algorithm
+
+
+def build(topo):
+    return make_algorithm("r-nca-u(r=2)", topo)

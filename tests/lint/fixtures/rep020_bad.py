@@ -1,0 +1,7 @@
+"""True positive: a span opened as a bare statement never closes."""
+from repro.obs import TRACER
+
+
+def work(items):
+    TRACER.span("work")
+    return len(items)

@@ -1,0 +1,11 @@
+"""True negative: context-manager form, and returning for the caller."""
+from repro.obs import TRACER
+
+
+def work(items):
+    with TRACER.span("work"):
+        return len(items)
+
+
+def open_span(name):
+    return TRACER.span(name)

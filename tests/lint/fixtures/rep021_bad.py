@@ -1,0 +1,9 @@
+# repro: scope[src]
+"""True positive: per-iteration span with no enabled-state guard."""
+from repro.obs import TRACER
+
+
+def drain(queue):
+    for item in queue:
+        with TRACER.span("drain.item"):
+            item.run()

@@ -1,0 +1,14 @@
+# repro: scope[src]
+"""True negative: the guard is captured once, outside the loop."""
+from repro.obs import TRACER
+
+
+def drain(queue):
+    obs_on = TRACER.enabled
+    if obs_on:
+        for item in queue:
+            with TRACER.span("drain.item"):
+                item.run()
+    else:
+        for item in queue:
+            item.run()

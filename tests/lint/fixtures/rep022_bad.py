@@ -1,0 +1,5 @@
+"""True positive: counters are monotone."""
+
+
+def on_retry(metrics):
+    metrics.counter("inflight").inc(-1)

@@ -1,0 +1,6 @@
+"""True negative: gauges exist for values that go down."""
+
+
+def on_retry(metrics):
+    queue_gauge = metrics.gauge("inflight")
+    queue_gauge.dec()

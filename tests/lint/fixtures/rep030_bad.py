@@ -1,0 +1,14 @@
+"""True positive: the append lands in the worker process only."""
+import multiprocessing
+
+RESULTS = []
+
+
+def worker(x):
+    RESULTS.append(x * x)
+    return x * x
+
+
+def run(xs):
+    with multiprocessing.Pool(2) as pool:
+        return list(pool.imap_unordered(worker, xs))

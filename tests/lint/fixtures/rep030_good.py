@@ -1,0 +1,11 @@
+"""True negative: everything flows through payload and return value."""
+import multiprocessing
+
+
+def worker(x):
+    return x * x
+
+
+def run(xs):
+    with multiprocessing.Pool(2) as pool:
+        return list(pool.imap_unordered(worker, xs))

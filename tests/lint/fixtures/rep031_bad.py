@@ -1,0 +1,7 @@
+"""True positive: blocking read directly on the event loop."""
+
+
+async def handler(reader, writer):
+    payload = open("table.json").read()
+    writer.write(payload.encode())
+    await writer.drain()

@@ -1,0 +1,12 @@
+"""True negative: the blocking read is pushed to an executor."""
+import asyncio
+
+
+async def handler(reader, writer):
+    def load():
+        return open("table.json").read()
+
+    loop = asyncio.get_running_loop()
+    payload = await loop.run_in_executor(None, load)
+    writer.write(payload.encode())
+    await writer.drain()

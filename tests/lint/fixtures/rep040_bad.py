@@ -1,0 +1,7 @@
+# repro: scope[sim]
+"""True positive: implicit float64 allocation in a hot path."""
+import numpy as np
+
+
+def rates(num_flows):
+    return np.zeros(num_flows)

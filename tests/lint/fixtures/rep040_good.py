@@ -1,0 +1,7 @@
+# repro: scope[sim]
+"""True negative: the working dtype is stated."""
+import numpy as np
+
+
+def rates(num_flows):
+    return np.zeros(num_flows, dtype=np.float64)

@@ -1,0 +1,7 @@
+# repro: scope[sim]
+"""True positive: narrowing cast with no declared casting contract."""
+import numpy as np
+
+
+def compact(rates):
+    return rates.astype(np.float32)

@@ -1,0 +1,7 @@
+# repro: scope[sim]
+"""True negative: the cast declares its safety contract."""
+import numpy as np
+
+
+def compact(rates):
+    return rates.astype(np.float32, casting="safe")

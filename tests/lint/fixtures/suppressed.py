@@ -1,0 +1,7 @@
+"""Named suppression: the REP001 finding is silenced with rationale."""
+import numpy as np
+
+
+def shuffle(xs):
+    np.random.shuffle(xs)  # repro: noqa[REP001] fixture: suppression smoke test
+    return xs

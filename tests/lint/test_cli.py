@@ -1,0 +1,65 @@
+"""The ``repro lint`` subcommand end to end."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import SCHEMA_VERSION, rule_ids
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_clean_run_exits_zero(capsys):
+    assert main(["lint", str(FIXTURES / "rep001_good.py")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_anchors(capsys):
+    code = main(["lint", str(FIXTURES / "rep001_bad.py")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "rep001_bad.py:6:5: REP001" in out
+
+
+def test_json_format_is_the_schema_document(capsys):
+    code = main(["lint", str(FIXTURES / "rep001_bad.py"), "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert doc["kind"] == "repro-lint"
+    assert doc["schema_version"] == SCHEMA_VERSION
+    assert doc["statistics"] == {"REP001": 1}
+    assert doc["diagnostics"][0]["rule"] == "REP001"
+
+
+def test_rules_selection_flag(capsys):
+    code = main(["lint", str(FIXTURES / "rep001_bad.py"), "--rules", "REP002"])
+    assert code == 0
+    capsys.readouterr()
+
+
+def test_unknown_rule_selector_exits_two(capsys):
+    code = main(["lint", str(FIXTURES / "rep001_bad.py"), "--rules", "REP999"])
+    assert code == 2
+    assert "unknown rule selector" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(capsys):
+    code = main(["lint", str(FIXTURES / "does_not_exist.py")])
+    assert code == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_statistics_flag(capsys):
+    code = main(["lint", str(FIXTURES / "rep001_bad.py"), "--statistics"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "1 finding(s)" in out
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rid in rule_ids():
+        assert rid in out

@@ -1,0 +1,140 @@
+"""Engine mechanics: discovery, suppression, selection, serialization."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    LINT_RULES,
+    Diagnostic,
+    LintResult,
+    discover,
+    result_from_json,
+    result_to_json,
+    rule_ids,
+    run_lint,
+    select_rules,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestDiscovery:
+    def test_fixtures_dirs_are_skipped(self, tmp_path):
+        (tmp_path / "fixtures").mkdir()
+        (tmp_path / "fixtures" / "bad.py").write_text("import numpy\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        found = discover([tmp_path])
+        assert [p.name for p in found] == ["ok.py"]
+
+    def test_explicit_file_always_included(self):
+        bad = FIXTURES / "rep001_bad.py"
+        assert discover([bad]) == [bad]
+
+    def test_directory_collects_py_and_md(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.md").write_text("# doc\n")
+        (tmp_path / "c.txt").write_text("not collected\n")
+        assert [p.name for p in discover([tmp_path])] == ["a.py", "b.md"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            discover([FIXTURES / "no_such_file.py"])
+
+
+class TestSuppression:
+    def test_named_noqa_suppresses(self):
+        result = run_lint([FIXTURES / "suppressed.py"])
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_unused_named_and_blanket_noqa_are_findings(self):
+        result = run_lint([FIXTURES / "unused_suppression.py"])
+        assert [d.rule for d in result.diagnostics] == ["REP090", "REP090"]
+
+    def test_unused_noqa_not_reported_when_rule_disabled(self):
+        # with only REP002 enabled we cannot know whether the REP001
+        # suppression would have matched, so REP090 stays quiet about it
+        result = run_lint([FIXTURES / "unused_suppression.py"], rules=["REP002"])
+        named = [d for d in result.diagnostics if "REP001" in d.message]
+        assert named == []
+
+
+class TestSelection:
+    def test_family_selector(self):
+        rules = select_rules(["determinism"])
+        families = {r.family for r in rules}
+        assert families == {"determinism", "meta"}
+
+    def test_prefix_selector(self):
+        rules = select_rules(["REP04"])
+        ids = {r.id for r in rules} - {"REP000", "REP090"}
+        assert ids == {"REP040", "REP041"}
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(ValueError, match="unknown rule selector"):
+            select_rules(["REP999"])
+
+    def test_selection_limits_what_fires(self):
+        result = run_lint([FIXTURES / "rep001_bad.py"], rules=["REP002"])
+        assert result.ok
+
+    def test_every_rule_has_required_metadata(self):
+        for rid in rule_ids():
+            rule = LINT_RULES.get(rid)
+            assert rule.id == rid
+            assert rule.name and rule.family and rule.summary
+
+
+class TestParseErrors:
+    def test_unparseable_file_is_rep000(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        result = run_lint([broken])
+        assert [d.rule for d in result.diagnostics] == ["REP000"]
+
+    def test_unparseable_fence_is_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# t\n\n```\nnot ! python ! at all\n```\n")
+        assert run_lint([doc]).ok
+
+
+class TestScopeDirective:
+    def test_directive_enables_scoped_rule(self, tmp_path):
+        scoped = tmp_path / "scoped.py"
+        scoped.write_text(
+            "# repro: scope[sim]\nimport numpy as np\n\n\ndef f(n):\n"
+            "    return np.zeros(n)\n"
+        )
+        assert [d.rule for d in run_lint([scoped]).diagnostics] == ["REP040"]
+
+    def test_without_directive_scoped_rule_is_silent(self, tmp_path):
+        plain = tmp_path / "plain.py"
+        plain.write_text("import numpy as np\n\n\ndef f(n):\n    return np.zeros(n)\n")
+        assert run_lint([plain]).ok
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        result = run_lint([FIXTURES / "rep001_bad.py", FIXTURES / "suppressed.py"])
+        restored = result_from_json(result_to_json(result))
+        assert restored == result
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-lint document"):
+            result_from_json('{"kind": "something-else"}')
+
+    def test_wrong_schema_version_rejected(self):
+        doc = result_to_json(LintResult(diagnostics=(), files=0, rules=()))
+        with pytest.raises(ValueError, match="schema_version"):
+            result_from_json(doc.replace('"schema_version": 1', '"schema_version": 99'))
+
+    def test_diagnostic_end_line_clamped(self):
+        d = Diagnostic("REP001", "x.py", 10, 1, "m", end_line=3)
+        assert d.end_line == 10
+
+    def test_statistics_count_per_rule(self):
+        result = run_lint([FIXTURES / "rep001_bad.py", FIXTURES / "rep002_bad.py"])
+        assert result.statistics == {"REP001": 1, "REP002": 1}

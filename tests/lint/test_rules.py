@@ -1,0 +1,85 @@
+"""The rule pack, fixture by fixture.
+
+Every behavioral rule has a true-positive fixture (``repNNN_bad``)
+that must yield exactly that rule and a true-negative fixture
+(``repNNN_good``) that must yield nothing.  A meta-test keeps the
+rule catalogue in ``docs/lint.md`` complete, and the final test is
+the self-application gate CI enforces: the package lints itself
+clean.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import rule_ids, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+#: every behavioral rule (meta rules REP000/REP090 are engine-emitted
+#: and covered in test_engine.py)
+BEHAVIORAL = [
+    "REP001",
+    "REP002",
+    "REP003",
+    "REP004",
+    "REP010",
+    "REP011",
+    "REP020",
+    "REP021",
+    "REP022",
+    "REP030",
+    "REP031",
+    "REP040",
+    "REP041",
+]
+
+
+@pytest.mark.parametrize("rule_id", BEHAVIORAL)
+def test_true_positive_fixture(rule_id):
+    bad = FIXTURES / f"{rule_id.lower()}_bad.py"
+    result = run_lint([bad])
+    assert {d.rule for d in result.diagnostics} == {rule_id}, result.format_text()
+
+
+@pytest.mark.parametrize("rule_id", BEHAVIORAL)
+def test_true_negative_fixture(rule_id):
+    good = FIXTURES / f"{rule_id.lower()}_good.py"
+    result = run_lint([good])
+    assert result.ok, result.format_text()
+
+
+def test_rule_set_meets_coverage_floor():
+    ids = rule_ids()
+    assert len(ids) >= 8
+    families = {
+        rid[:5] for rid in ids if rid not in ("REP000", "REP090")
+    }  # REP00x/01x/02x/03x/04x blocks
+    assert len(families) >= 4
+
+
+class TestDocsFences:
+    def test_bad_fence_is_flagged_with_fence_anchor(self):
+        result = run_lint([FIXTURES / "docs_bad.md"])
+        assert [d.rule for d in result.diagnostics] == ["REP010"]
+        assert "#fence1" in result.diagnostics[0].path
+
+    def test_good_fences_and_shell_fences_pass(self):
+        assert run_lint([FIXTURES / "docs_good.md"]).ok
+
+
+def test_every_rule_documented_in_catalogue():
+    catalogue = (REPO / "docs" / "lint.md").read_text(encoding="utf-8")
+    documented = set(re.findall(r"\bREP\d{3}\b", catalogue))
+    missing = set(rule_ids()) - documented
+    assert not missing, f"rules missing from docs/lint.md: {sorted(missing)}"
+
+
+def test_self_application_is_clean():
+    """The CI gate in test form: the repo lints itself clean."""
+    result = run_lint([REPO / "src", REPO / "tests", REPO / "README.md"])
+    assert result.ok, result.format_text()

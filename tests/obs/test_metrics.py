@@ -25,7 +25,7 @@ class TestCounter:
 
     def test_rejects_negative(self, registry):
         with pytest.raises(ValueError, match="negative increment"):
-            registry.counter("x").inc(-1)
+            registry.counter("x").inc(-1)  # repro: noqa[REP022] deliberate: asserts the rejection
 
     def test_lazy_registration_returns_same_instrument(self, registry):
         assert registry.counter("a") is registry.counter("a")

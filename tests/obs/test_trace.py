@@ -67,10 +67,12 @@ class TestSpanLifecycle:
         assert [s.name for s in tracer.spans()][-1] == "outer"
 
     def test_exception_recorded_and_propagated(self, tracer):
-        with pytest.raises(RuntimeError, match="boom"):
-            with tracer.span("outer"):
-                with tracer.span("inner"):
-                    raise RuntimeError("boom")
+        with (
+            pytest.raises(RuntimeError, match="boom"),
+            tracer.span("outer"),
+            tracer.span("inner"),
+        ):
+            raise RuntimeError("boom")
         by_name = {s.name: s for s in tracer.spans()}
         assert by_name["inner"].error == "RuntimeError"
         assert by_name["outer"].error == "RuntimeError"
@@ -137,9 +139,11 @@ class TestSpanLifecycle:
         # configure_logging stops propagation; caplog listens on root
         monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
         tracer.slow_span_s = 0.0
-        with caplog.at_level("WARNING", logger="repro.obs.trace"):
-            with tracer.span("snail", detail=1):
-                pass
+        with (
+            caplog.at_level("WARNING", logger="repro.obs.trace"),
+            tracer.span("snail", detail=1),
+        ):
+            pass
         assert any("slow span snail" in r.message for r in caplog.records)
 
 
@@ -191,9 +195,8 @@ class TestExport:
             assert trace_file_pair(tmp_path / given) == want
 
     def test_jsonl_round_trip(self, tracer, tmp_path):
-        with tracer.span("outer", topo="XGFT(2;4,4;1,2)"):
-            with tracer.span("inner"):
-                pass
+        with tracer.span("outer", topo="XGFT(2;4,4;1,2)"), tracer.span("inner"):
+            pass
         path = write_jsonl(tmp_path / "t.trace.jsonl", tracer)
         meta, spans = read_jsonl(path)
         assert meta["kind"] == "repro-trace"

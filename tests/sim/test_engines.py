@@ -39,7 +39,7 @@ class TestRegistry:
 
     def test_unknown_engine_diagnostic(self):
         with pytest.raises(ValueError, match="unknown engine 'telepathy'"):
-            resolve_engine("telepathy")
+            resolve_engine("telepathy")  # repro: noqa[REP010] deliberately unknown: error-path test
 
     def test_make_fluid_simulator(self):
         sim = make_fluid_simulator("fluid-vec", 4, 1.0)
@@ -120,7 +120,7 @@ class TestPhaseDriverSelection:
 
         scenario = Scenario("XGFT(2;4,4;1,4)", "shift-1", "d-mod-k")
         with pytest.raises(ValueError, match="unknown engine"):
-            scenario.evaluate(metrics=("sim_time",), engine="fluidd")
+            scenario.evaluate(metrics=("sim_time",), engine="fluidd")  # repro: noqa[REP010] deliberately unknown: error-path test
 
     def test_sweep_spec_accepts_vec_engine(self):
         from repro.experiments import SweepSpec

@@ -137,14 +137,14 @@ class TestScenarioEvaluation:
     def test_unknown_metric_rejected(self):
         s = Scenario("XGFT(2;4,4;1,2)", "shift-1", "d-mod-k")
         with pytest.raises(ValueError, match="unknown metrics"):
-            s.evaluate(metrics=("latency",))
+            s.evaluate(metrics=("latency",))  # repro: noqa[REP010] deliberately unknown: error-path test
 
     def test_unknown_engine_rejected(self):
         """Regression: an engine typo used to fall through `engine ==
         'fluid'` checks and silently run the replay engine."""
         s = Scenario("XGFT(2;4,4;1,2)", "shift-1", "d-mod-k")
         with pytest.raises(ValueError, match="unknown engine"):
-            s.evaluate(metrics=("sim_time",), engine="fluidd")
+            s.evaluate(metrics=("sim_time",), engine="fluidd")  # repro: noqa[REP010] deliberately unknown: error-path test
 
     def test_crossbar_memo_keyed_by_config(self):
         """Regression: the scenario-held crossbar memo ignored the

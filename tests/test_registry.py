@@ -261,7 +261,7 @@ class TestConcreteRegistries:
 
     def test_topology_unknown_family(self):
         with pytest.raises(ValueError, match="unknown topology family"):
-            resolve_topology("not-a-tree")
+            resolve_topology("not-a-tree")  # repro: noqa[REP010] deliberately unknown: error-path test
 
     def test_metrics_registered_with_applicability(self):
         assert METRICS.get("slowdown").fault_only is False
@@ -340,7 +340,7 @@ class TestThirdPartyRegistration:
                 topologies=("XGFT(2;4,4;1,2)",),
                 patterns=("shift-1",),
                 algorithms=("d-mod-k",),
-                metrics=("latency",),
+                metrics=("latency",),  # repro: noqa[REP010] deliberately unknown: error-path test
             )
 
 

@@ -83,7 +83,7 @@ class TestFig1Examples:
     def test_all_valid(self):
         examples = fig1_examples()
         assert len(examples) >= 4
-        for name, topo in examples.items():
+        for topo in examples.values():
             assert isinstance(topo, XGFT)
             assert topo.num_leaves >= 4
 

@@ -60,9 +60,9 @@ class TestConstruction:
 
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError):
-            parse_xgft("GFT(2;4,4;1,4)")
+            parse_xgft("GFT(2;4,4;1,4)")  # repro: noqa[REP011] deliberately malformed
         with pytest.raises(ValueError):
-            parse_xgft("XGFT(3;4,4;1,4)")  # height mismatch
+            parse_xgft("XGFT(3;4,4;1,4)")  # repro: noqa[REP011] height mismatch
 
     def test_equality_and_hash(self):
         assert XGFT((4, 4), (1, 4)) == XGFT((4, 4), (1, 4))

@@ -30,7 +30,7 @@ class TestRegistry:
 
     def test_unknown_workload(self):
         with pytest.raises(ValueError, match="unknown workload"):
-            resolve_workload("tidal(load=0.5)", LEAVES)
+            resolve_workload("tidal(load=0.5)", LEAVES)  # repro: noqa[REP010] error-path test
 
     def test_third_party_registration(self):
         @register_workload("_test_burst")
